@@ -1,0 +1,46 @@
+//! E10 — the footnote-1 ablation: a dynamic feature test is nearly free
+//! in a warm tight loop but pays the misprediction penalty on cold
+//! predictors; the committed multiverse variant has no branch to
+//! mispredict.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiverse::bench::render_table;
+use multiverse::mvvm::MachineMode;
+use mv_workloads::spinlock::{boot, KernelBuild};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_table(
+            "E10 — warm vs. cold predictors (SMP spinlock)",
+            &mv_bench::btb_data()
+        )
+    );
+
+    let mut g = c.benchmark_group("ablation_btb");
+    for (name, kind) in [
+        ("dynamic_if", KernelBuild::ElisionIf),
+        ("multiverse", KernelBuild::ElisionMultiverse),
+    ] {
+        for cold in [false, true] {
+            let mut w = boot(kind, MachineMode::Multicore).expect("boot");
+            let bname = format!("{name}_{}", if cold { "cold" } else { "warm" });
+            g.bench_function(&bname, |b| {
+                b.iter(|| w.time_calls("lock_unlock", &[], 50, cold).expect("measure"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated workloads are deterministic; short sampling keeps the
+    // full suite fast without changing any conclusion.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

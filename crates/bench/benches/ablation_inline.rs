@@ -1,0 +1,66 @@
+//! E11 — §7.1 design ablation: call-site patching with inlining (the
+//! shipped design) vs. no inlining vs. entry-only redirection (the
+//! body-patching-like alternative the paper rejected).
+//!
+//! The native-layer dispatch cell is benchmarked alongside as the
+//! function-pointer alternative of §7.2, measured in real host time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiverse::bench::render_table;
+use multiverse::native::{MvBool, MvFn0};
+
+static FEATURE: MvBool = MvBool::new(false);
+
+fn generic() -> u64 {
+    if FEATURE.read() {
+        2
+    } else {
+        1
+    }
+}
+fn spec_off() -> u64 {
+    1
+}
+
+static CELL: MvFn0<u64> = MvFn0::new(&[generic, spec_off]);
+
+#[inline(never)]
+fn direct() -> u64 {
+    1
+}
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_table(
+            "E11 — patching strategies (musl fputc, single-threaded)",
+            &mv_bench::inline_ablation_data()
+        )
+    );
+
+    // Host-side: the §7.2 comparison — dynamic branch vs. fn-pointer cell
+    // vs. direct call, in real nanoseconds.
+    let mut g = c.benchmark_group("native_dispatch");
+    g.bench_function("dynamic_branch", |b| {
+        b.iter(|| std::hint::black_box(generic()))
+    });
+    CELL.bind(1);
+    g.bench_function("mvfn_cell_committed", |b| {
+        b.iter(|| std::hint::black_box(CELL.call()))
+    });
+    g.bench_function("direct_call", |b| b.iter(|| std::hint::black_box(direct())));
+    CELL.revert();
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated workloads are deterministic; short sampling keeps the
+    // full suite fast without changing any conclusion.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

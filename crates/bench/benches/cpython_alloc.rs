@@ -1,0 +1,39 @@
+//! §6.2.1 — cPython `_PyObject_GC_Alloc` with the GC enable flag.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiverse::bench::render_table;
+use mv_workloads::cpython::{boot, run, PyBuild};
+
+fn bench(c: &mut Criterion) {
+    let (rows, delta) = mv_bench::cpython_data(20_000);
+    println!(
+        "{}",
+        render_table("§6.2.1 — cPython object allocation", &rows)
+    );
+    println!(
+        "multiverse delta: {:.2} % (paper: below measurement noise)\n",
+        delta * 100.0
+    );
+
+    let mut g = c.benchmark_group("cpython_alloc");
+    for build in [PyBuild::Without, PyBuild::With] {
+        for gc in [false, true] {
+            let name = format!("{build:?}_gc_{gc}");
+            let mut w = boot(build, gc).expect("boot");
+            g.bench_function(&name, |b| b.iter(|| run(&mut w, 200).expect("run")));
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated workloads are deterministic; short sampling keeps the
+    // full suite fast without changing any conclusion.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 1 — the motivating spinlock table: static (A), dynamic (B) and
+//! multiverse (C) binding of `CONFIG_SMP`.
+//!
+//! Criterion measures host-side simulation throughput per binding; the
+//! authoritative cycle table (printed once at startup) comes from the
+//! deterministic machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiverse::bench::render_table;
+use multiverse::mvvm::MachineMode;
+use mv_workloads::spinlock::{boot, measure_lock, KernelBuild};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_table("Fig. 1 — spin_irq_lock avg. cycles", &mv_bench::fig1_data())
+    );
+
+    let mut g = c.benchmark_group("fig1_spinlock");
+    for (name, kind, mode) in [
+        ("A_static_up", KernelBuild::IfdefOff, MachineMode::Unicore),
+        ("B_dynamic_up", KernelBuild::ElisionIf, MachineMode::Unicore),
+        (
+            "C_multiverse_up",
+            KernelBuild::ElisionMultiverse,
+            MachineMode::Unicore,
+        ),
+        (
+            "A_static_smp",
+            KernelBuild::NoElision,
+            MachineMode::Multicore,
+        ),
+        (
+            "C_multiverse_smp",
+            KernelBuild::ElisionMultiverse,
+            MachineMode::Multicore,
+        ),
+    ] {
+        let mut w = boot(kind, mode).expect("boot");
+        g.bench_function(name, |b| {
+            b.iter(|| measure_lock(&mut w, 100).expect("measure"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated workloads are deterministic; short sampling keeps the
+    // full suite fast without changing any conclusion.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 4 (right) — PV-Ops `sti`+`cli` under the current kernel patching
+//! mechanism, multiverse, and with paravirtualization compiled out, on
+//! native hardware and inside a Xen PV guest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiverse::bench::render_table;
+use multiverse::mvvm::Platform;
+use mv_workloads::pvops::{boot, measure, PvBuild};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_table(
+            "Fig. 4 (right) — PV-Ops sti+cli avg. cycles",
+            &mv_bench::fig4_pvops_data()
+        )
+    );
+
+    let mut g = c.benchmark_group("fig4_pvops");
+    for build in [
+        PvBuild::Current,
+        PvBuild::Multiverse,
+        PvBuild::IfdefDisabled,
+    ] {
+        for platform in [Platform::Native, Platform::XenGuest] {
+            let name = format!("{:?}_{:?}", build, platform);
+            let mut w = boot(build, platform).expect("boot");
+            g.bench_function(&name, |b| b.iter(|| measure(&mut w, 100).expect("measure")));
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated workloads are deterministic; short sampling keeps the
+    // full suite fast without changing any conclusion.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 4 (left) — spinlock lock+unlock for the four kernel builds in
+//! unicore and multicore machine state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiverse::bench::render_table;
+use multiverse::mvvm::MachineMode;
+use mv_workloads::spinlock::{boot, measure_pair, KernelBuild};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_table(
+            "Fig. 4 (left) — spinlock lock+unlock avg. cycles",
+            &mv_bench::fig4_spinlock_data()
+        )
+    );
+
+    let mut g = c.benchmark_group("fig4_spinlock");
+    for kind in [
+        KernelBuild::NoElision,
+        KernelBuild::ElisionIf,
+        KernelBuild::ElisionMultiverse,
+        KernelBuild::IfdefOff,
+    ] {
+        for mode in [MachineMode::Unicore, MachineMode::Multicore] {
+            if kind == KernelBuild::IfdefOff && mode == MachineMode::Multicore {
+                continue;
+            }
+            let name = format!("{:?}_{:?}", kind, mode);
+            let mut w = boot(kind, mode).expect("boot");
+            g.bench_function(&name, |b| {
+                b.iter(|| measure_pair(&mut w, 100).expect("measure"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated workloads are deterministic; short sampling keeps the
+    // full suite fast without changing any conclusion.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

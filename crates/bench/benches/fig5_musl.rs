@@ -1,0 +1,43 @@
+//! Fig. 5 — mini-musl: `random()`, `malloc(0)`, `malloc(1)` and
+//! `fputc('a')` in single- and multi-threaded mode, with and without
+//! multiverse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiverse::bench::render_table;
+use mv_workloads::musl::{boot, run_bench, LibcFn, MuslBuild, ThreadMode};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_table(
+            "Fig. 5 — musl, cycles per call",
+            &mv_bench::fig5_data(5_000)
+        )
+    );
+
+    let mut g = c.benchmark_group("fig5_musl");
+    for threads in [ThreadMode::Single, ThreadMode::Multi] {
+        for build in [MuslBuild::Without, MuslBuild::With] {
+            for f in LibcFn::all() {
+                let name = format!("{:?}_{:?}_{:?}", f, threads, build);
+                let mut w = boot(build, threads).expect("boot");
+                g.bench_function(&name, |b| {
+                    b.iter(|| run_bench(&mut w, f, 100).expect("bench"))
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated workloads are deterministic; short sampling keeps the
+    // full suite fast without changing any conclusion.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! §6.2.3 — grep end to end over a hex-random corpus, pattern `a.a`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiverse::bench::render_table;
+use mv_workloads::grep::{boot, run, GrepBuild};
+use mv_workloads::textgen;
+
+fn bench(c: &mut Criterion) {
+    let (rows, improvement) = mv_bench::grep_data(262_144);
+    println!("{}", render_table("§6.2.3 — grep end-to-end", &rows));
+    println!(
+        "multiverse improvement: {:.2} % (paper: 2.73 %)\n",
+        improvement * 100.0
+    );
+
+    let corpus = textgen::hex_corpus(65_536, 2019);
+    let mut g = c.benchmark_group("grep_end2end");
+    for build in [GrepBuild::Without, GrepBuild::With] {
+        let mut w = boot(build, &corpus, false).expect("boot");
+        g.bench_function(format!("{build:?}"), |b| {
+            b.iter(|| run(&mut w, corpus.len()).expect("run"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated workloads are deterministic; short sampling keeps the
+    // full suite fast without changing any conclusion.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

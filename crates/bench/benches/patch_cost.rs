@@ -1,0 +1,45 @@
+//! §6.1 — patching cost: commit wall time as a function of call-site
+//! count (the kernel recorded 1161 spinlock sites and patched them in
+//! ≈16 ms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multiverse::Program;
+
+fn bench(c: &mut Criterion) {
+    let r = mv_bench::patch_stats_data(1161);
+    println!("## §6.1 — patch statistics at kernel scale (1161 sites)");
+    println!("commit wall time: {:?}", r.commit_time);
+    println!(
+        "image overhead:   {} B (multiverse {} vs dynamic {})\n",
+        r.mv_image - r.dyn_image,
+        r.mv_image,
+        r.dyn_image
+    );
+
+    let mut g = c.benchmark_group("patch_cost");
+    for n_sites in [16usize, 128, 1161] {
+        let src = mv_bench::many_callsites_src(n_sites);
+        let program = Program::build(&[("sites.c", &src)]).expect("build");
+        let mut w = program.boot();
+        w.set("feature", 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("commit", n_sites), &n_sites, |b, _| {
+            b.iter(|| {
+                w.commit().expect("commit");
+                w.revert().expect("revert");
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated workloads are deterministic; short sampling keeps the
+    // full suite fast without changing any conclusion.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Benchmark support: shared measurement helpers used by the harness that
+//! regenerates the paper's tables and figures.
+
+use crate::program::{Timing, World};
+use crate::BuildError;
+
+/// One labelled measurement series (e.g. "Lock Elision \[multiverse\]").
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Display label.
+    pub label: String,
+    /// `(x-label, value)` points.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: &str) -> Series {
+        Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn point(&mut self, x: &str, v: f64) {
+        self.points.push((x.to_string(), v));
+    }
+}
+
+/// Renders series as an aligned text table, one row per series, one
+/// column per x-label — the shape in which the paper's figures report
+/// averages.
+pub fn render_table(title: &str, series: &[Series]) -> String {
+    let mut cols: Vec<String> = Vec::new();
+    for s in series {
+        for (x, _) in &s.points {
+            if !cols.contains(x) {
+                cols.push(x.clone());
+            }
+        }
+    }
+    let label_w = series
+        .iter()
+        .map(|s| s.label.len())
+        .chain([8])
+        .max()
+        .unwrap_or(8);
+    let col_w = cols.iter().map(|c| c.len()).chain([10]).max().unwrap_or(10) + 2;
+
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!("{:label_w$}", ""));
+    for c in &cols {
+        out.push_str(&format!("{c:>col_w$}"));
+    }
+    out.push('\n');
+    for s in series {
+        out.push_str(&format!("{:label_w$}", s.label));
+        for c in &cols {
+            match s.points.iter().find(|(x, _)| x == c) {
+                Some((_, v)) => out.push_str(&format!("{v:>col_w$.2}")),
+                None => out.push_str(&format!("{:>col_w$}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Measures `func` in `world` with the standard §6 protocol and returns
+/// the timing.
+pub fn measure(
+    world: &mut World,
+    func: &str,
+    args: &[u64],
+    iterations: u64,
+) -> Result<Timing, BuildError> {
+    world.time_calls(func, args, iterations, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut a = Series::new("No Lock Elision");
+        a.point("Unicore", 28.9);
+        a.point("Multicore", 28.8);
+        let mut b = Series::new("Lock Elision [multiverse]");
+        b.point("Unicore", 7.5);
+        b.point("Multicore", 28.9);
+        let t = render_table("Fig. 4 (left)", &[a, b]);
+        assert!(t.contains("Unicore"));
+        assert!(t.contains("28.90"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2].len(), lines[3].len(), "aligned columns");
+    }
+
+    #[test]
+    fn missing_points_show_dash() {
+        let mut a = Series::new("x");
+        a.point("A", 1.0);
+        let mut b = Series::new("y");
+        b.point("B", 2.0);
+        let t = render_table("t", &[a, b]);
+        assert!(t.contains('-'));
+    }
+}

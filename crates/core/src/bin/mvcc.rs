@@ -1,0 +1,312 @@
+//! `mvcc` — the multiverse compiler driver.
+//!
+//! ```text
+//! mvcc build  <file.c>…             compile + link, print image summary
+//! mvcc compile <file.c> -o out.mvo  separate compilation: write one
+//!                                   relocatable MVO object
+//! mvcc link   <file.mvo>… [--run]   link MVO objects (and optionally run
+//!                                   main)
+//! mvcc dump   <file.c>…             list switches, functions, variants,
+//!                                   guards and call sites
+//! mvcc disasm <file.c>… [--fn NAME] disassemble the text segment (or one
+//!                                   function)
+//! mvcc run    <file.c>… [--call F] [--set VAR=V]… [--commit]
+//!                                   execute main (or F) on the machine
+//!
+//! common flags:
+//!   --dynamic            build without multiverse (binding B)
+//!   --static VAR=V       fix a switch at compile time (binding A)
+//!   --variant-limit N    override the variant-explosion limit
+//! ```
+
+use multiverse::mvc::Options;
+use multiverse::{mvasm, mvobj, mvrt, Program};
+use std::process::ExitCode;
+
+struct Args {
+    cmd: String,
+    files: Vec<String>,
+    opts: Options,
+    call: Option<String>,
+    sets: Vec<(String, i64)>,
+    commit: bool,
+    func: Option<String>,
+    output: Option<String>,
+    run: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    let cmd = it
+        .next()
+        .ok_or("missing command (build|compile|link|dump|disasm|run)")?;
+    let mut args = Args {
+        cmd,
+        files: Vec::new(),
+        opts: Options::default(),
+        call: None,
+        sets: Vec::new(),
+        commit: false,
+        func: None,
+        output: None,
+        run: false,
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dynamic" => args.opts = Options::dynamic(),
+            "--static" => {
+                let kv = it.next().ok_or("--static needs VAR=V")?;
+                let (k, v) = kv.split_once('=').ok_or("--static needs VAR=V")?;
+                args.opts.multiverse = false;
+                args.opts
+                    .static_config
+                    .insert(k.to_string(), v.parse().map_err(|_| "bad value")?);
+            }
+            "--variant-limit" => {
+                args.opts.variant_limit = it
+                    .next()
+                    .ok_or("--variant-limit needs N")?
+                    .parse()
+                    .map_err(|_| "bad limit")?;
+            }
+            "--call" => args.call = Some(it.next().ok_or("--call needs a name")?),
+            "--set" => {
+                let kv = it.next().ok_or("--set needs VAR=V")?;
+                let (k, v) = kv.split_once('=').ok_or("--set needs VAR=V")?;
+                args.sets
+                    .push((k.to_string(), v.parse().map_err(|_| "bad value")?));
+            }
+            "--commit" => args.commit = true,
+            "--fn" => args.func = Some(it.next().ok_or("--fn needs a name")?),
+            "-o" => args.output = Some(it.next().ok_or("-o needs a path")?),
+            "--run" => args.run = true,
+            f if !f.starts_with('-') => args.files.push(f.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.files.is_empty() {
+        return Err("no input files".into());
+    }
+    Ok(args)
+}
+
+fn build(args: &Args) -> Result<Program, String> {
+    let mut units = Vec::new();
+    for f in &args.files {
+        let src = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        units.push((f.clone(), src));
+    }
+    let refs: Vec<(&str, &str)> = units
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    let p = Program::build_with(&refs, &args.opts).map_err(|e| e.to_string())?;
+    for w in p.warnings() {
+        eprintln!("{w}");
+    }
+    Ok(p)
+}
+
+fn cmd_build(args: &Args) -> Result<(), String> {
+    let p = build(args)?;
+    let exe = p.exe();
+    println!("image: {} bytes, entry {:#x}", p.image_size(), exe.entry);
+    for sec in [
+        mvobj::SEC_TEXT,
+        mvobj::SEC_RODATA,
+        mvobj::SEC_DATA,
+        mvobj::SEC_BSS,
+        mvobj::SEC_MV_VARIABLES,
+        mvobj::SEC_MV_FUNCTIONS,
+        mvobj::SEC_MV_CALLSITES,
+    ] {
+        let (addr, size) = exe.section(sec);
+        if size > 0 {
+            println!("  {sec:22} {addr:#10x}  {size:>8} B");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dump(args: &Args) -> Result<(), String> {
+    let p = build(args)?;
+    let world = p.boot();
+    let Some(rt) = &world.rt else {
+        println!("(no multiverse descriptors in this build)");
+        return Ok(());
+    };
+    println!(
+        "{} switches, {} functions, {} call sites",
+        rt.num_variables(),
+        rt.num_functions(),
+        rt.num_callsites()
+    );
+    // Reverse symbol table for pretty names.
+    let exe = p.exe();
+    let sym_name = |addr: u64| -> String {
+        exe.symbolize(addr)
+            .filter(|(_, off)| *off == 0)
+            .map(|(n, _)| n.to_string())
+            .unwrap_or_else(|| format!("{addr:#x}"))
+    };
+    for (name, &addr) in &exe.symbols {
+        if let Some(variants) = rt.variants_of(addr) {
+            if variants.is_empty() {
+                continue;
+            }
+            println!("fn {name} @ {addr:#x}");
+            for v in variants {
+                println!("  variant {} @ {v:#x}", sym_name(v));
+            }
+            println!("  call sites: {}", rt.callsites_of(addr));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &Args) -> Result<(), String> {
+    let p = build(args)?;
+    let world = p.boot();
+    let exe = p.exe();
+    if let Some(f) = &args.func {
+        let addr = exe.symbol(f).ok_or_else(|| format!("no symbol `{f}`"))?;
+        // Disassemble until the next symbol or 256 bytes.
+        let end = exe
+            .symbols
+            .values()
+            .filter(|&&a| a > addr)
+            .min()
+            .copied()
+            .unwrap_or(addr + 256);
+        let bytes = world
+            .machine
+            .mem
+            .read_vec(addr, (end - addr) as usize)
+            .map_err(|e| e.to_string())?;
+        print!("{}", mvasm::disasm(&bytes, addr));
+    } else {
+        let (taddr, tsize) = exe.section(mvobj::SEC_TEXT);
+        let bytes = world
+            .machine
+            .mem
+            .read_vec(taddr, tsize as usize)
+            .map_err(|e| e.to_string())?;
+        print!("{}", mvasm::disasm(&bytes, taddr));
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let p = build(args)?;
+    let mut world = p.boot();
+    for (k, v) in &args.sets {
+        world.set(k, *v).map_err(|e| e.to_string())?;
+        println!("set {k} = {v}");
+    }
+    if args.commit {
+        let report = world.commit().map_err(|e| e.to_string())?;
+        println!(
+            "commit: {} variants bound, {} generic fallbacks, {} sites",
+            report.variants_committed, report.generic_fallbacks, report.sites_touched
+        );
+    }
+    let result = match &args.call {
+        Some(f) => world.call(f, &[]).map_err(|e| e.to_string())?,
+        None => {
+            let entry = p.exe().entry;
+            world.machine.call(entry, &[]).map_err(|e| e.to_string())?
+        }
+    };
+    let out = world.machine.take_output();
+    if !out.is_empty() {
+        println!("--- output ({} bytes) ---", out.len());
+        println!("{}", String::from_utf8_lossy(&out));
+    }
+    println!("result: {result} ({} cycles)", world.cycles());
+    if let Some(rt) = &world.rt {
+        let s = rt.stats;
+        if s.sites_patched > 0 {
+            println!(
+                "patcher: {} sites patched, {} inlined, {} bytes written",
+                s.sites_patched, s.sites_inlined, s.bytes_written
+            );
+        }
+    }
+    let _ = mvrt::PatchStrategy::CallSites; // (re-exported for scripting)
+    Ok(())
+}
+
+fn cmd_compile(args: &Args) -> Result<(), String> {
+    if args.files.len() != 1 {
+        return Err("compile takes exactly one source file".into());
+    }
+    let f = &args.files[0];
+    let src = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+    let (obj, warnings) =
+        multiverse::mvc::compile(&src, f, &args.opts).map_err(|e| e.to_string())?;
+    for w in &warnings {
+        eprintln!("{w}");
+    }
+    let out = args
+        .output
+        .clone()
+        .unwrap_or_else(|| format!("{}.mvo", f.trim_end_matches(".c")));
+    let bytes = mvobj::write_object(&obj);
+    std::fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "{out}: {} bytes ({} sections, {} symbols, {} relocs)",
+        bytes.len(),
+        obj.sections.len(),
+        obj.symbols.len(),
+        obj.relocs.len()
+    );
+    Ok(())
+}
+
+fn cmd_link(args: &Args) -> Result<(), String> {
+    let mut objects = Vec::new();
+    for f in &args.files {
+        let bytes = std::fs::read(f).map_err(|e| format!("{f}: {e}"))?;
+        objects.push(mvobj::read_object(&bytes).map_err(|e| format!("{f}: {e}"))?);
+    }
+    let exe = mvobj::link(&objects, &mvobj::Layout::default()).map_err(|e| e.to_string())?;
+    println!(
+        "linked {} objects: image {} bytes, entry {:#x}",
+        objects.len(),
+        exe.image_size(),
+        exe.entry
+    );
+    if args.run {
+        let mut m = multiverse::mvvm::Machine::boot(&exe);
+        let result = m.call(exe.entry, &[]).map_err(|e| e.to_string())?;
+        println!("result: {result} ({} cycles)", m.cycles());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mvcc: {e}");
+            eprintln!("usage: mvcc build|dump|disasm|run <file.c>… [flags]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let r = match args.cmd.as_str() {
+        "build" => cmd_build(&args),
+        "compile" => cmd_compile(&args),
+        "link" => cmd_link(&args),
+        "dump" => cmd_dump(&args),
+        "disasm" => cmd_disasm(&args),
+        "run" => cmd_run(&args),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mvcc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

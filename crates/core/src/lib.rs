@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+//! # multiverse — compiler-assisted dynamic variability
+//!
+//! A from-scratch Rust reproduction of *Rommel, Dietrich, Rodin, Lohmann:
+//! "Multiverse: Compiler-Assisted Management of Dynamic Variability in
+//! Low-Level System Software"* (EuroSys 2019).
+//!
+//! System software is full of configuration decisions that are set once
+//! (at boot, at `gc.enable()`, when the second thread spawns) yet paid for
+//! on *every* invocation of a hot function — a load, a test and a branch
+//! that may mispredict, or an indirect call. Multiverse moves that cost to
+//! reconfiguration time: the compiler clones each annotated function for
+//! every value of the configuration switches it reads, optimizes the
+//! clones into branch-free specialists, and a tiny run-time library binary-
+//! patches the chosen specialist into all call sites on an explicit
+//! `commit`.
+//!
+//! Rust cannot portably patch its own text segment, so this reproduction
+//! contains the **entire substrate** as a simulation with a faithful cost
+//! model, plus a **native layer** for real Rust programs:
+//!
+//! * [`Program`]/[`World`] — compile MVC sources (a C-like language with
+//!   the `multiverse` attribute) with the `mvc` compiler, run them on the
+//!   `mvvm` machine, and drive the `mvrt` patching runtime: the paper's
+//!   complete tool-chain, end to end.
+//! * [`native`] — sound Rust primitives for the same idiom
+//!   (atomic-fn-pointer dispatch cells with commit/revert), equivalent to
+//!   the paper's function-pointer baseline and to Linux static-key-style
+//!   reconfiguration.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use multiverse::{Program, World};
+//!
+//! let src = r#"
+//!     multiverse bool feature;
+//!     multiverse i64 work(void) {
+//!         if (feature) { return 10; }
+//!         return 20;
+//!     }
+//!     i64 main(void) { return work(); }
+//! "#;
+//! let program = Program::build(&[("demo.c", src)]).unwrap();
+//! let mut world = program.boot();
+//!
+//! // Dynamic evaluation before any commit:
+//! assert_eq!(world.call("work", &[]).unwrap(), 20);
+//!
+//! // Flip the switch and commit: the specialized variant is patched in.
+//! world.set("feature", 1).unwrap();
+//! world.commit().unwrap();
+//! assert_eq!(world.call("work", &[]).unwrap(), 10);
+//!
+//! // The committed binding is frozen until the next commit (§2):
+//! world.set("feature", 0).unwrap();
+//! assert_eq!(world.call("work", &[]).unwrap(), 10);
+//! world.commit().unwrap();
+//! assert_eq!(world.call("work", &[]).unwrap(), 20);
+//! ```
+
+pub mod bench;
+pub mod native;
+pub mod program;
+
+pub use program::{BuildError, Program, World};
+
+// Re-export the full tool-chain for advanced use.
+pub use mvasm;
+pub use mvc;
+pub use mvobj;
+pub use mvrt;
+pub use mvvm;

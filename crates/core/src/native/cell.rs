@@ -1,0 +1,174 @@
+//! Dispatch cells: atomically re-bindable variant tables.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+macro_rules! mv_fn {
+    ($(#[$m:meta])* $name:ident, ($($arg:ident : $ty:ident),*)) => {
+        $(#[$m])*
+        #[derive(Debug)]
+        pub struct $name<$($ty: 'static,)* R: 'static> {
+            variants: &'static [fn($($ty),*) -> R],
+            idx: AtomicUsize,
+        }
+
+        impl<$($ty,)* R> $name<$($ty,)* R> {
+            /// Creates a cell over a static variant table. Index 0 is the
+            /// *generic* variant and the initial binding.
+            ///
+            /// # Panics
+            ///
+            /// At call/bind time if the table is empty.
+            pub const fn new(variants: &'static [fn($($ty),*) -> R]) -> Self {
+                Self { variants, idx: AtomicUsize::new(0) }
+            }
+
+            /// Calls the currently bound variant: one relaxed load plus an
+            /// indirect call — the §7.2 function-pointer cost.
+            #[inline]
+            pub fn call(&self, $($arg: $ty),*) -> R {
+                (self.variants[self.idx.load(Ordering::Relaxed)])($($arg),*)
+            }
+
+            /// Binds variant `i`. This is the per-cell commit.
+            ///
+            /// # Panics
+            ///
+            /// If `i` is out of range — a bad selector is a logic bug and
+            /// must not silently dispatch to the wrong specialist.
+            pub fn bind(&self, i: usize) {
+                assert!(i < self.variants.len(), "variant index {i} out of range");
+                self.idx.store(i, Ordering::Release);
+            }
+
+            /// Re-binds the generic variant (index 0).
+            pub fn revert(&self) {
+                self.idx.store(0, Ordering::Release);
+            }
+
+            /// Currently bound variant index.
+            pub fn bound(&self) -> usize {
+                self.idx.load(Ordering::Relaxed)
+            }
+
+            /// Number of variants.
+            pub fn len(&self) -> usize {
+                self.variants.len()
+            }
+
+            /// `true` if the table is empty (an unusable cell).
+            pub fn is_empty(&self) -> bool {
+                self.variants.is_empty()
+            }
+        }
+    };
+}
+
+mv_fn!(
+    /// A dispatch cell for `fn() -> R`.
+    MvFn0,
+    ()
+);
+mv_fn!(
+    /// A dispatch cell for `fn(A) -> R`.
+    MvFn1,
+    (a: A)
+);
+mv_fn!(
+    /// A dispatch cell for `fn(A, B) -> R`.
+    MvFn2,
+    (a: A, b: B)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::MvBool;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static FEATURE: MvBool = MvBool::new(false);
+
+    fn generic() -> u64 {
+        if FEATURE.read() {
+            1
+        } else {
+            0
+        }
+    }
+    fn spec<const ON: bool>() -> u64 {
+        if ON {
+            1
+        } else {
+            0
+        }
+    }
+
+    static CELL: MvFn0<u64> = MvFn0::new(&[generic, spec::<false>, spec::<true>]);
+
+    #[test]
+    fn bind_and_call() {
+        FEATURE.write(true);
+        assert_eq!(CELL.bound(), 0);
+        assert_eq!(CELL.call(), 1, "generic reads the switch");
+        CELL.bind(1);
+        assert_eq!(CELL.call(), 0, "bound specialist ignores the switch");
+        CELL.bind(2);
+        assert_eq!(CELL.call(), 1);
+        CELL.revert();
+        assert_eq!(CELL.bound(), 0);
+        FEATURE.write(false);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_bind_panics() {
+        static C: MvFn0<u64> = MvFn0::new(&[generic]);
+        C.bind(5);
+    }
+
+    #[test]
+    fn cells_with_arguments() {
+        fn add(a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn mul(a: u64, b: u64) -> u64 {
+            a * b
+        }
+        static OP: MvFn2<u64, u64, u64> = MvFn2::new(&[add, mul]);
+        assert_eq!(OP.call(3, 4), 7);
+        OP.bind(1);
+        assert_eq!(OP.call(3, 4), 12);
+        OP.revert();
+    }
+
+    #[test]
+    fn concurrent_calls_during_rebind_are_safe() {
+        // Completeness analog: every call sees either the old or the new
+        // binding, never anything else.
+        fn a() -> u64 {
+            1
+        }
+        fn b() -> u64 {
+            2
+        }
+        static HOT: MvFn0<u64> = MvFn0::new(&[a, b]);
+        static SUM: AtomicU64 = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        let v = HOT.call();
+                        assert!(v == 1 || v == 2);
+                        SUM.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            s.spawn(|| {
+                for i in 0..1000 {
+                    HOT.bind(i % 2);
+                }
+            });
+        });
+        HOT.revert();
+        assert!(SUM.load(Ordering::Relaxed) >= 40_000);
+    }
+}

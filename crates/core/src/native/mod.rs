@@ -1,0 +1,66 @@
+//! Native Rust dynamic variability — the sound in-process analog of the
+//! multiverse mechanism.
+//!
+//! Rust cannot soundly patch its own text segment, so the "commit"
+//! operation here re-binds **dispatch cells** instead of call sites: a
+//! [`MvFn0`]/[`MvFn1`]/[`MvFn2`] cell holds an index into a static table
+//! of monomorphized variants and calls through it with one relaxed atomic
+//! load plus an indirect call. This is exactly the *function pointer*
+//! alternative the paper analyses in §7.2 — safe, portable, no
+//! synchronization needed for the reader — and it doubles as the
+//! fnptr-baseline implementation measured in the benchmarks.
+//!
+//! The intended idiom mirrors the paper's:
+//!
+//! * configuration switches are [`MvBool`]/[`MvInt`] statics, read
+//!   dynamically by the *generic* variant;
+//! * specialists are monomorphized with const generics
+//!   (`fn hot<const FEATURE: bool>()`), so the switch read disappears
+//!   from their bodies at compile time;
+//! * a [`Registry`] of selector functions maps current switch values to
+//!   variant indices on [`Registry::commit`], and [`Registry::revert`]
+//!   re-binds every cell to its generic variant (index 0).
+//!
+//! # Examples
+//!
+//! ```
+//! use multiverse::native::{MvBool, MvFn0, Registry};
+//!
+//! static SMP: MvBool = MvBool::new(true);
+//!
+//! fn lock_generic() -> u32 {
+//!     if SMP.read() { 2 } else { 1 } // dynamic test on every call
+//! }
+//! fn lock_spec<const SMP_V: bool>() -> u32 {
+//!     if SMP_V { 2 } else { 1 } // branch-free after monomorphization
+//! }
+//!
+//! static LOCK: MvFn0<u32> =
+//!     MvFn0::new(&[lock_generic, lock_spec::<false>, lock_spec::<true>]);
+//!
+//! let mv = Registry::new();
+//! mv.register(|commit| {
+//!     if commit {
+//!         LOCK.bind(if SMP.read() { 2 } else { 1 });
+//!     } else {
+//!         LOCK.revert();
+//!     }
+//! });
+//!
+//! SMP.write(false);
+//! mv.commit();
+//! assert_eq!(LOCK.call(), 1);
+//!
+//! SMP.write(true); // no effect until the next commit (§2 semantics)
+//! assert_eq!(LOCK.call(), 1);
+//! mv.commit();
+//! assert_eq!(LOCK.call(), 2);
+//! ```
+
+mod cell;
+mod registry;
+mod switch;
+
+pub use cell::{MvFn0, MvFn1, MvFn2};
+pub use registry::{global, Registry};
+pub use switch::{MvBool, MvInt};

@@ -1,0 +1,118 @@
+//! The commit/revert registry — Table 1's universal operations for the
+//! native layer.
+
+use parking_lot::Mutex;
+use std::sync::OnceLock;
+
+type Selector = Box<dyn Fn(bool) + Send + Sync>;
+
+/// The process-wide registry, for programs that want Table 1's global
+/// `multiverse_commit()` semantics without threading a registry around.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A registry of selector functions.
+///
+/// Each selector receives `true` on commit — it should read its switches
+/// and [`bind`](crate::native::MvFn0::bind) its cells — and `false` on
+/// revert — it should re-bind generics. Selectors run under the registry
+/// lock, so a commit is atomic with respect to other commits (individual
+/// calls proceed concurrently, as in the paper's unsynchronized model).
+#[derive(Default)]
+pub struct Registry {
+    selectors: Mutex<Vec<Selector>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a selector. Returns its index (for diagnostics).
+    pub fn register(&self, f: impl Fn(bool) + Send + Sync + 'static) -> usize {
+        let mut s = self.selectors.lock();
+        s.push(Box::new(f));
+        s.len() - 1
+    }
+
+    /// `multiverse_commit()`: runs every selector in commit mode.
+    pub fn commit(&self) {
+        for f in self.selectors.lock().iter() {
+            f(true);
+        }
+    }
+
+    /// `multiverse_revert()`: runs every selector in revert mode.
+    pub fn revert(&self) {
+        for f in self.selectors.lock().iter() {
+            f(false);
+        }
+    }
+
+    /// Number of registered selectors.
+    pub fn len(&self) -> usize {
+        self.selectors.lock().len()
+    }
+
+    /// `true` if no selectors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.selectors.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{MvBool, MvFn0};
+
+    static MODE: MvBool = MvBool::new(false);
+
+    fn generic() -> i32 {
+        if MODE.read() {
+            10
+        } else {
+            20
+        }
+    }
+    fn fast_on() -> i32 {
+        10
+    }
+    fn fast_off() -> i32 {
+        20
+    }
+
+    static WORK: MvFn0<i32> = MvFn0::new(&[generic, fast_off, fast_on]);
+
+    #[test]
+    fn commit_revert_cycle() {
+        let mv = Registry::new();
+        mv.register(|commit| {
+            if commit {
+                WORK.bind(if MODE.read() { 2 } else { 1 });
+            } else {
+                WORK.revert();
+            }
+        });
+        assert_eq!(mv.len(), 1);
+
+        MODE.write(true);
+        mv.commit();
+        assert_eq!(WORK.call(), 10);
+
+        // Frozen-until-recommit semantics.
+        MODE.write(false);
+        assert_eq!(WORK.call(), 10);
+        mv.commit();
+        assert_eq!(WORK.call(), 20);
+
+        mv.revert();
+        assert_eq!(WORK.bound(), 0);
+        MODE.write(true);
+        assert_eq!(WORK.call(), 10, "generic is dynamic again");
+        MODE.write(false);
+        WORK.revert();
+    }
+}

@@ -1,0 +1,95 @@
+//! Configuration switches: atomic globals read like plain variables.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+/// A boolean configuration switch.
+///
+/// Reads use `Relaxed` ordering: a switch is a rarely-changing mode flag,
+/// and the commit protocol (not the switch itself) provides any needed
+/// synchronization — matching §2's "multiverse deliberately avoids
+/// synchronization".
+#[derive(Debug)]
+pub struct MvBool {
+    v: AtomicBool,
+}
+
+impl MvBool {
+    /// Creates a switch with an initial value (const: usable in statics).
+    pub const fn new(initial: bool) -> MvBool {
+        MvBool {
+            v: AtomicBool::new(initial),
+        }
+    }
+
+    /// Dynamic read — what the generic variant does on every call.
+    #[inline]
+    pub fn read(&self) -> bool {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Writes the switch. Takes effect for committed cells only at the
+    /// next commit.
+    #[inline]
+    pub fn write(&self, value: bool) {
+        self.v.store(value, Ordering::Relaxed);
+    }
+}
+
+/// An integer configuration switch.
+#[derive(Debug)]
+pub struct MvInt {
+    v: AtomicI64,
+}
+
+impl MvInt {
+    /// Creates a switch with an initial value (const: usable in statics).
+    pub const fn new(initial: i64) -> MvInt {
+        MvInt {
+            v: AtomicI64::new(initial),
+        }
+    }
+
+    /// Dynamic read.
+    #[inline]
+    pub fn read(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Writes the switch.
+    #[inline]
+    pub fn write(&self, value: i64) {
+        self.v.store(value, Ordering::Relaxed);
+    }
+
+    /// Atomic add-and-fetch, for counters used as switches (musl's
+    /// `threads_minus_1` pattern).
+    #[inline]
+    pub fn fetch_add(&self, delta: i64) -> i64 {
+        self.v.fetch_add(delta, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static FLAG: MvBool = MvBool::new(false);
+    static COUNT: MvInt = MvInt::new(0);
+
+    #[test]
+    fn const_statics_work() {
+        assert!(!FLAG.read());
+        FLAG.write(true);
+        assert!(FLAG.read());
+        FLAG.write(false);
+    }
+
+    #[test]
+    fn int_counter_pattern() {
+        let before = COUNT.read();
+        COUNT.fetch_add(1);
+        COUNT.fetch_add(1);
+        COUNT.fetch_add(-1);
+        assert_eq!(COUNT.read(), before + 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! The end-to-end facade: compile → link → load → attach runtime.
+
+use mvc::Options;
+use mvobj::Executable;
+use mvrt::{CommitReport, RtError, Runtime};
+use mvvm::{CostModel, Fault, Machine, MachineConfig, Stats};
+use std::fmt;
+
+/// Errors from building or driving a program.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Compilation or linking failed.
+    Compile(mvc::CompileError),
+    /// Execution faulted.
+    Fault(Fault),
+    /// The runtime library reported an error.
+    Rt(RtError),
+    /// A symbol was not found in the image.
+    NoSymbol(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Compile(e) => write!(f, "{e}"),
+            BuildError::Fault(e) => write!(f, "{e}"),
+            BuildError::Rt(e) => write!(f, "{e}"),
+            BuildError::NoSymbol(s) => write!(f, "no symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<mvc::CompileError> for BuildError {
+    fn from(e: mvc::CompileError) -> Self {
+        BuildError::Compile(e)
+    }
+}
+impl From<Fault> for BuildError {
+    fn from(e: Fault) -> Self {
+        BuildError::Fault(e)
+    }
+}
+impl From<RtError> for BuildError {
+    fn from(e: RtError) -> Self {
+        BuildError::Rt(e)
+    }
+}
+impl From<mvvm::MemError> for BuildError {
+    fn from(e: mvvm::MemError) -> Self {
+        BuildError::Fault(Fault::Mem(e))
+    }
+}
+
+/// A compiled and linked MVC program.
+#[derive(Clone)]
+pub struct Program {
+    exe: Executable,
+    warnings: Vec<mvc::Warning>,
+    multiversed: bool,
+}
+
+impl Program {
+    /// Compiles `units` with default (multiverse) options.
+    pub fn build(units: &[(&str, &str)]) -> Result<Program, BuildError> {
+        Program::build_with(units, &Options::default())
+    }
+
+    /// Compiles `units` with explicit options (e.g. [`Options::dynamic`]
+    /// for the binding-B baseline or [`Options::static_build`] for the
+    /// `#ifdef` binding A).
+    pub fn build_with(units: &[(&str, &str)], opts: &Options) -> Result<Program, BuildError> {
+        let (exe, warnings) = mvc::compile_and_link(units, opts)?;
+        Ok(Program {
+            exe,
+            warnings,
+            multiversed: opts.multiverse,
+        })
+    }
+
+    /// The linked executable.
+    pub fn exe(&self) -> &Executable {
+        &self.exe
+    }
+
+    /// Compiler warnings (switch writes inside multiversed functions, …).
+    pub fn warnings(&self) -> &[mvc::Warning] {
+        &self.warnings
+    }
+
+    /// Total image size in bytes (for the §6.1 size accounting).
+    pub fn image_size(&self) -> u64 {
+        self.exe.image_size()
+    }
+
+    /// Boots a default machine (native, unicore, default cost model).
+    pub fn boot(&self) -> World {
+        self.boot_with(CostModel::default(), MachineConfig::default())
+    }
+
+    /// Boots with explicit cost model and machine configuration
+    /// (multicore, Xen guest, …).
+    pub fn boot_with(&self, cost: CostModel, config: MachineConfig) -> World {
+        let mut machine = Machine::new(cost, config);
+        machine.load(&self.exe);
+        let rt = if self.multiversed {
+            Runtime::attach(&machine, &self.exe).ok()
+        } else {
+            None
+        };
+        World {
+            machine,
+            rt,
+            exe: self.exe.clone(),
+        }
+    }
+}
+
+/// A booted program: machine + attached multiverse runtime.
+pub struct World {
+    /// The virtual machine.
+    pub machine: Machine,
+    /// The multiverse runtime (absent in dynamic/static builds).
+    pub rt: Option<Runtime>,
+    exe: Executable,
+}
+
+/// Timing result from [`World::time_calls`].
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Average cycles per call.
+    pub avg_cycles: f64,
+    /// Total cycles for all calls.
+    pub total_cycles: u64,
+    /// Event-counter delta across the measurement.
+    pub stats: Stats,
+}
+
+impl World {
+    /// Address of a symbol.
+    pub fn sym(&self, name: &str) -> Result<u64, BuildError> {
+        self.exe
+            .symbol(name)
+            .ok_or_else(|| BuildError::NoSymbol(name.to_string()))
+    }
+
+    /// Calls a function by name with register arguments; returns `r0`.
+    pub fn call(&mut self, name: &str, args: &[u64]) -> Result<u64, BuildError> {
+        let addr = self.sym(name)?;
+        Ok(self.machine.call(addr, args)?)
+    }
+
+    /// Reads a global (width/signedness per its type where described,
+    /// else 8 bytes unsigned).
+    pub fn get(&self, name: &str) -> Result<i64, BuildError> {
+        let addr = self.sym(name)?;
+        if let Some(rt) = &self.rt {
+            if let Ok(v) = rt.read_switch(&self.machine, addr) {
+                return Ok(v);
+            }
+        }
+        Ok(self.machine.mem.read_int(addr, 8, false)?)
+    }
+
+    /// Writes a global configuration switch (or plain 8-byte global).
+    pub fn set(&mut self, name: &str, value: i64) -> Result<(), BuildError> {
+        let addr = self.sym(name)?;
+        if let Some(rt) = &self.rt {
+            if rt.write_switch(&mut self.machine, addr, value).is_ok() {
+                return Ok(());
+            }
+        }
+        self.machine.mem.write_int(addr, value as u64, 8)?;
+        Ok(())
+    }
+
+    /// `multiverse_commit()`.
+    pub fn commit(&mut self) -> Result<CommitReport, BuildError> {
+        let rt = self.rt.as_mut().ok_or({
+            BuildError::Rt(RtError::UnknownFunction(0)) // no runtime attached
+        })?;
+        Ok(rt.commit(&mut self.machine)?)
+    }
+
+    /// `multiverse_revert()`.
+    pub fn revert(&mut self) -> Result<CommitReport, BuildError> {
+        let rt = self
+            .rt
+            .as_mut()
+            .ok_or(BuildError::Rt(RtError::UnknownFunction(0)))?;
+        Ok(rt.revert(&mut self.machine)?)
+    }
+
+    /// `multiverse_commit_refs(&var)` by switch name.
+    pub fn commit_refs(&mut self, var: &str) -> Result<CommitReport, BuildError> {
+        let addr = self.sym(var)?;
+        let rt = self
+            .rt
+            .as_mut()
+            .ok_or(BuildError::Rt(RtError::UnknownVariable(addr)))?;
+        Ok(rt.commit_refs(&mut self.machine, addr)?)
+    }
+
+    /// `multiverse_commit_func(&fn)` by function name.
+    pub fn commit_func(&mut self, func: &str) -> Result<CommitReport, BuildError> {
+        let addr = self.sym(func)?;
+        let rt = self
+            .rt
+            .as_mut()
+            .ok_or(BuildError::Rt(RtError::UnknownFunction(addr)))?;
+        Ok(rt.commit_func(&mut self.machine, addr)?)
+    }
+
+    /// Current cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+
+    /// Calls `name` `n` times and reports average cycles per call plus
+    /// event deltas — the microbenchmark harness of §6 (tight loop, warm
+    /// predictors; pass `cold_predictors` to flush between calls for the
+    /// footnote-1 scenario).
+    pub fn time_calls(
+        &mut self,
+        name: &str,
+        args: &[u64],
+        n: u64,
+        cold_predictors: bool,
+    ) -> Result<Timing, BuildError> {
+        let addr = self.sym(name)?;
+        // Warm-up round so one-time predictor training is excluded, as in
+        // the paper's repeated-sample methodology.
+        self.machine.call(addr, args)?;
+        if cold_predictors {
+            self.machine.flush_predictors();
+        }
+        let stats0 = self.machine.stats;
+        let c0 = self.machine.cycles();
+        for _ in 0..n {
+            if cold_predictors {
+                self.machine.flush_predictors();
+            }
+            self.machine.call(addr, args)?;
+        }
+        let total = self.machine.cycles() - c0;
+        Ok(Timing {
+            avg_cycles: total as f64 / n as f64,
+            total_cycles: total,
+            stats: self.machine.stats.since(&stats0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        multiverse bool feature;
+        multiverse i64 work(void) {
+            if (feature) { return 10; }
+            return 20;
+        }
+        i64 main(void) { return work(); }
+    "#;
+
+    #[test]
+    fn facade_quickstart_flow() {
+        let p = Program::build(&[("t", SRC)]).unwrap();
+        let mut w = p.boot();
+        assert_eq!(w.call("work", &[]).unwrap(), 20);
+        w.set("feature", 1).unwrap();
+        let report = w.commit().unwrap();
+        assert_eq!(report.variants_committed, 1);
+        assert_eq!(w.call("work", &[]).unwrap(), 10);
+        w.revert().unwrap();
+        assert_eq!(w.call("work", &[]).unwrap(), 10, "switch still 1");
+    }
+
+    #[test]
+    fn committed_variant_is_faster_than_generic() {
+        let p = Program::build(&[("t", SRC)]).unwrap();
+        let mut w = p.boot();
+        w.set("feature", 0).unwrap();
+        let generic = w.time_calls("work", &[], 1000, false).unwrap();
+        w.commit().unwrap();
+        let committed = w.time_calls("work", &[], 1000, false).unwrap();
+        assert!(
+            committed.avg_cycles < generic.avg_cycles,
+            "committed {} !< generic {}",
+            committed.avg_cycles,
+            generic.avg_cycles
+        );
+        // The specialized variant performs no loads (the switch read is
+        // gone) and fewer branches.
+        assert_eq!(committed.stats.loads, 0);
+        assert!(committed.stats.branches < generic.stats.branches);
+    }
+
+    #[test]
+    fn dynamic_build_has_no_runtime() {
+        let p = Program::build_with(&[("t", SRC)], &Options::dynamic()).unwrap();
+        let mut w = p.boot();
+        assert!(w.rt.is_none());
+        assert!(w.commit().is_err());
+        assert_eq!(w.call("work", &[]).unwrap(), 20);
+    }
+
+    #[test]
+    fn image_size_grows_with_multiverse() {
+        let mv = Program::build(&[("t", SRC)]).unwrap();
+        let dy = Program::build_with(&[("t", SRC)], &Options::dynamic()).unwrap();
+        assert!(
+            mv.image_size() > dy.image_size(),
+            "variants + descriptors must cost space ({} vs {})",
+            mv.image_size(),
+            dy.image_size()
+        );
+    }
+
+    #[test]
+    fn missing_symbol_is_reported() {
+        let p = Program::build(&[("t", SRC)]).unwrap();
+        let mut w = p.boot();
+        assert!(matches!(w.call("nope", &[]), Err(BuildError::NoSymbol(_))));
+    }
+}

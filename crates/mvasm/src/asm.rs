@@ -1,0 +1,415 @@
+//! A small assembler: symbolic instructions with labels and symbol
+//! references, resolved to bytes plus relocation fixups.
+//!
+//! The compiler backend ([`mvc`]'s code generator) drives this assembler.
+//! References to symbols in other sections or translation units cannot be
+//! resolved here; they are recorded as [`Fixup`]s which the linker (in
+//! `mvobj`) turns into relocations. This mirrors the paper's §5: descriptor
+//! and code addresses are injected via ordinary relocation entries, which is
+//! what makes position-independent images work "for free".
+//!
+//! [`mvc`]: https://crates.io/crates/mvc
+
+use crate::encode::encode_into;
+use crate::insn::{Cond, Insn, Width};
+use crate::reg::Reg;
+use std::collections::HashMap;
+
+/// What kind of field a fixup patches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FixupKind {
+    /// A 32-bit displacement relative to the end of the instruction
+    /// (`call rel32` / `jmp rel32` / `jcc`).
+    Rel32 {
+        /// Offset of the first byte *after* the instruction, relative to
+        /// the start of the emitted code.
+        next_insn: u32,
+    },
+    /// A 64-bit absolute address field.
+    Abs64,
+}
+
+/// An unresolved symbol reference inside emitted code.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fixup {
+    /// Byte offset of the field to patch, relative to the start of the
+    /// emitted code.
+    pub offset: u32,
+    /// Field kind.
+    pub kind: FixupKind,
+    /// Referenced symbol name.
+    pub symbol: String,
+    /// Constant added to the symbol address.
+    pub addend: i64,
+}
+
+/// Label placed on an emitted byte offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LabelDef {
+    /// Label name (local to this assembly).
+    pub name: String,
+    /// Byte offset of the label.
+    pub offset: u32,
+}
+
+#[derive(Clone, Debug)]
+enum PendingBranch {
+    Jmp { at: usize, label: String },
+    Jcc { at: usize, label: String },
+}
+
+/// Incremental assembler for one function or code blob.
+///
+/// # Examples
+///
+/// ```
+/// use mvasm::{Assembler, Insn, Reg, Cond};
+///
+/// let mut a = Assembler::new();
+/// a.cmp_ri(Reg::R0, 0);
+/// a.jcc("skip", Cond::Eq);
+/// a.mov_ri(Reg::R0, 1);
+/// a.label("skip");
+/// a.ret();
+/// let code = a.finish().unwrap();
+/// assert!(code.fixups.is_empty());
+/// ```
+#[derive(Default)]
+pub struct Assembler {
+    bytes: Vec<u8>,
+    labels: HashMap<String, u32>,
+    pending: Vec<PendingBranch>,
+    fixups: Vec<Fixup>,
+    callsites: Vec<u32>,
+}
+
+/// Finished assembly output.
+#[derive(Clone, Debug, Default)]
+pub struct CodeBlob {
+    /// Encoded instruction bytes.
+    pub bytes: Vec<u8>,
+    /// Unresolved external references.
+    pub fixups: Vec<Fixup>,
+    /// Offsets of `call rel32` instructions emitted via
+    /// [`Assembler::call_sym`] with call-site recording enabled. These feed
+    /// the `multiverse.callsites` descriptors.
+    pub callsites: Vec<u32>,
+}
+
+/// Error from [`Assembler::finish`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// The emitted code exceeded `i32::MAX` bytes.
+    TooLarge,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::TooLarge => write!(f, "code blob too large"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Current emitted size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` if nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Emits a fully resolved instruction.
+    pub fn emit(&mut self, insn: Insn) {
+        encode_into(&insn, &mut self.bytes);
+    }
+
+    /// Defines `name` at the current offset.
+    ///
+    /// Duplicates are reported by [`Assembler::finish`].
+    pub fn label(&mut self, name: &str) {
+        let off = self.bytes.len() as u32;
+        if self.labels.insert(name.to_string(), off).is_some() {
+            // Record the duplicate by re-inserting a sentinel pending branch
+            // is clumsy; instead remember it via a poisoned label map entry.
+            // Simplest robust choice: keep the first definition and flag on
+            // finish by storing a marker.
+            self.pending.push(PendingBranch::Jmp {
+                at: usize::MAX,
+                label: name.to_string(),
+            });
+        }
+    }
+
+    /// Emits `jmp` to a local label (resolved at [`Assembler::finish`]).
+    pub fn jmp(&mut self, label: &str) {
+        let at = self.bytes.len();
+        self.emit(Insn::Jmp { rel: 0 });
+        self.pending.push(PendingBranch::Jmp {
+            at,
+            label: label.to_string(),
+        });
+    }
+
+    /// Emits `jcc` to a local label.
+    pub fn jcc(&mut self, label: &str, cc: Cond) {
+        let at = self.bytes.len();
+        self.emit(Insn::Jcc { cc, rel: 0 });
+        self.pending.push(PendingBranch::Jcc {
+            at,
+            label: label.to_string(),
+        });
+    }
+
+    /// Emits `call rel32` to an external symbol, recording a fixup.
+    ///
+    /// If `record_callsite` is set the call-site offset is reported in
+    /// [`CodeBlob::callsites`] so the compiler can emit a
+    /// `multiverse.callsites` descriptor for it — the §3 "label exactly at
+    /// the emitted call instruction".
+    pub fn call_sym(&mut self, symbol: &str, record_callsite: bool) {
+        let at = self.bytes.len() as u32;
+        if record_callsite {
+            self.callsites.push(at);
+        }
+        self.emit(Insn::CallRel { rel: 0 });
+        self.fixups.push(Fixup {
+            offset: at + 1,
+            kind: FixupKind::Rel32 { next_insn: at + 5 },
+            symbol: symbol.to_string(),
+            addend: 0,
+        });
+    }
+
+    /// Emits `call *[sym]` — an indirect call through a function pointer
+    /// stored at the symbol's address (PV-Ops style).
+    pub fn call_mem_sym(&mut self, symbol: &str) {
+        let at = self.bytes.len() as u32;
+        self.emit(Insn::CallMem { addr: 0 });
+        self.fixups.push(Fixup {
+            offset: at + 1,
+            kind: FixupKind::Abs64,
+            symbol: symbol.to_string(),
+            addend: 0,
+        });
+    }
+
+    /// Emits `lea dst, sym` (materialize a symbol address).
+    pub fn lea_sym(&mut self, dst: Reg, symbol: &str) {
+        let at = self.bytes.len() as u32;
+        self.emit(Insn::Lea { dst, addr: 0 });
+        self.fixups.push(Fixup {
+            offset: at + 2,
+            kind: FixupKind::Abs64,
+            symbol: symbol.to_string(),
+            addend: 0,
+        });
+    }
+
+    /// Emits an absolute load from a global symbol (+ byte offset).
+    pub fn load_sym(&mut self, dst: Reg, symbol: &str, addend: i64, width: Width, signed: bool) {
+        let at = self.bytes.len() as u32;
+        self.emit(Insn::LoadAbs {
+            dst,
+            addr: 0,
+            width,
+            signed,
+        });
+        self.fixups.push(Fixup {
+            offset: at + 2,
+            kind: FixupKind::Abs64,
+            symbol: symbol.to_string(),
+            addend,
+        });
+    }
+
+    /// Emits an absolute store to a global symbol (+ byte offset).
+    pub fn store_sym(&mut self, src: Reg, symbol: &str, addend: i64, width: Width) {
+        let at = self.bytes.len() as u32;
+        self.emit(Insn::StoreAbs {
+            src,
+            addr: 0,
+            width,
+        });
+        self.fixups.push(Fixup {
+            offset: at + 2,
+            kind: FixupKind::Abs64,
+            symbol: symbol.to_string(),
+            addend,
+        });
+    }
+
+    // Convenience emitters for common instructions.
+
+    /// Emits `mov dst, src`.
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.emit(Insn::MovRR { dst, src });
+    }
+
+    /// Emits `mov dst, imm`.
+    pub fn mov_ri(&mut self, dst: Reg, imm: i64) {
+        self.emit(Insn::MovRI { dst, imm });
+    }
+
+    /// Emits `cmp a, imm`.
+    pub fn cmp_ri(&mut self, a: Reg, imm: i64) {
+        self.emit(Insn::CmpRI { a, imm });
+    }
+
+    /// Emits `cmp a, b`.
+    pub fn cmp_rr(&mut self, a: Reg, b: Reg) {
+        self.emit(Insn::CmpRR { a, b });
+    }
+
+    /// Emits `push src`.
+    pub fn push(&mut self, src: Reg) {
+        self.emit(Insn::Push { src });
+    }
+
+    /// Emits `pop dst`.
+    pub fn pop(&mut self, dst: Reg) {
+        self.emit(Insn::Pop { dst });
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) {
+        self.emit(Insn::Ret);
+    }
+
+    /// Resolves local branches and returns the finished blob.
+    pub fn finish(mut self) -> Result<CodeBlob, AsmError> {
+        if self.bytes.len() > i32::MAX as usize {
+            return Err(AsmError::TooLarge);
+        }
+        for p in std::mem::take(&mut self.pending) {
+            let (at, label) = match &p {
+                PendingBranch::Jmp { at, label } => (*at, label.clone()),
+                PendingBranch::Jcc { at, label } => (*at, label.clone()),
+            };
+            if at == usize::MAX {
+                return Err(AsmError::DuplicateLabel(label));
+            }
+            let patch_at = match &p {
+                PendingBranch::Jmp { .. } => at + 1,
+                PendingBranch::Jcc { .. } => at + 2,
+            };
+            let target = *self
+                .labels
+                .get(&label)
+                .ok_or(AsmError::UndefinedLabel(label))? as i64;
+            let insn_len = match &p {
+                PendingBranch::Jmp { .. } => 5,
+                PendingBranch::Jcc { .. } => 6,
+            };
+            let rel = (target - (at as i64 + insn_len)) as i32;
+            self.bytes[patch_at..patch_at + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        Ok(CodeBlob {
+            bytes: self.bytes,
+            fixups: self.fixups,
+            callsites: self.callsites,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Assembler::new();
+        a.label("top");
+        a.cmp_ri(Reg::R0, 10);
+        a.jcc("done", Cond::Ge);
+        a.emit(Insn::AluRI {
+            op: crate::insn::AluOp::Add,
+            dst: Reg::R0,
+            imm: 1,
+        });
+        a.jmp("top");
+        a.label("done");
+        a.ret();
+        let blob = a.finish().unwrap();
+
+        // Walk the code and check the branch targets land on instruction
+        // boundaries.
+        let mut offs = vec![];
+        let mut pos = 0;
+        while pos < blob.bytes.len() {
+            offs.push(pos);
+            let (_, n) = decode(&blob.bytes[pos..]).unwrap();
+            pos += n;
+        }
+        // jcc at offset 10 (after 10-byte cmp), jmp after the 11-byte alu.
+        let (jcc, n) = decode(&blob.bytes[10..]).unwrap();
+        if let Insn::Jcc { rel, .. } = jcc {
+            let target = 10 + n as i64 + rel as i64;
+            assert!(offs.contains(&(target as usize)));
+        } else {
+            panic!("expected jcc, got {jcc}");
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let mut a = Assembler::new();
+        a.jmp("nowhere");
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.label("x");
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
+    }
+
+    #[test]
+    fn call_sym_records_fixup_and_callsite() {
+        let mut a = Assembler::new();
+        a.mov_ri(Reg::R0, 1);
+        a.call_sym("spin_lock", true);
+        a.call_sym("helper", false);
+        a.ret();
+        let blob = a.finish().unwrap();
+        assert_eq!(blob.callsites, vec![10]);
+        assert_eq!(blob.fixups.len(), 2);
+        assert_eq!(blob.fixups[0].offset, 11);
+        assert_eq!(blob.fixups[0].kind, FixupKind::Rel32 { next_insn: 15 });
+        assert_eq!(blob.fixups[0].symbol, "spin_lock");
+    }
+
+    #[test]
+    fn load_sym_fixup_points_at_addr_field() {
+        let mut a = Assembler::new();
+        a.load_sym(Reg::R1, "config_smp", 0, Width::W32, true);
+        let blob = a.finish().unwrap();
+        assert_eq!(blob.fixups[0].offset, 2);
+        assert_eq!(blob.fixups[0].kind, FixupKind::Abs64);
+    }
+}

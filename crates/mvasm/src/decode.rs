@@ -1,0 +1,361 @@
+//! Binary decoding of MV64 instructions.
+
+use crate::encode::*;
+use crate::insn::{AluOp, Cond, Insn, Width};
+use crate::reg::Reg;
+use core::fmt;
+
+/// Error produced when a byte sequence is not a valid MV64 instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The buffer is empty or shorter than the instruction requires.
+    Truncated,
+    /// The first byte is not a known opcode.
+    BadOpcode(u8),
+    /// A register field is out of range.
+    BadRegister(u8),
+    /// An ALU-operation field is out of range.
+    BadAluOp(u8),
+    /// A condition-code field is out of range.
+    BadCond(u8),
+    /// A wide-NOP length field is out of range.
+    BadNopLen(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+            DecodeError::BadOpcode(b) => write!(f, "invalid opcode {b:#04x}"),
+            DecodeError::BadRegister(b) => write!(f, "invalid register {b}"),
+            DecodeError::BadAluOp(b) => write!(f, "invalid ALU op {b}"),
+            DecodeError::BadCond(b) => write!(f, "invalid condition code {b}"),
+            DecodeError::BadNopLen(b) => write!(f, "invalid wide-NOP length {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn reg(b: u8) -> Result<Reg, DecodeError> {
+    Reg::new(b).ok_or(DecodeError::BadRegister(b))
+}
+
+fn take<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], DecodeError> {
+    bytes
+        .get(at..at + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(DecodeError::Truncated)
+}
+
+fn i32_at(bytes: &[u8], at: usize) -> Result<i32, DecodeError> {
+    Ok(i32::from_le_bytes(take::<4>(bytes, at)?))
+}
+
+fn i64_at(bytes: &[u8], at: usize) -> Result<i64, DecodeError> {
+    Ok(i64::from_le_bytes(take::<8>(bytes, at)?))
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> Result<u64, DecodeError> {
+    Ok(u64::from_le_bytes(take::<8>(bytes, at)?))
+}
+
+fn byte_at(bytes: &[u8], at: usize) -> Result<u8, DecodeError> {
+    bytes.get(at).copied().ok_or(DecodeError::Truncated)
+}
+
+fn wflags(b: u8) -> (Width, bool) {
+    (Width::decode(b), b & 0b100 != 0)
+}
+
+/// Decodes one instruction from the front of `bytes`.
+///
+/// Returns the instruction and its encoded length.
+pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
+    let op = byte_at(bytes, 0)?;
+    let insn = match op {
+        OP_MOV_RR => Insn::MovRR {
+            dst: reg(byte_at(bytes, 1)?)?,
+            src: reg(byte_at(bytes, 2)?)?,
+        },
+        OP_MOV_RI => Insn::MovRI {
+            dst: reg(byte_at(bytes, 1)?)?,
+            imm: i64_at(bytes, 2)?,
+        },
+        OP_LEA => Insn::Lea {
+            dst: reg(byte_at(bytes, 1)?)?,
+            addr: u64_at(bytes, 2)?,
+        },
+        OP_LOAD => {
+            let (width, signed) = wflags(byte_at(bytes, 7)?);
+            Insn::Load {
+                dst: reg(byte_at(bytes, 1)?)?,
+                base: reg(byte_at(bytes, 2)?)?,
+                off: i32_at(bytes, 3)?,
+                width,
+                signed,
+            }
+        }
+        OP_STORE => {
+            let (width, _) = wflags(byte_at(bytes, 7)?);
+            Insn::Store {
+                src: reg(byte_at(bytes, 1)?)?,
+                base: reg(byte_at(bytes, 2)?)?,
+                off: i32_at(bytes, 3)?,
+                width,
+            }
+        }
+        OP_LOAD_ABS => {
+            let (width, signed) = wflags(byte_at(bytes, 10)?);
+            Insn::LoadAbs {
+                dst: reg(byte_at(bytes, 1)?)?,
+                addr: u64_at(bytes, 2)?,
+                width,
+                signed,
+            }
+        }
+        OP_STORE_ABS => {
+            let (width, _) = wflags(byte_at(bytes, 10)?);
+            Insn::StoreAbs {
+                src: reg(byte_at(bytes, 1)?)?,
+                addr: u64_at(bytes, 2)?,
+                width,
+            }
+        }
+        OP_ALU_RR => Insn::AluRR {
+            op: AluOp::decode(byte_at(bytes, 1)?).ok_or(DecodeError::BadAluOp(bytes[1]))?,
+            dst: reg(byte_at(bytes, 2)?)?,
+            src: reg(byte_at(bytes, 3)?)?,
+        },
+        OP_ALU_RI => Insn::AluRI {
+            op: AluOp::decode(byte_at(bytes, 1)?).ok_or(DecodeError::BadAluOp(bytes[1]))?,
+            dst: reg(byte_at(bytes, 2)?)?,
+            imm: i64_at(bytes, 3)?,
+        },
+        OP_CMP_RR => Insn::CmpRR {
+            a: reg(byte_at(bytes, 1)?)?,
+            b: reg(byte_at(bytes, 2)?)?,
+        },
+        OP_CMP_RI => Insn::CmpRI {
+            a: reg(byte_at(bytes, 1)?)?,
+            imm: i64_at(bytes, 2)?,
+        },
+        OP_JMP => Insn::Jmp {
+            rel: i32_at(bytes, 1)?,
+        },
+        OP_JCC => Insn::Jcc {
+            cc: Cond::decode(byte_at(bytes, 1)?).ok_or(DecodeError::BadCond(bytes[1]))?,
+            rel: i32_at(bytes, 2)?,
+        },
+        OP_CALL_REL => Insn::CallRel {
+            rel: i32_at(bytes, 1)?,
+        },
+        OP_CALL_IND => Insn::CallInd {
+            target: reg(byte_at(bytes, 1)?)?,
+        },
+        OP_CALL_MEM => Insn::CallMem {
+            addr: u64_at(bytes, 1)?,
+        },
+        OP_PUSH => Insn::Push {
+            src: reg(byte_at(bytes, 1)?)?,
+        },
+        OP_POP => Insn::Pop {
+            dst: reg(byte_at(bytes, 1)?)?,
+        },
+        OP_RET => Insn::Ret,
+        OP_HALT => Insn::Halt,
+        OP_STI => Insn::Sti,
+        OP_CLI => Insn::Cli,
+        OP_HYPERCALL => Insn::Hypercall {
+            nr: byte_at(bytes, 1)?,
+        },
+        OP_RDTSC => Insn::Rdtsc {
+            dst: reg(byte_at(bytes, 1)?)?,
+        },
+        OP_PAUSE => Insn::Pause,
+        OP_OUT => Insn::Out {
+            src: reg(byte_at(bytes, 1)?)?,
+        },
+        OP_XCHG_LOCK => Insn::XchgLock {
+            val: reg(byte_at(bytes, 1)?)?,
+            base: reg(byte_at(bytes, 2)?)?,
+        },
+        OP_MFENCE => Insn::Mfence,
+        OP_SETCC => Insn::Setcc {
+            cc: Cond::decode(byte_at(bytes, 1)?).ok_or(DecodeError::BadCond(bytes[1]))?,
+            dst: reg(byte_at(bytes, 2)?)?,
+        },
+        OP_NOP1 => Insn::Nop { len: 1 },
+        OP_NOPW => {
+            let len = byte_at(bytes, 1)?;
+            if !(2..=crate::MAX_NOP_LEN as u8).contains(&len) {
+                return Err(DecodeError::BadNopLen(len));
+            }
+            if bytes.len() < len as usize {
+                return Err(DecodeError::Truncated);
+            }
+            Insn::Nop { len }
+        }
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    if bytes.len() < insn.len() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((insn, insn.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..16).prop_map(|i| Reg::new(i).unwrap())
+    }
+
+    fn arb_width() -> impl Strategy<Value = Width> {
+        prop_oneof![
+            Just(Width::W8),
+            Just(Width::W16),
+            Just(Width::W32),
+            Just(Width::W64),
+        ]
+    }
+
+    fn arb_aluop() -> impl Strategy<Value = AluOp> {
+        (0u8..13).prop_map(|b| AluOp::decode(b).unwrap())
+    }
+
+    fn arb_cond() -> impl Strategy<Value = Cond> {
+        (0u8..10).prop_map(|b| Cond::decode(b).unwrap())
+    }
+
+    fn arb_insn() -> impl Strategy<Value = Insn> {
+        prop_oneof![
+            (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::MovRR { dst, src }),
+            (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| Insn::MovRI { dst, imm }),
+            (arb_reg(), any::<u64>()).prop_map(|(dst, addr)| Insn::Lea { dst, addr }),
+            (
+                arb_reg(),
+                arb_reg(),
+                any::<i32>(),
+                arb_width(),
+                any::<bool>()
+            )
+                .prop_map(|(dst, base, off, width, signed)| Insn::Load {
+                    dst,
+                    base,
+                    off,
+                    width,
+                    signed
+                }),
+            (arb_reg(), arb_reg(), any::<i32>(), arb_width()).prop_map(
+                |(src, base, off, width)| Insn::Store {
+                    src,
+                    base,
+                    off,
+                    width
+                }
+            ),
+            (arb_reg(), any::<u64>(), arb_width(), any::<bool>()).prop_map(
+                |(dst, addr, width, signed)| Insn::LoadAbs {
+                    dst,
+                    addr,
+                    width,
+                    signed
+                }
+            ),
+            (arb_reg(), any::<u64>(), arb_width()).prop_map(|(src, addr, width)| Insn::StoreAbs {
+                src,
+                addr,
+                width
+            }),
+            (arb_aluop(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Insn::AluRR {
+                op,
+                dst,
+                src
+            }),
+            (arb_aluop(), arb_reg(), any::<i64>()).prop_map(|(op, dst, imm)| Insn::AluRI {
+                op,
+                dst,
+                imm
+            }),
+            (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::CmpRR { a, b }),
+            (arb_reg(), any::<i64>()).prop_map(|(a, imm)| Insn::CmpRI { a, imm }),
+            any::<i32>().prop_map(|rel| Insn::Jmp { rel }),
+            (arb_cond(), any::<i32>()).prop_map(|(cc, rel)| Insn::Jcc { cc, rel }),
+            any::<i32>().prop_map(|rel| Insn::CallRel { rel }),
+            arb_reg().prop_map(|target| Insn::CallInd { target }),
+            any::<u64>().prop_map(|addr| Insn::CallMem { addr }),
+            arb_reg().prop_map(|src| Insn::Push { src }),
+            arb_reg().prop_map(|dst| Insn::Pop { dst }),
+            Just(Insn::Ret),
+            Just(Insn::Halt),
+            Just(Insn::Sti),
+            Just(Insn::Cli),
+            any::<u8>().prop_map(|nr| Insn::Hypercall { nr }),
+            arb_reg().prop_map(|dst| Insn::Rdtsc { dst }),
+            Just(Insn::Pause),
+            arb_reg().prop_map(|src| Insn::Out { src }),
+            (arb_reg(), arb_reg()).prop_map(|(val, base)| Insn::XchgLock { val, base }),
+            (arb_cond(), arb_reg()).prop_map(|(cc, dst)| Insn::Setcc { cc, dst }),
+            Just(Insn::Mfence),
+            (1u8..=15).prop_map(|len| Insn::Nop { len }),
+        ]
+    }
+
+    proptest! {
+        /// Every instruction round-trips through encode/decode, and the
+        /// reported length matches the emitted byte count.
+        #[test]
+        fn roundtrip(insn in arb_insn()) {
+            let bytes = encode(&insn);
+            prop_assert_eq!(bytes.len(), insn.len());
+            let (back, n) = decode(&bytes).unwrap();
+            prop_assert_eq!(back, insn);
+            prop_assert_eq!(n, bytes.len());
+        }
+
+        /// Decoding never panics on arbitrary bytes.
+        #[test]
+        fn decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+            let _ = decode(&bytes);
+        }
+
+        /// A truncated valid encoding reports `Truncated`, not garbage.
+        #[test]
+        fn truncation_detected(insn in arb_insn(), cut in 1usize..10) {
+            let bytes = encode(&insn);
+            if cut < bytes.len() {
+                let short = &bytes[..bytes.len() - cut];
+                match decode(short) {
+                    Err(_) => {}
+                    // A prefix may itself decode to a shorter instruction
+                    // only if its reported length fits the prefix.
+                    Ok((_, n)) => prop_assert!(n <= short.len()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_byte_is_invalid() {
+        assert_eq!(decode(&[0u8]), Err(DecodeError::BadOpcode(0)));
+    }
+
+    #[test]
+    fn empty_is_truncated() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn x86_like_opcodes() {
+        let (insn, n) = decode(&[0xE8, 1, 0, 0, 0]).unwrap();
+        assert_eq!(insn, Insn::CallRel { rel: 1 });
+        assert_eq!(n, 5);
+        let (insn, n) = decode(&[0xE9, 0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+        assert_eq!(insn, Insn::Jmp { rel: -1 });
+        assert_eq!(n, 5);
+    }
+}

@@ -1,0 +1,119 @@
+//! Linear-sweep disassembler for MV64 code.
+
+use crate::decode::{decode, DecodeError};
+use crate::insn::Insn;
+use std::fmt::Write as _;
+
+/// One disassembled instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DisLine {
+    /// Byte offset (or absolute address if a base was supplied).
+    pub addr: u64,
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Encoded length.
+    pub len: usize,
+}
+
+/// Disassembles `bytes` with a linear sweep starting at address `base`.
+///
+/// Stops at the first undecodable byte, returning the instructions decoded
+/// so far together with the error position.
+pub fn sweep(bytes: &[u8], base: u64) -> (Vec<DisLine>, Option<(u64, DecodeError)>) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match decode(&bytes[pos..]) {
+            Ok((insn, len)) => {
+                out.push(DisLine {
+                    addr: base + pos as u64,
+                    insn,
+                    len,
+                });
+                pos += len;
+            }
+            Err(e) => return (out, Some((base + pos as u64, e))),
+        }
+    }
+    (out, None)
+}
+
+/// Renders `bytes` as human-readable assembly, one instruction per line.
+///
+/// Branch and call targets are shown as resolved absolute addresses.
+///
+/// # Examples
+///
+/// ```
+/// let code = mvasm::encode(&mvasm::Insn::Ret);
+/// assert_eq!(mvasm::disasm(&code, 0x1000), "1000: ret\n");
+/// ```
+pub fn disasm(bytes: &[u8], base: u64) -> String {
+    let (lines, err) = sweep(bytes, base);
+    let mut s = String::new();
+    for l in &lines {
+        let _ = write!(s, "{:x}: ", l.addr);
+        match l.insn {
+            Insn::Jmp { rel } => {
+                let _ = write!(s, "jmp {:#x}", target(l, rel));
+            }
+            Insn::Jcc { cc, rel } => {
+                let _ = write!(s, "j{} {:#x}", cc.mnemonic(), target(l, rel));
+            }
+            Insn::CallRel { rel } => {
+                let _ = write!(s, "call {:#x}", target(l, rel));
+            }
+            ref other => {
+                let _ = write!(s, "{other}");
+            }
+        }
+        s.push('\n');
+    }
+    if let Some((addr, e)) = err {
+        let _ = writeln!(s, "{addr:x}: <{e}>");
+    }
+    s
+}
+
+fn target(l: &DisLine, rel: i32) -> u64 {
+    (l.addr + l.len as u64).wrapping_add(rel as i64 as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_into;
+    use crate::reg::Reg;
+
+    #[test]
+    fn sweep_decodes_sequence() {
+        let mut bytes = Vec::new();
+        encode_into(
+            &Insn::MovRI {
+                dst: Reg::R0,
+                imm: 7,
+            },
+            &mut bytes,
+        );
+        encode_into(&Insn::CallRel { rel: -15 }, &mut bytes);
+        encode_into(&Insn::Ret, &mut bytes);
+        let (lines, err) = sweep(&bytes, 0x400);
+        assert!(err.is_none());
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].addr, 0x40a);
+    }
+
+    #[test]
+    fn disasm_resolves_call_target() {
+        let bytes = crate::encode(&Insn::CallRel { rel: 0x10 });
+        let text = disasm(&bytes, 0x1000);
+        assert_eq!(text, "1000: call 0x1015\n");
+    }
+
+    #[test]
+    fn disasm_reports_bad_byte() {
+        let text = disasm(&[0x12, 0xFF], 0);
+        assert!(text.contains("halt"));
+        assert!(text.contains("invalid opcode"));
+    }
+}

@@ -1,0 +1,126 @@
+//! General-purpose register file of MV64.
+
+use core::fmt;
+
+/// A general-purpose register (`r0`..`r15`).
+///
+/// The register roles under the standard calling convention (see
+/// [`crate::cc`]):
+///
+/// * `r0`..`r5` — argument registers, caller-saved; `r0` carries the return
+///   value.
+/// * `r6`..`r11` — callee-saved.
+/// * `r12`, `r13` — caller-saved scratch.
+/// * `r14` — frame pointer (`bp`), callee-saved.
+/// * `r15` — stack pointer (`sp`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of general-purpose registers.
+    pub const COUNT: usize = 16;
+
+    /// Return-value / first-argument register.
+    pub const R0: Reg = Reg(0);
+    /// Second argument register.
+    pub const R1: Reg = Reg(1);
+    /// Third argument register.
+    pub const R2: Reg = Reg(2);
+    /// Fourth argument register.
+    pub const R3: Reg = Reg(3);
+    /// Fifth argument register.
+    pub const R4: Reg = Reg(4);
+    /// Sixth argument register.
+    pub const R5: Reg = Reg(5);
+    /// First callee-saved register.
+    pub const R6: Reg = Reg(6);
+    /// Callee-saved register.
+    pub const R7: Reg = Reg(7);
+    /// Callee-saved register.
+    pub const R8: Reg = Reg(8);
+    /// Callee-saved register.
+    pub const R9: Reg = Reg(9);
+    /// Callee-saved register.
+    pub const R10: Reg = Reg(10);
+    /// Callee-saved register.
+    pub const R11: Reg = Reg(11);
+    /// Caller-saved scratch register.
+    pub const R12: Reg = Reg(12);
+    /// Caller-saved scratch register.
+    pub const R13: Reg = Reg(13);
+    /// Frame pointer.
+    pub const BP: Reg = Reg(14);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// Returns [`None`] if `idx` is not in `0..16`.
+    pub const fn new(idx: u8) -> Option<Reg> {
+        if idx < Self::COUNT as u8 {
+            Some(Reg(idx))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index in `0..16`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw encoding byte.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// All sixteen registers, in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Self::COUNT as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::BP => write!(f, "bp"),
+            Reg::SP => write!(f, "sp"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Reg::new(15).is_some());
+        assert!(Reg::new(16).is_none());
+        assert!(Reg::new(255).is_none());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R13.to_string(), "r13");
+        assert_eq!(Reg::BP.to_string(), "bp");
+        assert_eq!(Reg::SP.to_string(), "sp");
+    }
+
+    #[test]
+    fn all_yields_sixteen_distinct() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), 16);
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Abstract syntax tree of MVC.
+
+use crate::token::Pos;
+use crate::types::{EnumDef, Type};
+
+/// Attributes on declarations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Attrs {
+    /// Declared with the `multiverse` attribute.
+    pub multiverse: bool,
+    /// Explicit switch domain: `multiverse(v1, v2, …)`.
+    pub domain: Option<Vec<i64>>,
+    /// Partial specialization (§2/§7.1): `multiverse(bind(a, b))` on a
+    /// function restricts variant generation to the listed switches;
+    /// other referenced switches stay dynamically evaluated inside the
+    /// variants.
+    pub bind: Option<Vec<String>>,
+    /// Function uses the PV-Ops all-callee-saved calling convention.
+    pub pvop_cc: bool,
+    /// `extern` — declaration only, defined in another translation unit.
+    pub is_extern: bool,
+    /// `static` — local to this translation unit.
+    pub is_static: bool,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug)]
+pub enum Item {
+    /// Global variable (or array) declaration/definition.
+    Global(Global),
+    /// Function declaration/definition.
+    Func(Func),
+    /// Enum declaration.
+    Enum(EnumDef),
+}
+
+/// A global variable.
+#[derive(Clone, Debug)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// Array length (`None` for scalars).
+    pub array: Option<u64>,
+    /// Initializer (constant expression or `&function`).
+    pub init: Option<Expr>,
+    /// Attributes.
+    pub attrs: Attrs,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function.
+#[derive(Clone, Debug)]
+pub struct Func {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters.
+    pub params: Vec<(String, Type)>,
+    /// Body (`None` for a declaration).
+    pub body: Option<Block>,
+    /// Attributes.
+    pub attrs: Attrs,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A `{}` block.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Local variable declaration with optional initializer.
+    Local {
+        /// Name.
+        name: String,
+        /// Type.
+        ty: Type,
+        /// Initializer.
+        init: Option<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// Expression statement (calls, assignments).
+    Expr(Expr),
+    /// `if` / `else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Block,
+        /// Else-branch.
+        els: Option<Block>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `for` loop.
+    For {
+        /// Init statement.
+        init: Option<Box<Stmt>>,
+        /// Condition (default true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// `return`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break(Pos),
+    /// `continue`.
+    Continue(Pos),
+    /// Nested block.
+    Block(Block),
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Variable reference (local, parameter, global, or enumerator).
+    Ident(String, Pos),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>, Pos),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>, Pos),
+    /// Assignment `lhs = rhs` (lhs: ident or index).
+    Assign(Box<Expr>, Box<Expr>, Pos),
+    /// Direct or indirect call.
+    Call {
+        /// Callee name (function or `fnptr` global).
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// Intrinsic call (`__xchg`, `__cli`, …).
+    Intrinsic {
+        /// Intrinsic name (with the leading underscores).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// Array/pointer indexing `base[idx]`.
+    Index(Box<Expr>, Box<Expr>, Pos),
+    /// `&name` — address of a global or function.
+    AddrOf(String, Pos),
+}
+
+impl Expr {
+    /// Source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Ident(_, p)
+            | Expr::Un(_, _, p)
+            | Expr::Bin(_, _, _, p)
+            | Expr::Assign(_, _, p)
+            | Expr::Call { pos: p, .. }
+            | Expr::Intrinsic { pos: p, .. }
+            | Expr::Index(_, _, p)
+            | Expr::AddrOf(_, p) => *p,
+        }
+    }
+}
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Unit {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}

@@ -1,0 +1,297 @@
+//! Hand-written lexer for MVC.
+
+use crate::error::CompileError;
+use crate::token::{Kw, Pos, Tok, Token, P};
+
+/// Tokenizes `src` into a token stream ending with [`Tok::Eof`].
+///
+/// Supports `//` line comments and `/* */` block comments, decimal and
+/// `0x` hexadecimal integer literals, and character literals (`'a'`,
+/// `'\n'`, `'\0'`, `'\\'`, `'\''`).
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+
+    let err = |msg: String, pos: Pos| CompileError::Lex { msg, pos };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = pos!();
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err("unterminated block comment".into(), start));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let s = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                    col += 1;
+                }
+                let word = &src[s..i];
+                let tok = match Kw::lookup(word) {
+                    Some(kw) => Tok::Kw(kw),
+                    None => Tok::Ident(word.to_string()),
+                };
+                toks.push(Token { tok, pos: start });
+            }
+            '0'..='9' => {
+                let s = i;
+                let value = if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    col += 2;
+                    let hs = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                        col += 1;
+                    }
+                    if hs == i {
+                        return Err(err("empty hex literal".into(), start));
+                    }
+                    u64::from_str_radix(&src[hs..i], 16)
+                        .map_err(|_| err("hex literal overflows".into(), start))?
+                        as i64
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                    src[s..i]
+                        .parse::<i64>()
+                        .map_err(|_| err("integer literal overflows".into(), start))?
+                };
+                toks.push(Token {
+                    tok: Tok::Int(value),
+                    pos: start,
+                });
+            }
+            '\'' => {
+                i += 1;
+                col += 1;
+                let v = match bytes.get(i).copied() {
+                    Some(b'\\') => {
+                        i += 1;
+                        col += 1;
+                        let e = bytes
+                            .get(i)
+                            .copied()
+                            .ok_or_else(|| err("unterminated char literal".into(), start))?;
+                        i += 1;
+                        col += 1;
+                        match e {
+                            b'n' => b'\n',
+                            b't' => b'\t',
+                            b'r' => b'\r',
+                            b'0' => 0,
+                            b'\\' => b'\\',
+                            b'\'' => b'\'',
+                            other => {
+                                return Err(err(
+                                    format!("unknown escape `\\{}`", other as char),
+                                    start,
+                                ))
+                            }
+                        }
+                    }
+                    Some(b) => {
+                        i += 1;
+                        col += 1;
+                        b
+                    }
+                    None => return Err(err("unterminated char literal".into(), start)),
+                };
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(err("unterminated char literal".into(), start));
+                }
+                i += 1;
+                col += 1;
+                toks.push(Token {
+                    tok: Tok::Int(v as i64),
+                    pos: start,
+                });
+            }
+            _ => {
+                use P::*;
+                let two = |a: u8, b: u8| i + 1 < bytes.len() && bytes[i] == a && bytes[i + 1] == b;
+                let (p, n) = if two(b'<', b'=') {
+                    (Le, 2)
+                } else if two(b'>', b'=') {
+                    (Ge, 2)
+                } else if two(b'=', b'=') {
+                    (EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Ne, 2)
+                } else if two(b'&', b'&') {
+                    (AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (OrOr, 2)
+                } else if two(b'<', b'<') {
+                    (Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Shr, 2)
+                } else if two(b'+', b'=') {
+                    (PlusEq, 2)
+                } else if two(b'-', b'=') {
+                    (MinusEq, 2)
+                } else if two(b'+', b'+') {
+                    (PlusPlus, 2)
+                } else if two(b'-', b'-') {
+                    (MinusMinus, 2)
+                } else {
+                    let p = match c {
+                        '(' => LParen,
+                        ')' => RParen,
+                        '{' => LBrace,
+                        '}' => RBrace,
+                        '[' => LBracket,
+                        ']' => RBracket,
+                        ';' => Semi,
+                        ',' => Comma,
+                        '=' => Assign,
+                        '+' => Plus,
+                        '-' => Minus,
+                        '*' => Star,
+                        '/' => Slash,
+                        '%' => Percent,
+                        '&' => Amp,
+                        '|' => Pipe,
+                        '^' => Caret,
+                        '~' => Tilde,
+                        '!' => Bang,
+                        '<' => Lt,
+                        '>' => Gt,
+                        other => return Err(err(format!("unexpected character `{other}`"), start)),
+                    };
+                    (p, 1)
+                };
+                i += n;
+                col += n as u32;
+                toks.push(Token {
+                    tok: Tok::P(p),
+                    pos: start,
+                });
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_idents_and_ints() {
+        let t = kinds("multiverse i32 config_smp = 0x10;");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Kw(Kw::Multiverse),
+                Tok::Kw(Kw::I32),
+                Tok::Ident("config_smp".into()),
+                Tok::P(P::Assign),
+                Tok::Int(16),
+                Tok::P(P::Semi),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn c_aliases_map_to_sized_types() {
+        assert_eq!(kinds("int")[0], Tok::Kw(Kw::I32));
+        assert_eq!(kinds("long")[0], Tok::Kw(Kw::I64));
+        assert_eq!(kinds("char")[0], Tok::Kw(Kw::U8));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = kinds("a // x\n /* y\n z */ b");
+        assert_eq!(
+            t,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'a'")[0], Tok::Int(97));
+        assert_eq!(kinds("'\\n'")[0], Tok::Int(10));
+        assert_eq!(kinds("'\\0'")[0], Tok::Int(0));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let t = kinds("a <= b == c && d || e << 2 >> 1 != f");
+        assert!(t.contains(&Tok::P(P::Le)));
+        assert!(t.contains(&Tok::P(P::EqEq)));
+        assert!(t.contains(&Tok::P(P::AndAnd)));
+        assert!(t.contains(&Tok::P(P::OrOr)));
+        assert!(t.contains(&Tok::P(P::Shl)));
+        assert!(t.contains(&Tok::P(P::Shr)));
+        assert!(t.contains(&Tok::P(P::Ne)));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[1].pos.col, 3);
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("'x").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! MVC — the Multiverse C compiler.
+//!
+//! This crate is the reproduction of the paper's GCC plugin (§3): it
+//! compiles **MVC**, a small C-like systems language, to MV64 objects and
+//! implements the four plugin phases on its own intermediate
+//! representation:
+//!
+//! 1. **Collect** configuration switches: global integer/bool/enum (and
+//!    function-pointer) variables carrying the `multiverse` attribute,
+//!    with value domains — `{0, 1}` by default, all enumerators for enum
+//!    types, or an explicit `multiverse(v1, v2, …)` domain (§3, §7.1).
+//! 2. **Clone and specialize** every `multiverse` function for the cross
+//!    product of the domains of the switches it actually reads, replacing
+//!    each switch read by the assignment's constant *before* optimization,
+//!    so constant propagation, folding and dead-code elimination produce
+//!    perfectly specialized variants. Writes to a switch inside a
+//!    multiversed function produce a warning. The generic variant is
+//!    never inlined.
+//! 3. **Merge** clones whose bodies are structurally identical after
+//!    optimization (Fig. 2's `multi.A=0.B=01`), synthesizing range guards
+//!    that cover exactly the merged assignments.
+//! 4. **Emit descriptors** for switches, functions/variants/guards, and
+//!    every call site of a multiversed function (a label placed exactly at
+//!    the emitted `call` instruction), into the `multiverse.*` sections.
+//!
+//! Because variability is expressed with ordinary `if`s instead of the
+//! preprocessor, *all* code paths are compiled and type-checked in every
+//! build (§7.4) — the compiler rejects errors in disabled branches too.
+//!
+//! # Build configurations
+//!
+//! [`Options`] selects between the paper's three bindings from a single
+//! source (Fig. 1):
+//!
+//! * **static** (`#ifdef`-like): [`Options::static_config`] fixes switches
+//!   to compile-time constants everywhere — binding A;
+//! * **dynamic**: multiverse disabled, switches are evaluated at run time —
+//!   binding B;
+//! * **multiverse**: variants + descriptors, bound at commit time via
+//!   `mvrt` — binding C.
+
+pub mod ast;
+pub mod codegen;
+pub mod driver;
+pub mod error;
+pub mod ir;
+pub mod lexer;
+pub mod lower;
+pub mod mv;
+pub mod parser;
+pub mod passes;
+pub mod token;
+pub mod types;
+
+pub use driver::{compile, compile_and_link, Options};
+pub use error::{CompileError, Warning};

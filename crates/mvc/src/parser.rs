@@ -1,0 +1,744 @@
+//! Recursive-descent parser for MVC.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::{Kw, Pos, Tok, Token, P};
+use crate::types::{EnumDef, Type};
+
+/// The machine intrinsics of MVC. Other `__`-prefixed names are ordinary
+/// identifiers (musl uses `__lock` and friends as function names).
+pub fn is_intrinsic(name: &str) -> bool {
+    matches!(
+        name,
+        "__xchg"
+            | "__cli"
+            | "__sti"
+            | "__hypercall"
+            | "__rdtsc"
+            | "__out"
+            | "__pause"
+            | "__mfence"
+            | "__halt"
+    )
+}
+
+/// Parses a translation unit.
+pub fn parse(tokens: &[Token]) -> Result<Unit, CompileError> {
+    let mut p = Parser { toks: tokens, i: 0 };
+    p.unit()
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.i + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::Parse {
+            msg: msg.into(),
+            pos: self.pos(),
+        })
+    }
+
+    fn eat_p(&mut self, p: P) -> Result<(), CompileError> {
+        if self.peek() == &Tok::P(p) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {p:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn at_p(&mut self, p: P) -> bool {
+        if self.peek() == &Tok::P(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => {
+                self.i -= 1;
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i64, CompileError> {
+        let neg = self.at_p(P::Minus);
+        match self.bump() {
+            Tok::Int(v) => Ok(if neg { -v } else { v }),
+            other => {
+                self.i -= 1;
+                self.err(format!("expected integer, found {other:?}"))
+            }
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit, CompileError> {
+        let mut items = Vec::new();
+        while self.peek() != &Tok::Eof {
+            items.push(self.item()?);
+        }
+        Ok(Unit { items })
+    }
+
+    fn attrs(&mut self) -> Result<Attrs, CompileError> {
+        let mut a = Attrs::default();
+        loop {
+            match self.peek() {
+                Tok::Kw(Kw::Multiverse) => {
+                    self.bump();
+                    a.multiverse = true;
+                    if self.at_p(P::LParen) {
+                        // Either a value domain `multiverse(0, 1, 2)` or a
+                        // partial-specialization list `multiverse(bind(a, b))`.
+                        if matches!(self.peek(), Tok::Ident(s) if s == "bind") {
+                            self.bump();
+                            self.eat_p(P::LParen)?;
+                            let mut names = vec![self.ident()?];
+                            while self.at_p(P::Comma) {
+                                names.push(self.ident()?);
+                            }
+                            self.eat_p(P::RParen)?;
+                            a.bind = Some(names);
+                        } else {
+                            let mut dom = vec![self.int_lit()?];
+                            while self.at_p(P::Comma) {
+                                dom.push(self.int_lit()?);
+                            }
+                            a.domain = Some(dom);
+                        }
+                        self.eat_p(P::RParen)?;
+                    }
+                }
+                Tok::Kw(Kw::PvopCc) => {
+                    self.bump();
+                    a.pvop_cc = true;
+                }
+                Tok::Kw(Kw::Extern) => {
+                    self.bump();
+                    a.is_extern = true;
+                }
+                Tok::Kw(Kw::Static) => {
+                    self.bump();
+                    a.is_static = true;
+                }
+                _ => break,
+            }
+        }
+        Ok(a)
+    }
+
+    fn base_type(&mut self) -> Result<Type, CompileError> {
+        let t = match self.bump() {
+            Tok::Kw(Kw::Void) => Type::Void,
+            Tok::Kw(Kw::Bool) => Type::Bool,
+            Tok::Kw(Kw::I8) => Type::Int {
+                width: 1,
+                signed: true,
+            },
+            Tok::Kw(Kw::I16) => Type::Int {
+                width: 2,
+                signed: true,
+            },
+            Tok::Kw(Kw::I32) => Type::Int {
+                width: 4,
+                signed: true,
+            },
+            Tok::Kw(Kw::I64) => Type::Int {
+                width: 8,
+                signed: true,
+            },
+            Tok::Kw(Kw::U8) => Type::Int {
+                width: 1,
+                signed: false,
+            },
+            Tok::Kw(Kw::U16) => Type::Int {
+                width: 2,
+                signed: false,
+            },
+            Tok::Kw(Kw::U32) => Type::Int {
+                width: 4,
+                signed: false,
+            },
+            Tok::Kw(Kw::U64) => Type::Int {
+                width: 8,
+                signed: false,
+            },
+            Tok::Kw(Kw::Fnptr) => Type::Fnptr,
+            Tok::Kw(Kw::Enum) => Type::Enum(self.ident()?),
+            Tok::Ident(name) => Type::Enum(name), // resolved to an enum in sema
+            other => {
+                self.i -= 1;
+                return self.err(format!("expected type, found {other:?}"));
+            }
+        };
+        Ok(t)
+    }
+
+    fn full_type(&mut self) -> Result<Type, CompileError> {
+        let mut t = self.base_type()?;
+        while self.at_p(P::Star) {
+            t = Type::Ptr(Box::new(t));
+        }
+        Ok(t)
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Kw(
+                Kw::Void
+                    | Kw::Bool
+                    | Kw::I8
+                    | Kw::I16
+                    | Kw::I32
+                    | Kw::I64
+                    | Kw::U8
+                    | Kw::U16
+                    | Kw::U32
+                    | Kw::U64
+                    | Kw::Fnptr
+                    | Kw::Enum
+            )
+        )
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        // enum declaration?
+        if self.peek() == &Tok::Kw(Kw::Enum) && matches!(self.peek2(), Tok::Ident(_)) {
+            // Look ahead for `{` to distinguish `enum X {` from `enum X var;`.
+            let save = self.i;
+            self.bump(); // enum
+            let name = self.ident()?;
+            if self.peek() == &Tok::P(P::LBrace) {
+                self.bump();
+                let mut items = Vec::new();
+                let mut next = 0i64;
+                while self.peek() != &Tok::P(P::RBrace) {
+                    let item = self.ident()?;
+                    if self.at_p(P::Assign) {
+                        next = self.int_lit()?;
+                    }
+                    items.push((item, next));
+                    next += 1;
+                    if !self.at_p(P::Comma) {
+                        break;
+                    }
+                }
+                self.eat_p(P::RBrace)?;
+                self.eat_p(P::Semi)?;
+                return Ok(Item::Enum(EnumDef { name, items }));
+            }
+            self.i = save;
+        }
+
+        let pos = self.pos();
+        let attrs = self.attrs()?;
+        let ty = self.full_type()?;
+        let name = self.ident()?;
+
+        if self.peek() == &Tok::P(P::LParen) {
+            // Function.
+            self.bump();
+            let mut params = Vec::new();
+            if self.peek() == &Tok::Kw(Kw::Void) && self.peek2() == &Tok::P(P::RParen) {
+                self.bump();
+            }
+            while self.peek() != &Tok::P(P::RParen) {
+                let pty = self.full_type()?;
+                let pname = self.ident()?;
+                params.push((pname, pty));
+                if !self.at_p(P::Comma) {
+                    break;
+                }
+            }
+            self.eat_p(P::RParen)?;
+            let body = if self.at_p(P::Semi) {
+                None
+            } else {
+                Some(self.block()?)
+            };
+            return Ok(Item::Func(Func {
+                name,
+                ret: ty,
+                params,
+                body,
+                attrs,
+                pos,
+            }));
+        }
+
+        // Global variable.
+        let array = if self.at_p(P::LBracket) {
+            let n = self.int_lit()?;
+            self.eat_p(P::RBracket)?;
+            if n < 0 {
+                return self.err("negative array length");
+            }
+            Some(n as u64)
+        } else {
+            None
+        };
+        let init = if self.at_p(P::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.eat_p(P::Semi)?;
+        Ok(Item::Global(Global {
+            name,
+            ty,
+            array,
+            init,
+            attrs,
+            pos,
+        }))
+    }
+
+    fn block(&mut self) -> Result<Block, CompileError> {
+        self.eat_p(P::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::P(P::RBrace) {
+            if self.peek() == &Tok::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::P(P::LBrace) => Ok(Stmt::Block(self.block()?)),
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                self.eat_p(P::LParen)?;
+                let cond = self.expr()?;
+                self.eat_p(P::RParen)?;
+                let then = self.block_or_single()?;
+                let els = if self.peek() == &Tok::Kw(Kw::Else) {
+                    self.bump();
+                    if self.peek() == &Tok::Kw(Kw::If) {
+                        Some(Block {
+                            stmts: vec![self.stmt()?],
+                        })
+                    } else {
+                        Some(self.block_or_single()?)
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.eat_p(P::LParen)?;
+                let cond = self.expr()?;
+                self.eat_p(P::RParen)?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                self.eat_p(P::LParen)?;
+                let init = if self.peek() == &Tok::P(P::Semi) {
+                    self.bump();
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt_semi()?))
+                };
+                let cond = if self.peek() == &Tok::P(P::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat_p(P::Semi)?;
+                let step = if self.peek() == &Tok::P(P::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat_p(P::RParen)?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                let e = if self.peek() == &Tok::P(P::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat_p(P::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.eat_p(P::Semi)?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.eat_p(P::Semi)?;
+                Ok(Stmt::Continue(pos))
+            }
+            _ => self.simple_stmt_semi(),
+        }
+    }
+
+    /// A local declaration or expression statement, consuming the `;`.
+    fn simple_stmt_semi(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        if self.is_type_start() {
+            let ty = self.full_type()?;
+            let name = self.ident()?;
+            let init = if self.at_p(P::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.eat_p(P::Semi)?;
+            return Ok(Stmt::Local {
+                name,
+                ty,
+                init,
+                pos,
+            });
+        }
+        let e = self.expr()?;
+        self.eat_p(P::Semi)?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn block_or_single(&mut self) -> Result<Block, CompileError> {
+        if self.peek() == &Tok::P(P::LBrace) {
+            self.block()
+        } else {
+            Ok(Block {
+                stmts: vec![self.stmt()?],
+            })
+        }
+    }
+
+    // Expressions: precedence climbing.
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.bin_expr(0)?;
+        let pos = self.pos();
+        if self.at_p(P::Assign) {
+            let rhs = self.assign_expr()?;
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs), pos));
+        }
+        if self.at_p(P::PlusEq) {
+            let rhs = self.assign_expr()?;
+            let sum = Expr::Bin(BinOp::Add, Box::new(lhs.clone()), Box::new(rhs), pos);
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(sum), pos));
+        }
+        if self.at_p(P::MinusEq) {
+            let rhs = self.assign_expr()?;
+            let dif = Expr::Bin(BinOp::Sub, Box::new(lhs.clone()), Box::new(rhs), pos);
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(dif), pos));
+        }
+        Ok(lhs)
+    }
+
+    fn bin_prec(p: &P) -> Option<(BinOp, u8)> {
+        Some(match p {
+            P::OrOr => (BinOp::LogOr, 1),
+            P::AndAnd => (BinOp::LogAnd, 2),
+            P::Pipe => (BinOp::Or, 3),
+            P::Caret => (BinOp::Xor, 4),
+            P::Amp => (BinOp::And, 5),
+            P::EqEq => (BinOp::Eq, 6),
+            P::Ne => (BinOp::Ne, 6),
+            P::Lt => (BinOp::Lt, 7),
+            P::Le => (BinOp::Le, 7),
+            P::Gt => (BinOp::Gt, 7),
+            P::Ge => (BinOp::Ge, 7),
+            P::Shl => (BinOp::Shl, 8),
+            P::Shr => (BinOp::Shr, 8),
+            P::Plus => (BinOp::Add, 9),
+            P::Minus => (BinOp::Sub, 9),
+            P::Star => (BinOp::Mul, 10),
+            P::Slash => (BinOp::Div, 10),
+            P::Percent => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    #[allow(clippy::while_let_loop)] // the match arms are clearer than a while-let chain
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::P(p) => match Self::bin_prec(p) {
+                    Some(x) if x.1 >= min_prec => x,
+                    _ => break,
+                },
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        if self.at_p(P::Minus) {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary_expr()?), pos));
+        }
+        if self.at_p(P::Bang) {
+            return Ok(Expr::Un(UnOp::Not, Box::new(self.unary_expr()?), pos));
+        }
+        if self.at_p(P::Tilde) {
+            return Ok(Expr::Un(UnOp::BitNot, Box::new(self.unary_expr()?), pos));
+        }
+        if self.at_p(P::Amp) {
+            let name = self.ident()?;
+            return Ok(Expr::AddrOf(name, pos));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let pos = self.pos();
+            if self.at_p(P::LBracket) {
+                let idx = self.expr()?;
+                self.eat_p(P::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(idx), pos);
+            } else if self.at_p(P::PlusPlus) {
+                let one = Expr::Int(1, pos);
+                let sum = Expr::Bin(BinOp::Add, Box::new(e.clone()), Box::new(one), pos);
+                e = Expr::Assign(Box::new(e), Box::new(sum), pos);
+            } else if self.at_p(P::MinusMinus) {
+                let one = Expr::Int(1, pos);
+                let dif = Expr::Bin(BinOp::Sub, Box::new(e.clone()), Box::new(one), pos);
+                e = Expr::Assign(Box::new(e), Box::new(dif), pos);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v, pos)),
+            Tok::Kw(Kw::True) => Ok(Expr::Int(1, pos)),
+            Tok::Kw(Kw::False) => Ok(Expr::Int(0, pos)),
+            Tok::P(P::LParen) => {
+                let e = self.expr()?;
+                self.eat_p(P::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.at_p(P::LParen) {
+                    let mut args = Vec::new();
+                    while self.peek() != &Tok::P(P::RParen) {
+                        args.push(self.expr()?);
+                        if !self.at_p(P::Comma) {
+                            break;
+                        }
+                    }
+                    self.eat_p(P::RParen)?;
+                    if is_intrinsic(&name) {
+                        Ok(Expr::Intrinsic { name, args, pos })
+                    } else {
+                        Ok(Expr::Call {
+                            callee: name,
+                            args,
+                            pos,
+                        })
+                    }
+                } else {
+                    Ok(Expr::Ident(name, pos))
+                }
+            }
+            other => {
+                self.i -= 1;
+                self.err(format!("expected expression, found {other:?}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Unit {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_fig1_style_source() {
+        let u = parse_ok(
+            r#"
+            multiverse bool config_smp;
+            i64 lock_word;
+
+            multiverse void spin_irq_lock(void) {
+                __cli();
+                if (config_smp) {
+                    while (__xchg(&lock_word, 1) != 0) { __pause(); }
+                }
+            }
+            "#,
+        );
+        assert_eq!(u.items.len(), 3);
+        let Item::Global(g) = &u.items[0] else {
+            panic!()
+        };
+        assert!(g.attrs.multiverse);
+        let Item::Func(f) = &u.items[2] else { panic!() };
+        assert!(f.attrs.multiverse);
+        assert_eq!(f.params.len(), 0);
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn parses_explicit_domain() {
+        let u = parse_ok("multiverse(0, 1, 2) i32 mode;");
+        let Item::Global(g) = &u.items[0] else {
+            panic!()
+        };
+        assert_eq!(g.attrs.domain, Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn parses_enum_and_enum_typed_global() {
+        let u = parse_ok("enum hv { HV_NATIVE, HV_XEN = 5, HV_KVM }; multiverse enum hv which;");
+        let Item::Enum(e) = &u.items[0] else { panic!() };
+        assert_eq!(
+            e.items,
+            vec![
+                ("HV_NATIVE".into(), 0),
+                ("HV_XEN".into(), 5),
+                ("HV_KVM".into(), 6)
+            ]
+        );
+        let Item::Global(g) = &u.items[1] else {
+            panic!()
+        };
+        assert_eq!(g.ty, Type::Enum("hv".into()));
+    }
+
+    #[test]
+    fn parses_for_loop_with_increments() {
+        let u = parse_ok("void f(void) { for (i64 i = 0; i < 10; i++) { g(i); } }");
+        let Item::Func(f) = &u.items[0] else { panic!() };
+        let Stmt::For {
+            init, cond, step, ..
+        } = &f.body.as_ref().unwrap().stmts[0]
+        else {
+            panic!()
+        };
+        assert!(init.is_some() && cond.is_some() && step.is_some());
+    }
+
+    #[test]
+    fn parses_fnptr_and_addr_of() {
+        let u = parse_ok("multiverse fnptr op = &impl_a; void f(void) { op(); }");
+        let Item::Global(g) = &u.items[0] else {
+            panic!()
+        };
+        assert_eq!(g.ty, Type::Fnptr);
+        assert!(matches!(g.init, Some(Expr::AddrOf(_, _))));
+    }
+
+    #[test]
+    fn intrinsics_are_recognized() {
+        let u = parse_ok("void f(void) { __cli(); __out('x'); }");
+        let Item::Func(f) = &u.items[0] else { panic!() };
+        assert!(matches!(
+            &f.body.as_ref().unwrap().stmts[0],
+            Stmt::Expr(Expr::Intrinsic { name, .. }) if name == "__cli"
+        ));
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        let u = parse_ok("i64 x = 1 + 2 * 3;");
+        let Item::Global(g) = &u.items[0] else {
+            panic!()
+        };
+        let Some(Expr::Bin(BinOp::Add, _, rhs, _)) = &g.init else {
+            panic!()
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _, _)));
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let u = parse_ok("void f(void) { i64 a = 0; a += 3; }");
+        let Item::Func(f) = &u.items[0] else { panic!() };
+        assert!(matches!(
+            &f.body.as_ref().unwrap().stmts[1],
+            Stmt::Expr(Expr::Assign(_, _, _))
+        ));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        parse_ok("void f(i64 x) { if (x == 1) { } else if (x == 2) { } else { } }");
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse(&lex("void f( {").unwrap()).is_err());
+        assert!(parse(&lex("i32 = 4;").unwrap()).is_err());
+    }
+
+    #[test]
+    fn array_globals() {
+        let u = parse_ok("u8 buf[4096];");
+        let Item::Global(g) = &u.items[0] else {
+            panic!()
+        };
+        assert_eq!(g.array, Some(4096));
+    }
+}

@@ -1,0 +1,151 @@
+//! CFG cleanup: unreachable-block removal, jump threading through empty
+//! blocks, and straight-line block merging.
+
+use crate::ir::{BlockId, FuncIr, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Runs the pass; returns `true` if anything changed.
+pub fn run(f: &mut FuncIr) -> bool {
+    let mut changed = false;
+    changed |= thread_jumps(f);
+    changed |= merge_chains(f);
+    changed |= drop_unreachable(f);
+    changed
+}
+
+/// Redirects edges that point at an empty block whose only content is a
+/// `jmp` to another block.
+fn thread_jumps(f: &mut FuncIr) -> bool {
+    let mut target: HashMap<BlockId, BlockId> = HashMap::new();
+    for (i, b) in f.blocks.iter().enumerate() {
+        if b.insts.is_empty() {
+            if let Term::Jmp(t) = b.term {
+                if t != i as BlockId {
+                    target.insert(i as BlockId, t);
+                }
+            }
+        }
+    }
+    if target.is_empty() {
+        return false;
+    }
+    // Resolve chains (with a cycle guard).
+    let resolve = |mut b: BlockId| {
+        let mut seen = HashSet::new();
+        while let Some(&t) = target.get(&b) {
+            if !seen.insert(b) {
+                break;
+            }
+            b = t;
+        }
+        b
+    };
+    let mut changed = false;
+    for b in &mut f.blocks {
+        match &mut b.term {
+            Term::Jmp(t) => {
+                let r = resolve(*t);
+                if r != *t {
+                    *t = r;
+                    changed = true;
+                }
+            }
+            Term::Br { t, f: fb, .. } => {
+                let (rt, rf) = (resolve(*t), resolve(*fb));
+                if rt != *t || rf != *fb {
+                    *t = rt;
+                    *fb = rf;
+                    changed = true;
+                }
+            }
+            Term::Ret(_) => {}
+        }
+    }
+    changed
+}
+
+/// Merges `a -> jmp b` where `b` has exactly one predecessor.
+fn merge_chains(f: &mut FuncIr) -> bool {
+    let mut changed = false;
+    loop {
+        let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        let reachable = reachable_set(f);
+        for &b in &reachable {
+            for s in f.blocks[b as usize].term.succs() {
+                preds.entry(s).or_default().push(b);
+            }
+        }
+        let mut merged = false;
+        for &a in &reachable {
+            let Term::Jmp(b) = f.blocks[a as usize].term else {
+                continue;
+            };
+            if b == a || b == 0 {
+                continue; // never merge the entry away
+            }
+            if preds.get(&b).map(|p| p.len()) != Some(1) {
+                continue;
+            }
+            // Move b's contents into a.
+            let donor = std::mem::take(&mut f.blocks[b as usize]);
+            let a_blk = &mut f.blocks[a as usize];
+            a_blk.insts.extend(donor.insts);
+            a_blk.term = donor.term;
+            // Leave b empty with a self-loop-free Ret; it becomes
+            // unreachable and is dropped later.
+            f.blocks[b as usize].term = Term::Ret(None);
+            merged = true;
+            changed = true;
+            break; // recompute preds
+        }
+        if !merged {
+            break;
+        }
+    }
+    changed
+}
+
+fn reachable_set(f: &FuncIr) -> Vec<BlockId> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![0 as BlockId];
+    let mut out = Vec::new();
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        out.push(b);
+        stack.extend(f.blocks[b as usize].term.succs());
+    }
+    out
+}
+
+/// Removes unreachable blocks, compacting ids.
+fn drop_unreachable(f: &mut FuncIr) -> bool {
+    let reachable = reachable_set(f);
+    if reachable.len() == f.blocks.len() {
+        return false;
+    }
+    let mut order: Vec<BlockId> = reachable;
+    order.sort_unstable();
+    let remap: HashMap<BlockId, BlockId> = order
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new as BlockId))
+        .collect();
+    let old_blocks = std::mem::take(&mut f.blocks);
+    for (old_id, mut b) in old_blocks.into_iter().enumerate() {
+        if !remap.contains_key(&(old_id as BlockId)) {
+            continue;
+        }
+        match &mut b.term {
+            Term::Jmp(t) => *t = remap[t],
+            Term::Br { t, f: fb, .. } => {
+                *t = remap[t];
+                *fb = remap[fb];
+            }
+            Term::Ret(_) => {}
+        }
+        f.blocks.push(b);
+    }
+    true
+}

@@ -1,0 +1,108 @@
+//! Block-local constant propagation and folding.
+//!
+//! Temps are block-local and single-assignment, so a forward scan per block
+//! with a constant environment is exact for temps. Local slots are
+//! propagated within a block only (no join analysis), which is all the
+//! multiverse pipeline needs: switch reads are already constants when the
+//! variant clone reaches this pass.
+
+use crate::ir::{FuncIr, Inst, Operand, Term};
+use std::collections::HashMap;
+
+/// Runs the pass; returns `true` if anything changed.
+pub fn run(f: &mut FuncIr) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        let mut temps: HashMap<u32, i64> = HashMap::new();
+        let mut slots: HashMap<u32, i64> = HashMap::new();
+        let mut out = Vec::with_capacity(b.insts.len());
+        for mut inst in std::mem::take(&mut b.insts) {
+            // Substitute known-constant temps in operands.
+            inst.map_operands(|op| {
+                if let Operand::Temp(t) = *op {
+                    if let Some(&c) = temps.get(&t) {
+                        *op = Operand::Const(c);
+                        changed = true;
+                    }
+                }
+            });
+            match &inst {
+                Inst::Bin {
+                    op,
+                    dst,
+                    a: Operand::Const(a),
+                    b: Operand::Const(bb),
+                } => {
+                    if let Some(v) = op.eval(*a, *bb) {
+                        temps.insert(*dst, v);
+                        changed = true;
+                        continue; // instruction dissolved into the env
+                    }
+                    // Division by constant zero: keep it to fault at
+                    // run time.
+                    out.push(inst);
+                }
+                Inst::Un {
+                    op,
+                    dst,
+                    a: Operand::Const(a),
+                } => {
+                    temps.insert(*dst, op.eval(*a));
+                    changed = true;
+                }
+                Inst::StoreLocal {
+                    slot,
+                    src: Operand::Const(c),
+                } => {
+                    slots.insert(*slot, *c);
+                    out.push(inst);
+                }
+                Inst::StoreLocal { slot, .. } => {
+                    slots.remove(slot);
+                    out.push(inst);
+                }
+                Inst::LoadLocal { dst, slot } => {
+                    if let Some(&c) = slots.get(slot) {
+                        temps.insert(*dst, c);
+                        changed = true;
+                    } else {
+                        out.push(inst);
+                    }
+                }
+                _ => out.push(inst),
+            }
+        }
+        b.insts = out;
+        // Substitute in the terminator.
+        match &mut b.term {
+            Term::Br { cond, .. } => {
+                if let Operand::Temp(t) = *cond {
+                    if let Some(&c) = temps.get(&t) {
+                        *cond = Operand::Const(c);
+                        changed = true;
+                    }
+                }
+            }
+            Term::Ret(Some(v)) => {
+                if let Operand::Temp(t) = *v {
+                    if let Some(&c) = temps.get(&t) {
+                        *v = Operand::Const(c);
+                        changed = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Fold constant branches.
+        if let Term::Br {
+            cond: Operand::Const(c),
+            t,
+            f: fb,
+        } = b.term
+        {
+            b.term = Term::Jmp(if c != 0 { t } else { fb });
+            changed = true;
+        }
+    }
+    changed
+}

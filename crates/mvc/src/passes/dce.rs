@@ -1,0 +1,77 @@
+//! Dead-code elimination: unused pure temps and stores to never-read
+//! local slots.
+
+use crate::ir::{FuncIr, Inst, Operand, Term};
+use std::collections::HashSet;
+
+/// Runs the pass; returns `true` if anything changed.
+pub fn run(f: &mut FuncIr) -> bool {
+    let mut changed = false;
+
+    // Collect all used temps and all loaded slots, function-wide.
+    let mut used_temps: HashSet<u32> = HashSet::new();
+    let mut loaded_slots: HashSet<u32> = HashSet::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            for op in inst.operands() {
+                if let Operand::Temp(t) = op {
+                    used_temps.insert(t);
+                }
+            }
+            if let Inst::LoadLocal { slot, .. } = inst {
+                loaded_slots.insert(*slot);
+            }
+        }
+        match &b.term {
+            Term::Br {
+                cond: Operand::Temp(t),
+                ..
+            } => {
+                used_temps.insert(*t);
+            }
+            Term::Ret(Some(Operand::Temp(t))) => {
+                used_temps.insert(*t);
+            }
+            _ => {}
+        }
+    }
+
+    // Iterate removal: dropping an instruction can make its inputs dead,
+    // so run a few rounds (bounded by instruction count via the caller's
+    // fixpoint loop).
+    for b in &mut f.blocks {
+        let before = b.insts.len();
+        b.insts.retain(|inst| {
+            // Stores to a slot no load ever reads are dead even though
+            // they are nominally effectful.
+            if let Inst::StoreLocal { slot, .. } = inst {
+                return loaded_slots.contains(slot);
+            }
+            if inst.has_side_effect() {
+                return true;
+            }
+            match inst.dst() {
+                Some(d) => used_temps.contains(&d),
+                None => true,
+            }
+        });
+        changed |= b.insts.len() != before;
+    }
+
+    // A call whose result is unused keeps the call but drops the dst so
+    // canonical keys of "call used" vs "call ignored" differ correctly.
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            if let Inst::Call {
+                dst: dst @ Some(_), ..
+            } = inst
+            {
+                if !used_temps.contains(&dst.expect("checked Some")) {
+                    *dst = None;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}

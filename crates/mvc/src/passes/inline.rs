@@ -1,0 +1,344 @@
+//! Inline expansion for small non-multiverse functions.
+//!
+//! §7.1: "we chose to disallow the compiler to perform inline expansion on
+//! multiversed functions … All optimizations other than inline expansion
+//! are applied to multiverse functions." Ordinary small functions *are*
+//! inlined, as GCC would — including into the bodies of multiversed
+//! functions (and therefore into their variants).
+//!
+//! The transformation splits the calling block at the call, splices a
+//! slot/temp/block-renumbered clone of the callee between the halves,
+//! passes arguments through fresh local slots, collects return values in
+//! a result slot, and reroutes pre-half temps that the post-half still
+//! needs through spill slots (temps must stay block-local).
+
+use crate::ir::{Block, BlockId, Callee, FuncIr, Inst, Operand, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Inlining limits: callee instruction and block budget.
+const MAX_INSTS: usize = 16;
+const MAX_BLOCKS: usize = 5;
+
+/// `true` if `f` may be inlined into callers.
+fn inlinable(f: &FuncIr) -> bool {
+    if f.attrs.multiverse || f.attrs.pvop_cc {
+        // The generic variant must never spread switch reads into
+        // callers; PV-Ops bodies carry calling-convention semantics.
+        return false;
+    }
+    let insts: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
+    if insts > MAX_INSTS || f.blocks.len() > MAX_BLOCKS {
+        return false;
+    }
+    // No nested calls: keeps the pass single-level and recursion-proof.
+    !f.blocks
+        .iter()
+        .any(|b| b.insts.iter().any(|i| matches!(i, Inst::Call { .. })))
+}
+
+/// Runs inline expansion across all functions of a unit; returns the
+/// number of call sites expanded.
+pub fn run_unit(funcs: &mut [FuncIr]) -> usize {
+    // Snapshot eligible callees.
+    let callees: HashMap<String, FuncIr> = funcs
+        .iter()
+        .filter(|f| inlinable(f))
+        .map(|f| (f.name.clone(), f.clone()))
+        .collect();
+    let mut expanded = 0;
+    for f in funcs.iter_mut() {
+        // A function must not inline itself (harmless with the no-calls
+        // rule, but keep the guard explicit).
+        while let Some((bi, ii, callee_name)) = find_site(f, &callees) {
+            if callee_name == f.name {
+                break;
+            }
+            let callee = &callees[&callee_name];
+            splice(f, bi, ii, callee);
+            f.validate();
+            expanded += 1;
+        }
+    }
+    expanded
+}
+
+fn find_site(f: &FuncIr, callees: &HashMap<String, FuncIr>) -> Option<(usize, usize, String)> {
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if let Inst::Call {
+                callee: Callee::Direct(name),
+                ..
+            } = inst
+            {
+                if callees.contains_key(name) && *name != f.name {
+                    return Some((bi, ii, name.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn remap_operand(op: &mut Operand, temp_map: &HashMap<u32, u32>) {
+    if let Operand::Temp(t) = op {
+        *t = temp_map[t];
+    }
+}
+
+fn splice(f: &mut FuncIr, bi: usize, ii: usize, callee: &FuncIr) {
+    let original = std::mem::take(&mut f.blocks[bi]);
+    let mut pre: Vec<Inst> = original.insts[..ii].to_vec();
+    let post_insts: Vec<Inst> = original.insts[ii + 1..].to_vec();
+    let post_term = original.term;
+    let Inst::Call { dst, args, .. } = original.insts[ii].clone() else {
+        unreachable!("find_site returned a call")
+    };
+
+    // Fresh slot space for the callee's params + locals, plus one result
+    // slot.
+    let slot_base = f.n_slots;
+    f.n_slots += callee.n_slots;
+    let result_slot = f.slot();
+
+    // Pass arguments through the param slots.
+    for (j, arg) in args.iter().enumerate() {
+        pre.push(Inst::StoreLocal {
+            slot: slot_base + j as u32,
+            src: *arg,
+        });
+    }
+
+    // Temps defined in `pre` but used in `post` (or its terminator) must
+    // cross through slots.
+    let mut defined_pre: HashSet<u32> = HashSet::new();
+    for inst in &pre {
+        if let Some(d) = inst.dst() {
+            defined_pre.insert(d);
+        }
+    }
+    let mut used_post: HashSet<u32> = HashSet::new();
+    for inst in &post_insts {
+        for op in inst.operands() {
+            if let Operand::Temp(t) = op {
+                used_post.insert(t);
+            }
+        }
+    }
+    match &post_term {
+        Term::Br {
+            cond: Operand::Temp(t),
+            ..
+        } => {
+            used_post.insert(*t);
+        }
+        Term::Ret(Some(Operand::Temp(t))) => {
+            used_post.insert(*t);
+        }
+        _ => {}
+    }
+    let mut crossing: Vec<u32> = defined_pre.intersection(&used_post).copied().collect();
+    crossing.sort_unstable(); // deterministic emission order
+    let mut cross_slot: HashMap<u32, u32> = HashMap::new();
+    for &t in &crossing {
+        let s = f.slot();
+        pre.push(Inst::StoreLocal {
+            slot: s,
+            src: Operand::Temp(t),
+        });
+        cross_slot.insert(t, s);
+    }
+
+    // Allocate block ids: callee blocks + the post block.
+    let callee_block_base = f.blocks.len() as BlockId;
+    for _ in 0..callee.blocks.len() {
+        f.new_block();
+    }
+    let post_bid = f.new_block();
+
+    // The pre half jumps into the callee entry clone.
+    f.blocks[bi] = Block {
+        insts: pre,
+        term: Term::Jmp(callee_block_base),
+    };
+
+    // Clone callee blocks with renumbered temps/slots/blocks; returns
+    // store into the result slot and jump to the post block.
+    for (k, cb) in callee.blocks.iter().enumerate() {
+        let mut temp_map: HashMap<u32, u32> = HashMap::new();
+        let mut insts = Vec::with_capacity(cb.insts.len() + 1);
+        for inst in &cb.insts {
+            let mut inst = inst.clone();
+            inst.map_operands(|op| {
+                if let Operand::Temp(t) = op {
+                    *t = *temp_map.get(t).expect("use before def in callee");
+                }
+            });
+            // Remap slots.
+            match &mut inst {
+                Inst::LoadLocal { slot, .. } | Inst::StoreLocal { slot, .. } => {
+                    *slot += slot_base;
+                }
+                _ => {}
+            }
+            // Remap the defined temp to a fresh caller temp.
+            if let Some(d) = inst.dst() {
+                let fresh = f.n_temps;
+                f.n_temps += 1;
+                temp_map.insert(d, fresh);
+                set_dst(&mut inst, fresh);
+            }
+            insts.push(inst);
+        }
+        let term = match &cb.term {
+            Term::Jmp(t) => Term::Jmp(callee_block_base + *t),
+            Term::Br { cond, t, f: fb } => {
+                let mut cond = *cond;
+                remap_operand(&mut cond, &temp_map);
+                Term::Br {
+                    cond,
+                    t: callee_block_base + *t,
+                    f: callee_block_base + *fb,
+                }
+            }
+            Term::Ret(v) => {
+                if let Some(mut v) = *v {
+                    remap_operand(&mut v, &temp_map);
+                    insts.push(Inst::StoreLocal {
+                        slot: result_slot,
+                        src: v,
+                    });
+                }
+                Term::Jmp(post_bid)
+            }
+        };
+        f.blocks[(callee_block_base as usize) + k] = Block { insts, term };
+    }
+
+    // The post half: reload crossing temps and the call result under
+    // fresh names, rename uses.
+    let mut rename: HashMap<u32, u32> = HashMap::new();
+    let mut insts = Vec::with_capacity(post_insts.len() + crossing.len() + 1);
+    for &t in &crossing {
+        let s = cross_slot[&t];
+        let fresh = f.n_temps;
+        f.n_temps += 1;
+        insts.push(Inst::LoadLocal {
+            dst: fresh,
+            slot: s,
+        });
+        rename.insert(t, fresh);
+    }
+    if let Some(d) = dst {
+        let fresh = f.n_temps;
+        f.n_temps += 1;
+        insts.push(Inst::LoadLocal {
+            dst: fresh,
+            slot: result_slot,
+        });
+        rename.insert(d, fresh);
+    }
+    for mut inst in post_insts {
+        inst.map_operands(|op| {
+            if let Operand::Temp(t) = op {
+                if let Some(&n) = rename.get(t) {
+                    *t = n;
+                }
+            }
+        });
+        // Re-defined temps in post keep their ids (still unique within
+        // the new block: they were unique in the original block).
+        insts.push(inst);
+    }
+    let term = match post_term {
+        Term::Br { mut cond, t, f: fb } => {
+            if let Operand::Temp(tt) = &mut cond {
+                if let Some(&n) = rename.get(tt) {
+                    *tt = n;
+                }
+            }
+            Term::Br { cond, t, f: fb }
+        }
+        Term::Ret(Some(mut v)) => {
+            if let Operand::Temp(tt) = &mut v {
+                if let Some(&n) = rename.get(tt) {
+                    *tt = n;
+                }
+            }
+            Term::Ret(Some(v))
+        }
+        other => other,
+    };
+    f.blocks[post_bid as usize] = Block { insts, term };
+}
+
+fn set_dst(inst: &mut Inst, fresh: u32) {
+    match inst {
+        Inst::Bin { dst, .. }
+        | Inst::Un { dst, .. }
+        | Inst::LoadGlobal { dst, .. }
+        | Inst::AddrOf { dst, .. }
+        | Inst::LoadLocal { dst, .. }
+        | Inst::LoadMem { dst, .. } => *dst = fresh,
+        Inst::Call { dst, .. } | Inst::Intr { dst, .. } => *dst = Some(fresh),
+        _ => unreachable!("dst() returned Some for a store"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::lower::lower_unit;
+    use crate::parser::parse;
+
+    fn lowered(src: &str) -> Vec<FuncIr> {
+        lower_unit(&parse(&lex(src).unwrap()).unwrap())
+            .unwrap()
+            .funcs
+    }
+
+    #[test]
+    fn small_leaf_is_inlined() {
+        let mut funcs = lowered(
+            "i64 sq(i64 a) { return a * a; } \
+             i64 f(i64 x) { return sq(x) + sq(x + 1); }",
+        );
+        let n = run_unit(&mut funcs);
+        assert_eq!(n, 2);
+        let f = funcs.iter().find(|f| f.name == "f").unwrap();
+        assert!(
+            !f.blocks
+                .iter()
+                .any(|b| b.insts.iter().any(|i| matches!(i, Inst::Call { .. }))),
+            "no calls remain"
+        );
+    }
+
+    #[test]
+    fn multiverse_functions_are_never_inlined() {
+        let mut funcs = lowered(
+            "multiverse bool s; \
+             multiverse void g(void) { if (s) { } } \
+             void f(void) { g(); }",
+        );
+        assert_eq!(run_unit(&mut funcs), 0);
+    }
+
+    #[test]
+    fn big_functions_are_not_inlined() {
+        let body = "x = x + 1;".repeat(MAX_INSTS + 4);
+        let src = format!("i64 g(i64 x) {{ {body} return x; }} i64 f(i64 y) {{ return g(y); }}");
+        let mut funcs = lowered(&src);
+        assert_eq!(run_unit(&mut funcs), 0);
+    }
+
+    #[test]
+    fn recursive_functions_are_not_inlined() {
+        let mut funcs = lowered(
+            "i64 r(i64 n) { if (n < 1) { return 0; } return r(n - 1); } \
+             i64 f(void) { return r(3); }",
+        );
+        // `r` calls itself, so it is not a leaf and not inlinable.
+        assert_eq!(run_unit(&mut funcs), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Tokens of the MVC language.
+
+use core::fmt;
+
+/// Source position (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal (decimal, hex `0x…`, or char `'a'`).
+    Int(i64),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    P(P),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Void,
+    Bool,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+    Enum,
+    Fnptr,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    True,
+    False,
+    Multiverse,
+    PvopCc,
+    Extern,
+    Static,
+}
+
+impl Kw {
+    /// Looks up a keyword by spelling.
+    pub fn lookup(s: &str) -> Option<Kw> {
+        Some(match s {
+            "void" => Kw::Void,
+            "bool" => Kw::Bool,
+            "i8" => Kw::I8,
+            "i16" => Kw::I16,
+            "i32" => Kw::I32,
+            "i64" => Kw::I64,
+            "u8" => Kw::U8,
+            "u16" => Kw::U16,
+            "u32" => Kw::U32,
+            "u64" => Kw::U64,
+            "int" => Kw::I32,
+            "long" => Kw::I64,
+            "char" => Kw::U8,
+            "enum" => Kw::Enum,
+            "fnptr" => Kw::Fnptr,
+            "if" => Kw::If,
+            "else" => Kw::Else,
+            "while" => Kw::While,
+            "for" => Kw::For,
+            "return" => Kw::Return,
+            "break" => Kw::Break,
+            "continue" => Kw::Continue,
+            "true" => Kw::True,
+            "false" => Kw::False,
+            "multiverse" => Kw::Multiverse,
+            "pvop_cc" => Kw::PvopCc,
+            "extern" => Kw::Extern,
+            "static" => Kw::Static,
+            _ => return None,
+        })
+    }
+}
+
+/// Punctuation and operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum P {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Shl,
+    Shr,
+    PlusEq,
+    MinusEq,
+    PlusPlus,
+    MinusMinus,
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}

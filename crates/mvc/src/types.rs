@@ -1,0 +1,143 @@
+//! The MVC type system — integer-like scalars, enums, pointers and the
+//! opaque `fnptr`.
+
+use core::fmt;
+
+/// A scalar or pointer type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Type {
+    /// No value (function return only).
+    Void,
+    /// Boolean (1 byte, unsigned storage).
+    Bool,
+    /// Sized integer.
+    Int {
+        /// Width in bytes: 1, 2, 4 or 8.
+        width: u8,
+        /// Signedness.
+        signed: bool,
+    },
+    /// A declared enum (stored as `i32`).
+    Enum(String),
+    /// Pointer to an element type (8 bytes).
+    Ptr(Box<Type>),
+    /// Opaque callable function pointer (8 bytes).
+    Fnptr,
+}
+
+impl Type {
+    /// `i32`, the default int.
+    pub const I32: Type = Type::Int {
+        width: 4,
+        signed: true,
+    };
+    /// `i64`.
+    pub const I64: Type = Type::Int {
+        width: 8,
+        signed: true,
+    };
+    /// `u8`.
+    pub const U8: Type = Type::Int {
+        width: 1,
+        signed: false,
+    };
+
+    /// Storage size in bytes.
+    pub fn size(&self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::Bool => 1,
+            Type::Int { width, .. } => *width as u64,
+            Type::Enum(_) => 4,
+            Type::Ptr(_) | Type::Fnptr => 8,
+        }
+    }
+
+    /// Signedness of loads of this type.
+    pub fn signed(&self) -> bool {
+        match self {
+            Type::Int { signed, .. } => *signed,
+            Type::Enum(_) => true,
+            _ => false,
+        }
+    }
+
+    /// `true` for types usable as a configuration switch (§2: signed and
+    /// unsigned integer types, enumeration types — plus function pointers
+    /// via the §4 extension).
+    pub fn switchable(&self) -> bool {
+        matches!(
+            self,
+            Type::Bool | Type::Int { .. } | Type::Enum(_) | Type::Fnptr
+        )
+    }
+
+    /// `true` if values of the type live in an integer register.
+    pub fn scalar(&self) -> bool {
+        !matches!(self, Type::Void)
+    }
+
+    /// Element type behind a pointer, if any.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Bool => write!(f, "bool"),
+            Type::Int { width, signed } => {
+                write!(f, "{}{}", if *signed { "i" } else { "u" }, width * 8)
+            }
+            Type::Enum(n) => write!(f, "enum {n}"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Fnptr => write!(f, "fnptr"),
+        }
+    }
+}
+
+/// A declared enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// `(enumerator, value)` pairs in declaration order.
+    pub items: Vec<(String, i64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::Void.size(), 0);
+        assert_eq!(Type::Bool.size(), 1);
+        assert_eq!(Type::I32.size(), 4);
+        assert_eq!(Type::Ptr(Box::new(Type::U8)).size(), 8);
+        assert_eq!(Type::Fnptr.size(), 8);
+        assert_eq!(Type::Enum("e".into()).size(), 4);
+    }
+
+    #[test]
+    fn switchable_types() {
+        assert!(Type::Bool.switchable());
+        assert!(Type::I64.switchable());
+        assert!(Type::Enum("mode".into()).switchable());
+        assert!(Type::Fnptr.switchable());
+        assert!(!Type::Ptr(Box::new(Type::U8)).switchable());
+        assert!(!Type::Void.switchable());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::U8.to_string(), "u8");
+        assert_eq!(Type::Ptr(Box::new(Type::U8)).to_string(), "u8*");
+    }
+}

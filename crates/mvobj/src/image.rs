@@ -1,0 +1,62 @@
+//! Linked executable images.
+
+use crate::section::Prot;
+use std::collections::HashMap;
+
+/// A loadable memory segment of a linked image.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// Load address (page-aligned).
+    pub addr: u64,
+    /// Initial protection.
+    pub prot: Prot,
+    /// Contents (BSS is materialized as zeroes).
+    pub bytes: Vec<u8>,
+    /// Section name this segment was produced from.
+    pub name: String,
+}
+
+/// A fully linked, position-resolved executable.
+///
+/// This is what the `mvvm` machine loads and what the `mvrt` run-time
+/// library inspects for descriptor sections.
+#[derive(Clone, Debug, Default)]
+pub struct Executable {
+    /// Segments in ascending address order.
+    pub segments: Vec<Segment>,
+    /// Global symbol table: name → absolute address.
+    pub symbols: HashMap<String, u64>,
+    /// Section map: name → (address, size). Covers descriptor sections.
+    pub sections: HashMap<String, (u64, u64)>,
+    /// Address of the entry function (`main`).
+    pub entry: u64,
+}
+
+impl Executable {
+    /// Address of a global symbol.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Address and size of a section; `(0, 0)` for absent descriptor
+    /// sections (a program without multiversed functions has none).
+    pub fn section(&self, name: &str) -> (u64, u64) {
+        self.sections.get(name).copied().unwrap_or((0, 0))
+    }
+
+    /// Total image size in bytes (sum of segment contents), the measure
+    /// used for the paper's "+40 KiB image size" accounting.
+    pub fn image_size(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes.len() as u64).sum()
+    }
+
+    /// Reverse-maps an address to the nearest preceding function symbol —
+    /// handy in diagnostics and tests.
+    pub fn symbolize(&self, addr: u64) -> Option<(&str, u64)> {
+        self.symbols
+            .iter()
+            .filter(|&(_, &a)| a <= addr)
+            .max_by_key(|&(_, &a)| a)
+            .map(|(n, &a)| (n.as_str(), addr - a))
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! MVO — the object-file format, linker and executable image of the
+//! Multiverse reproduction.
+//!
+//! §5 of the EuroSys'19 paper relies on three properties of ELF that this
+//! crate reproduces:
+//!
+//! 1. **Per-descriptor-type sections.** The compiler plugin stores variable,
+//!    function and call-site descriptors in dedicated sections
+//!    (`multiverse.variables`, `multiverse.functions`,
+//!    `multiverse.callsites`). Because the linker concatenates same-named
+//!    sections from all translation units, the run-time library can address
+//!    each descriptor type as one contiguous array.
+//! 2. **Relocations.** Descriptors reference functions and variables with
+//!    the address-of operator; the compiler emits relocation entries and the
+//!    linker injects the numerical addresses, giving relocatable and
+//!    position-independent images for free.
+//! 3. **Size model.** Descriptors cost 32 bytes per configuration switch,
+//!    16 bytes per call site and `48 + #variants·(32 + #guards·16)` bytes
+//!    per multiversed function ([`descriptor`] enforces these sizes with
+//!    compile-time constants and tests).
+//!
+//! The flow is: `mvc` produces an [`Object`] per translation unit →
+//! [`link()`](link()) concatenates sections, lays them out in pages, resolves
+//! relocations → the resulting [`Executable`] is loaded into an `mvvm`
+//! machine and interpreted, while `mvrt` reads the descriptor sections out
+//! of the loaded image.
+
+pub mod descriptor;
+pub mod image;
+pub mod link;
+pub mod mvo;
+pub mod object;
+pub mod reloc;
+pub mod section;
+pub mod symbol;
+
+pub use image::{Executable, Segment};
+pub use link::{link, Layout, LinkError};
+pub use mvo::{read_object, write_object, MvoError};
+pub use object::Object;
+pub use reloc::{Reloc, RelocKind};
+pub use section::{Prot, Section, SectionKind};
+pub use symbol::{SymKind, Symbol};
+
+/// Name of the code section.
+pub const SEC_TEXT: &str = ".text";
+/// Name of the initialized-data section.
+pub const SEC_DATA: &str = ".data";
+/// Name of the zero-initialized data section.
+pub const SEC_BSS: &str = ".bss";
+/// Name of the read-only string/constant section.
+pub const SEC_RODATA: &str = ".rodata";
+/// Descriptor section for configuration switches (32-byte records).
+pub const SEC_MV_VARIABLES: &str = "multiverse.variables";
+/// Descriptor section for multiversed functions (variable-length records).
+pub const SEC_MV_FUNCTIONS: &str = "multiverse.functions";
+/// Descriptor section for recorded call sites (16-byte records).
+pub const SEC_MV_CALLSITES: &str = "multiverse.callsites";

@@ -1,0 +1,383 @@
+//! The linker: section concatenation, layout, symbol resolution and
+//! relocation.
+
+use crate::image::{Executable, Segment};
+use crate::object::Object;
+use crate::reloc::RelocKind;
+use crate::section::SectionKind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Address-space layout parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Layout {
+    /// Base address of the first (text) section.
+    pub text_base: u64,
+    /// Page size; every output section starts on a page boundary so that
+    /// `mprotect` on the text segment never affects data.
+    pub page_size: u64,
+}
+
+impl Default for Layout {
+    fn default() -> Layout {
+        Layout {
+            text_base: 0x0001_0000,
+            page_size: 4096,
+        }
+    }
+}
+
+/// Linking errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LinkError {
+    /// A global symbol is defined in more than one object.
+    DuplicateSymbol(String),
+    /// A referenced symbol is defined nowhere.
+    UndefinedSymbol(String),
+    /// A `rel32` field cannot reach its target.
+    RelocOutOfRange(String),
+    /// No `main` entry symbol.
+    NoEntry,
+    /// A relocation points outside its section.
+    BadRelocOffset(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::DuplicateSymbol(s) => write!(f, "duplicate global symbol `{s}`"),
+            LinkError::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            LinkError::RelocOutOfRange(s) => write!(f, "rel32 out of range for `{s}`"),
+            LinkError::NoEntry => write!(f, "no `main` entry symbol"),
+            LinkError::BadRelocOffset(s) => write!(f, "relocation outside section for `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Section output order: text first, then read-only data (descriptors),
+/// initialized data, and BSS last.
+fn kind_rank(kind: SectionKind) -> u32 {
+    match kind {
+        SectionKind::Text => 0,
+        SectionKind::Rodata => 1,
+        SectionKind::Data => 2,
+        SectionKind::Bss => 3,
+    }
+}
+
+/// Links `objects` into an executable image.
+///
+/// Same-named sections from all objects are concatenated in object order
+/// (this is what turns the per-TU descriptor fragments into the contiguous
+/// descriptor arrays the run-time library walks), global symbols are
+/// resolved across objects, and relocations are applied.
+///
+/// # Examples
+///
+/// ```
+/// use mvobj::{link, Layout, Object, Section, SectionKind, Symbol};
+///
+/// let mut o = Object::new("tu0");
+/// o.append(".text", SectionKind::Text, &mvasm::encode(&mvasm::Insn::Halt));
+/// o.define(Symbol::func("main", ".text", 0, 1));
+/// let exe = link(&[o], &Layout::default()).unwrap();
+/// assert_eq!(exe.entry, 0x10000);
+/// ```
+pub fn link(objects: &[Object], layout: &Layout) -> Result<Executable, LinkError> {
+    // Pass 1: collect output sections (name → kind, chunk offsets).
+    struct OutSec {
+        kind: SectionKind,
+        bytes: Vec<u8>,
+        // (object index) → base offset of that object's chunk.
+        chunk_base: HashMap<usize, u64>,
+        mem_size: u64,
+    }
+
+    let mut order: Vec<String> = Vec::new();
+    let mut secs: HashMap<String, OutSec> = HashMap::new();
+    for (oi, obj) in objects.iter().enumerate() {
+        for sec in &obj.sections {
+            let out = secs.entry(sec.name.clone()).or_insert_with(|| {
+                order.push(sec.name.clone());
+                OutSec {
+                    kind: sec.kind,
+                    bytes: Vec::new(),
+                    chunk_base: HashMap::new(),
+                    mem_size: 0,
+                }
+            });
+            let align = sec.align.max(1);
+            let base = out.mem_size.next_multiple_of(align);
+            if sec.kind != SectionKind::Bss {
+                out.bytes.resize(base as usize, 0);
+                out.bytes.extend_from_slice(&sec.bytes);
+            }
+            out.chunk_base.insert(oi, base);
+            out.mem_size = base + sec.mem_size();
+        }
+    }
+
+    // Stable layout: group by kind rank, keep first-seen order within rank.
+    order.sort_by_key(|n| kind_rank(secs[n].kind));
+
+    // Pass 2: assign addresses, each section page-aligned.
+    let mut addr = layout.text_base;
+    let mut sec_addr: HashMap<String, u64> = HashMap::new();
+    let mut sections_meta = HashMap::new();
+    for name in &order {
+        let s = &secs[name];
+        addr = addr.next_multiple_of(layout.page_size);
+        sec_addr.insert(name.clone(), addr);
+        sections_meta.insert(name.clone(), (addr, s.mem_size));
+        addr += s.mem_size.max(1);
+    }
+
+    // Pass 3: symbol resolution.
+    let mut globals: HashMap<String, u64> = HashMap::new();
+    let mut locals: Vec<HashMap<String, u64>> = vec![HashMap::new(); objects.len()];
+    for (oi, obj) in objects.iter().enumerate() {
+        for sym in &obj.symbols {
+            let Some(base) = sec_addr.get(&sym.section) else {
+                return Err(LinkError::UndefinedSymbol(format!(
+                    "{} (section {} missing)",
+                    sym.name, sym.section
+                )));
+            };
+            let chunk = secs[&sym.section].chunk_base[&oi];
+            let a = base + chunk + sym.offset;
+            if sym.global {
+                if globals.insert(sym.name.clone(), a).is_some() {
+                    return Err(LinkError::DuplicateSymbol(sym.name.clone()));
+                }
+            } else {
+                locals[oi].insert(sym.name.clone(), a);
+            }
+        }
+    }
+
+    // Pass 4: relocations.
+    for (oi, obj) in objects.iter().enumerate() {
+        for rel in &obj.relocs {
+            let sym_addr = locals[oi]
+                .get(&rel.symbol)
+                .or_else(|| globals.get(&rel.symbol))
+                .copied()
+                .ok_or_else(|| LinkError::UndefinedSymbol(rel.symbol.clone()))?;
+            let out = secs.get_mut(&rel.section).ok_or_else(|| {
+                LinkError::BadRelocOffset(format!("{} (no section {})", rel.symbol, rel.section))
+            })?;
+            let chunk = out.chunk_base[&oi];
+            let value = sym_addr as i64 + rel.addend;
+            let field = (chunk + rel.offset) as usize;
+            match rel.kind {
+                RelocKind::Abs64 => {
+                    let end = field + 8;
+                    if end > out.bytes.len() {
+                        return Err(LinkError::BadRelocOffset(rel.symbol.clone()));
+                    }
+                    out.bytes[field..end].copy_from_slice(&(value as u64).to_le_bytes());
+                }
+                RelocKind::Rel32 { next_insn } => {
+                    let pc_next = sec_addr[&rel.section] + chunk + next_insn;
+                    let disp = value - pc_next as i64;
+                    let disp32 = i32::try_from(disp)
+                        .map_err(|_| LinkError::RelocOutOfRange(rel.symbol.clone()))?;
+                    let end = field + 4;
+                    if end > out.bytes.len() {
+                        return Err(LinkError::BadRelocOffset(rel.symbol.clone()));
+                    }
+                    out.bytes[field..end].copy_from_slice(&disp32.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    // Pass 5: emit segments.
+    let mut segments = Vec::new();
+    for name in &order {
+        let s = &secs[name];
+        let mut bytes = s.bytes.clone();
+        bytes.resize(s.mem_size as usize, 0);
+        segments.push(Segment {
+            addr: sec_addr[name],
+            prot: s.kind.prot(),
+            bytes,
+            name: name.clone(),
+        });
+    }
+
+    let entry = *globals.get("main").ok_or(LinkError::NoEntry)?;
+    Ok(Executable {
+        segments,
+        symbols: globals,
+        sections: sections_meta,
+        entry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reloc::Reloc;
+    use crate::symbol::Symbol;
+    use mvasm::{decode, Insn, Reg};
+
+    fn text_obj(name: &str, code: &[u8]) -> Object {
+        let mut o = Object::new(name);
+        o.append(crate::SEC_TEXT, SectionKind::Text, code);
+        o
+    }
+
+    #[test]
+    fn cross_tu_call_is_relocated() {
+        // tu0: main calls `callee` (defined in tu1).
+        let mut code = mvasm::encode(&Insn::CallRel { rel: 0 });
+        code.extend(mvasm::encode(&Insn::Halt));
+        let mut tu0 = text_obj("tu0", &code);
+        tu0.define(Symbol::func("main", crate::SEC_TEXT, 0, code.len() as u64));
+        tu0.relocate(Reloc {
+            section: crate::SEC_TEXT.into(),
+            offset: 1,
+            kind: RelocKind::Rel32 { next_insn: 5 },
+            symbol: "callee".into(),
+            addend: 0,
+        });
+
+        let callee = mvasm::encode(&Insn::Ret);
+        let mut tu1 = text_obj("tu1", &callee);
+        tu1.define(Symbol::func("callee", crate::SEC_TEXT, 0, 1));
+
+        let exe = link(&[tu0, tu1], &Layout::default()).unwrap();
+        let text = &exe.segments[0];
+        let (insn, len) = decode(&text.bytes).unwrap();
+        let Insn::CallRel { rel } = insn else {
+            panic!("expected call")
+        };
+        let target = text.addr + len as u64 + rel as u64;
+        assert_eq!(target, exe.symbol("callee").unwrap());
+    }
+
+    #[test]
+    fn descriptor_sections_concatenate_in_object_order() {
+        let mut tu0 = text_obj("tu0", &mvasm::encode(&Insn::Halt));
+        tu0.define(Symbol::func("main", crate::SEC_TEXT, 0, 1));
+        tu0.append(crate::SEC_MV_CALLSITES, SectionKind::Rodata, &[0xAA; 16]);
+        let mut tu1 = Object::new("tu1");
+        tu1.append(crate::SEC_MV_CALLSITES, SectionKind::Rodata, &[0xBB; 16]);
+
+        let exe = link(&[tu0, tu1], &Layout::default()).unwrap();
+        let (addr, size) = exe.section(crate::SEC_MV_CALLSITES);
+        assert_eq!(size, 32);
+        let seg = exe
+            .segments
+            .iter()
+            .find(|s| s.name == crate::SEC_MV_CALLSITES)
+            .unwrap();
+        assert_eq!(seg.addr, addr);
+        assert_eq!(&seg.bytes[..16], &[0xAA; 16]);
+        assert_eq!(&seg.bytes[16..], &[0xBB; 16]);
+    }
+
+    #[test]
+    fn duplicate_global_rejected() {
+        let mut tu0 = text_obj("tu0", &mvasm::encode(&Insn::Halt));
+        tu0.define(Symbol::func("main", crate::SEC_TEXT, 0, 1));
+        let mut tu1 = text_obj("tu1", &mvasm::encode(&Insn::Halt));
+        tu1.define(Symbol::func("main", crate::SEC_TEXT, 0, 1));
+        assert_eq!(
+            link(&[tu0, tu1], &Layout::default()).unwrap_err(),
+            LinkError::DuplicateSymbol("main".into())
+        );
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let mut tu0 = text_obj("tu0", &mvasm::encode(&Insn::CallRel { rel: 0 }));
+        tu0.define(Symbol::func("main", crate::SEC_TEXT, 0, 5));
+        tu0.relocate(Reloc {
+            section: crate::SEC_TEXT.into(),
+            offset: 1,
+            kind: RelocKind::Rel32 { next_insn: 5 },
+            symbol: "ghost".into(),
+            addend: 0,
+        });
+        assert_eq!(
+            link(&[tu0], &Layout::default()).unwrap_err(),
+            LinkError::UndefinedSymbol("ghost".into())
+        );
+    }
+
+    #[test]
+    fn local_symbols_do_not_collide_across_objects() {
+        let mk = |tu: &str| {
+            let mut o = Object::new(tu);
+            o.append(
+                crate::SEC_TEXT,
+                SectionKind::Text,
+                &mvasm::encode(&Insn::Halt),
+            );
+            o.define(Symbol::func("helper", crate::SEC_TEXT, 0, 1).local());
+            o
+        };
+        let mut tu0 = mk("tu0");
+        tu0.define(Symbol::func("main", crate::SEC_TEXT, 0, 1));
+        let tu1 = mk("tu1");
+        assert!(link(&[tu0, tu1], &Layout::default()).is_ok());
+    }
+
+    #[test]
+    fn abs64_reloc_into_data() {
+        let mut tu0 = text_obj("tu0", &mvasm::encode(&Insn::Halt));
+        tu0.define(Symbol::func("main", crate::SEC_TEXT, 0, 1));
+        tu0.define_data_ptr("ptr", "main");
+        let exe = link(&[tu0], &Layout::default()).unwrap();
+        let data = exe
+            .segments
+            .iter()
+            .find(|s| s.name == crate::SEC_DATA)
+            .unwrap();
+        let v = u64::from_le_bytes(data.bytes[..8].try_into().unwrap());
+        assert_eq!(v, exe.entry);
+    }
+
+    #[test]
+    fn sections_are_page_separated() {
+        let mut tu0 = text_obj("tu0", &mvasm::encode(&Insn::Halt));
+        tu0.define(Symbol::func("main", crate::SEC_TEXT, 0, 1));
+        tu0.define_bss("g", 8);
+        tu0.define_data("d", &[1, 2, 3, 4]);
+        let exe = link(&[tu0, Object::new("tu1")], &Layout::default()).unwrap();
+        for w in exe.segments.windows(2) {
+            assert!(w[1].addr >= w[0].addr + w[0].bytes.len() as u64);
+            assert_eq!(w[1].addr % 4096, 0);
+        }
+    }
+
+    #[test]
+    fn text_loads_rx_and_data_rw() {
+        let mut tu0 = text_obj("tu0", &mvasm::encode(&Insn::Halt));
+        tu0.define(Symbol::func("main", crate::SEC_TEXT, 0, 1));
+        tu0.define_data("d", &[0; 8]);
+        let exe = link(&[tu0], &Layout::default()).unwrap();
+        let text = exe.segments.iter().find(|s| s.name == ".text").unwrap();
+        assert!(text.prot.exec && !text.prot.write);
+        let data = exe.segments.iter().find(|s| s.name == ".data").unwrap();
+        assert!(data.prot.write && !data.prot.exec);
+    }
+
+    #[test]
+    fn symbolize_finds_enclosing_function() {
+        let mut code = mvasm::encode(&Insn::MovRI {
+            dst: Reg::R0,
+            imm: 0,
+        });
+        code.extend(mvasm::encode(&Insn::Halt));
+        let mut tu0 = text_obj("tu0", &code);
+        tu0.define(Symbol::func("main", crate::SEC_TEXT, 0, code.len() as u64));
+        let exe = link(&[tu0], &Layout::default()).unwrap();
+        let (name, off) = exe.symbolize(exe.entry + 10).unwrap();
+        assert_eq!((name, off), ("main", 10));
+    }
+}

@@ -1,0 +1,346 @@
+//! MVO — the on-disk object-file format.
+//!
+//! Serializes a relocatable [`Object`] so translation units can be
+//! compiled in separate processes and linked later (`mvcc -c` / link),
+//! as a C toolchain would. The format is a straightforward
+//! length-prefixed little-endian encoding:
+//!
+//! ```text
+//! "MVO1" | unit-name
+//! u32 n_sections  { name | kind u8 | align u64 | mem_size u64 | bytes }
+//! u32 n_symbols   { name | section | offset u64 | flags u8 | size u64 }
+//! u32 n_relocs    { section | offset u64 | kind u8 (+ next u64) | symbol | addend i64 }
+//! ```
+//!
+//! Strings are `u32` length + UTF-8 bytes. Descriptor sections travel as
+//! ordinary sections; their relocations keep the whole scheme position
+//! independent, exactly as in memory.
+
+use crate::object::Object;
+use crate::reloc::{Reloc, RelocKind};
+use crate::section::{Section, SectionKind};
+use crate::symbol::{SymKind, Symbol};
+use std::fmt;
+
+/// Magic bytes of the format.
+pub const MAGIC: &[u8; 4] = b"MVO1";
+
+/// Errors from reading an MVO image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MvoError {
+    /// Missing or wrong magic.
+    BadMagic,
+    /// The input ended inside a field.
+    Truncated,
+    /// A string field is not UTF-8.
+    BadString,
+    /// An enum field holds an unknown value.
+    BadEnum(u8),
+}
+
+impl fmt::Display for MvoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvoError::BadMagic => write!(f, "not an MVO object (bad magic)"),
+            MvoError::Truncated => write!(f, "truncated MVO object"),
+            MvoError::BadString => write!(f, "malformed string in MVO object"),
+            MvoError::BadEnum(v) => write!(f, "invalid enum value {v} in MVO object"),
+        }
+    }
+}
+
+impl std::error::Error for MvoError {}
+
+// ---- writing ---------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn kind_code(k: SectionKind) -> u8 {
+    match k {
+        SectionKind::Text => 0,
+        SectionKind::Data => 1,
+        SectionKind::Rodata => 2,
+        SectionKind::Bss => 3,
+    }
+}
+
+/// Serializes `obj` into MVO bytes.
+pub fn write_object(obj: &Object) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_str(&mut out, &obj.name);
+
+    out.extend_from_slice(&(obj.sections.len() as u32).to_le_bytes());
+    for s in &obj.sections {
+        put_str(&mut out, &s.name);
+        out.push(kind_code(s.kind));
+        out.extend_from_slice(&s.align.to_le_bytes());
+        out.extend_from_slice(&s.size.to_le_bytes());
+        put_bytes(&mut out, &s.bytes);
+    }
+
+    out.extend_from_slice(&(obj.symbols.len() as u32).to_le_bytes());
+    for sym in &obj.symbols {
+        put_str(&mut out, &sym.name);
+        put_str(&mut out, &sym.section);
+        out.extend_from_slice(&sym.offset.to_le_bytes());
+        let flags = (sym.global as u8) | (((sym.kind == SymKind::Func) as u8) << 1);
+        out.push(flags);
+        out.extend_from_slice(&sym.size.to_le_bytes());
+    }
+
+    out.extend_from_slice(&(obj.relocs.len() as u32).to_le_bytes());
+    for r in &obj.relocs {
+        put_str(&mut out, &r.section);
+        out.extend_from_slice(&r.offset.to_le_bytes());
+        match r.kind {
+            RelocKind::Abs64 => out.push(0),
+            RelocKind::Rel32 { next_insn } => {
+                out.push(1);
+                out.extend_from_slice(&next_insn.to_le_bytes());
+            }
+        }
+        put_str(&mut out, &r.symbol);
+        out.extend_from_slice(&r.addend.to_le_bytes());
+    }
+    out
+}
+
+// ---- reading ---------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MvoError> {
+        let end = self.pos.checked_add(n).ok_or(MvoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(MvoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, MvoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, MvoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, MvoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, MvoError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn string(&mut self) -> Result<String, MvoError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| MvoError::BadString)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, MvoError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+/// Deserializes MVO bytes into an [`Object`].
+pub fn read_object(bytes: &[u8]) -> Result<Object, MvoError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(MvoError::BadMagic);
+    }
+    let mut obj = Object::new(&r.string()?);
+
+    let n_sections = r.u32()?;
+    for _ in 0..n_sections {
+        let name = r.string()?;
+        let kind = match r.u8()? {
+            0 => SectionKind::Text,
+            1 => SectionKind::Data,
+            2 => SectionKind::Rodata,
+            3 => SectionKind::Bss,
+            other => return Err(MvoError::BadEnum(other)),
+        };
+        let align = r.u64()?;
+        let size = r.u64()?;
+        let data = r.bytes()?;
+        obj.sections.push(Section {
+            name,
+            kind,
+            bytes: data,
+            size,
+            align,
+        });
+    }
+
+    let n_symbols = r.u32()?;
+    for _ in 0..n_symbols {
+        let name = r.string()?;
+        let section = r.string()?;
+        let offset = r.u64()?;
+        let flags = r.u8()?;
+        let size = r.u64()?;
+        obj.symbols.push(Symbol {
+            name,
+            section,
+            offset,
+            global: flags & 1 != 0,
+            kind: if flags & 2 != 0 {
+                SymKind::Func
+            } else {
+                SymKind::Object
+            },
+            size,
+        });
+    }
+
+    let n_relocs = r.u32()?;
+    for _ in 0..n_relocs {
+        let section = r.string()?;
+        let offset = r.u64()?;
+        let kind = match r.u8()? {
+            0 => RelocKind::Abs64,
+            1 => RelocKind::Rel32 {
+                next_insn: r.u64()?,
+            },
+            other => return Err(MvoError::BadEnum(other)),
+        };
+        let symbol = r.string()?;
+        let addend = r.i64()?;
+        obj.relocs.push(Reloc {
+            section,
+            offset,
+            kind,
+            symbol,
+            addend,
+        });
+    }
+    Ok(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_object() -> Object {
+        let mut o = Object::new("unit.c");
+        o.append(crate::SEC_TEXT, SectionKind::Text, &[0xE8, 1, 2, 3, 4]);
+        o.define(Symbol::func("main", crate::SEC_TEXT, 0, 5));
+        o.define_bss("counter", 8);
+        o.define_data("table", &[7u8; 16]);
+        o.relocate(Reloc {
+            section: crate::SEC_TEXT.into(),
+            offset: 1,
+            kind: RelocKind::Rel32 { next_insn: 5 },
+            symbol: "callee".into(),
+            addend: -3,
+        });
+        o.relocate(Reloc {
+            section: crate::SEC_DATA.into(),
+            offset: 0,
+            kind: RelocKind::Abs64,
+            symbol: "main".into(),
+            addend: 0,
+        });
+        o
+    }
+
+    fn objects_equal(a: &Object, b: &Object) -> bool {
+        if a.name != b.name
+            || a.sections.len() != b.sections.len()
+            || a.symbols.len() != b.symbols.len()
+            || a.relocs.len() != b.relocs.len()
+        {
+            return false;
+        }
+        for (x, y) in a.sections.iter().zip(&b.sections) {
+            if x.name != y.name
+                || x.kind != y.kind
+                || x.bytes != y.bytes
+                || x.size != y.size
+                || x.align != y.align
+            {
+                return false;
+            }
+        }
+        for (x, y) in a.symbols.iter().zip(&b.symbols) {
+            if x.name != y.name
+                || x.section != y.section
+                || x.offset != y.offset
+                || x.global != y.global
+                || x.kind != y.kind
+            {
+                return false;
+            }
+        }
+        for (x, y) in a.relocs.iter().zip(&b.relocs) {
+            if x.section != y.section
+                || x.offset != y.offset
+                || x.symbol != y.symbol
+                || x.addend != y.addend
+            {
+                return false;
+            }
+            match (&x.kind, &y.kind) {
+                (RelocKind::Abs64, RelocKind::Abs64) => {}
+                (RelocKind::Rel32 { next_insn: n1 }, RelocKind::Rel32 { next_insn: n2 })
+                    if n1 == n2 => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn roundtrip_sample() {
+        let o = sample_object();
+        let bytes = write_object(&o);
+        let back = read_object(&bytes).unwrap();
+        assert!(objects_equal(&o, &back));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(read_object(b"ELF!rest"), Err(MvoError::BadMagic)));
+        assert!(matches!(read_object(b"MV"), Err(MvoError::Truncated)));
+    }
+
+    proptest! {
+        /// Truncating a valid image at any point yields a structured
+        /// error, never a panic.
+        #[test]
+        fn truncation_never_panics(cut in 0usize..512) {
+            let bytes = write_object(&sample_object());
+            let cut = cut.min(bytes.len().saturating_sub(1));
+            let _ = read_object(&bytes[..cut]);
+        }
+
+        /// Random byte flips either round-trip to a different-but-parsed
+        /// object or fail cleanly.
+        #[test]
+        fn corruption_never_panics(pos in 0usize..256, val in any::<u8>()) {
+            let mut bytes = write_object(&sample_object());
+            let pos = pos.min(bytes.len() - 1);
+            bytes[pos] = val;
+            let _ = read_object(&bytes);
+        }
+    }
+}

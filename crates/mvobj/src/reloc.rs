@@ -1,0 +1,32 @@
+//! Relocations: symbol references patched by the linker.
+
+/// Relocation field kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RelocKind {
+    /// 64-bit absolute address (`S + A`), little-endian.
+    Abs64,
+    /// 32-bit displacement relative to the end of the containing
+    /// instruction: `S + A - P_next`, where `P_next` is the address right
+    /// after the instruction (x86 `R_X86_64_PC32`-style, as used by `call
+    /// rel32`).
+    Rel32 {
+        /// Offset (within the same section, pre-concatenation) of the first
+        /// byte after the instruction that contains the field.
+        next_insn: u64,
+    },
+}
+
+/// One relocation record.
+#[derive(Clone, Debug)]
+pub struct Reloc {
+    /// Section whose bytes are patched.
+    pub section: String,
+    /// Offset of the field inside that section (pre-concatenation).
+    pub offset: u64,
+    /// Field kind.
+    pub kind: RelocKind,
+    /// Referenced symbol.
+    pub symbol: String,
+    /// Constant addend.
+    pub addend: i64,
+}

@@ -1,0 +1,168 @@
+//! Sections of an object file or loaded image.
+
+use core::fmt;
+
+/// Memory protection of a loaded segment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Prot {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Executable.
+    pub exec: bool,
+}
+
+impl Prot {
+    /// Read-only.
+    pub const R: Prot = Prot {
+        read: true,
+        write: false,
+        exec: false,
+    };
+    /// Read-write.
+    pub const RW: Prot = Prot {
+        read: true,
+        write: true,
+        exec: false,
+    };
+    /// Read-execute (the W^X text protection).
+    pub const RX: Prot = Prot {
+        read: true,
+        write: false,
+        exec: true,
+    };
+    /// Read-write-execute (transient, during patching only).
+    pub const RWX: Prot = Prot {
+        read: true,
+        write: true,
+        exec: true,
+    };
+}
+
+impl fmt::Display for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.exec { 'x' } else { '-' }
+        )
+    }
+}
+
+/// The kind of a section, determining its load-time protection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SectionKind {
+    /// Executable code; loaded `r-x`.
+    Text,
+    /// Initialized data; loaded `rw-`.
+    Data,
+    /// Read-only data (descriptors, strings); loaded `r--`.
+    Rodata,
+    /// Zero-initialized data; occupies no file bytes, loaded `rw-`.
+    Bss,
+}
+
+impl SectionKind {
+    /// Load-time protection for this kind.
+    pub const fn prot(self) -> Prot {
+        match self {
+            SectionKind::Text => Prot::RX,
+            SectionKind::Data | SectionKind::Bss => Prot::RW,
+            SectionKind::Rodata => Prot::R,
+        }
+    }
+}
+
+/// One named section inside an [`crate::Object`].
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// Section name; same-named sections of different objects are
+    /// concatenated by the linker.
+    pub name: String,
+    /// Kind (protection class).
+    pub kind: SectionKind,
+    /// Contents. For [`SectionKind::Bss`] this must be empty; use `size`.
+    pub bytes: Vec<u8>,
+    /// Size of a BSS section; ignored (and derived from `bytes`) otherwise.
+    pub size: u64,
+    /// Required alignment of this object's chunk inside the concatenated
+    /// output section.
+    pub align: u64,
+}
+
+impl Section {
+    /// Creates a progbits section with contents.
+    pub fn with_bytes(name: &str, kind: SectionKind, bytes: Vec<u8>) -> Section {
+        let size = bytes.len() as u64;
+        Section {
+            name: name.to_string(),
+            kind,
+            bytes,
+            size,
+            align: 1,
+        }
+    }
+
+    /// Creates a BSS section of `size` zero bytes.
+    pub fn bss(name: &str, size: u64) -> Section {
+        Section {
+            name: name.to_string(),
+            kind: SectionKind::Bss,
+            bytes: Vec::new(),
+            size,
+            align: 8,
+        }
+    }
+
+    /// Occupied size in the image.
+    pub fn mem_size(&self) -> u64 {
+        if self.kind == SectionKind::Bss {
+            self.size
+        } else {
+            self.bytes.len() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prot_display() {
+        assert_eq!(Prot::RX.to_string(), "r-x");
+        assert_eq!(Prot::RW.to_string(), "rw-");
+        assert_eq!(Prot::R.to_string(), "r--");
+        assert_eq!(Prot::RWX.to_string(), "rwx");
+    }
+
+    #[test]
+    fn kinds_map_to_wxorx_protections() {
+        assert_eq!(SectionKind::Text.prot(), Prot::RX);
+        assert_eq!(SectionKind::Data.prot(), Prot::RW);
+        assert_eq!(SectionKind::Bss.prot(), Prot::RW);
+        assert_eq!(SectionKind::Rodata.prot(), Prot::R);
+        // W^X: no section kind loads writable and executable.
+        for k in [
+            SectionKind::Text,
+            SectionKind::Data,
+            SectionKind::Rodata,
+            SectionKind::Bss,
+        ] {
+            let p = k.prot();
+            assert!(!(p.write && p.exec));
+        }
+    }
+
+    #[test]
+    fn bss_has_mem_size_without_bytes() {
+        let s = Section::bss(".bss", 128);
+        assert_eq!(s.mem_size(), 128);
+        assert!(s.bytes.is_empty());
+        let d = Section::with_bytes(".data", SectionKind::Data, vec![1, 2, 3]);
+        assert_eq!(d.mem_size(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Symbols: named offsets into sections.
+
+/// What a symbol names.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SymKind {
+    /// A function entry point.
+    Func,
+    /// A data object (global variable, descriptor, string).
+    Object,
+}
+
+/// A defined symbol inside an [`crate::Object`].
+#[derive(Clone, Debug)]
+pub struct Symbol {
+    /// Symbol name. Global symbols must be unique across all linked
+    /// objects; local symbols are private to their object.
+    pub name: String,
+    /// Name of the defining section.
+    pub section: String,
+    /// Byte offset inside that section (pre-concatenation).
+    pub offset: u64,
+    /// Visible to other translation units.
+    pub global: bool,
+    /// Function or object.
+    pub kind: SymKind,
+    /// Size in bytes (informational; used for function-body bounds).
+    pub size: u64,
+}
+
+impl Symbol {
+    /// Creates a global function symbol.
+    pub fn func(name: &str, section: &str, offset: u64, size: u64) -> Symbol {
+        Symbol {
+            name: name.to_string(),
+            section: section.to_string(),
+            offset,
+            global: true,
+            kind: SymKind::Func,
+            size,
+        }
+    }
+
+    /// Creates a global data-object symbol.
+    pub fn object(name: &str, section: &str, offset: u64, size: u64) -> Symbol {
+        Symbol {
+            name: name.to_string(),
+            section: section.to_string(),
+            offset,
+            global: true,
+            kind: SymKind::Object,
+            size,
+        }
+    }
+
+    /// Marks the symbol local (not exported to other objects).
+    pub fn local(mut self) -> Symbol {
+        self.global = false;
+        self
+    }
+}

@@ -1,0 +1,89 @@
+//! Run-time library errors.
+
+use mvobj::descriptor::DescError;
+use mvvm::MemError;
+use std::fmt;
+
+/// Errors of the multiverse run-time library.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtError {
+    /// Guest memory access failed.
+    Mem(MemError),
+    /// A descriptor section is malformed.
+    Desc(DescError),
+    /// No multiversed function with this generic address.
+    UnknownFunction(u64),
+    /// No configuration switch at this address.
+    UnknownVariable(u64),
+    /// A guard references a switch with no variable descriptor.
+    UnknownGuardVariable {
+        /// Generic address of the guarded function.
+        function: u64,
+        /// Unresolvable switch address.
+        var_addr: u64,
+    },
+    /// A call site did not contain the instruction the runtime expected —
+    /// the "check if they point to a expected call target" step of §4.
+    SiteVerifyFailed {
+        /// Address of the call site.
+        site: u64,
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
+    /// A generic function body is smaller than the 5-byte entry jump that
+    /// completeness patching must place over it.
+    GenericTooSmall {
+        /// Generic entry address.
+        function: u64,
+        /// Its body size.
+        size: u32,
+    },
+    /// A function-pointer switch holds a value that is not a function
+    /// entry the runtime knows how to reach.
+    BadFnPtrTarget {
+        /// Switch address.
+        var_addr: u64,
+        /// Pointer value found.
+        target: u64,
+    },
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::Mem(e) => write!(f, "{e}"),
+            RtError::Desc(e) => write!(f, "{e}"),
+            RtError::UnknownFunction(a) => write!(f, "no multiversed function at {a:#x}"),
+            RtError::UnknownVariable(a) => write!(f, "no configuration switch at {a:#x}"),
+            RtError::UnknownGuardVariable { function, var_addr } => write!(
+                f,
+                "function {function:#x} guarded by unknown switch {var_addr:#x}"
+            ),
+            RtError::SiteVerifyFailed { site, what } => {
+                write!(f, "call-site verification failed at {site:#x}: {what}")
+            }
+            RtError::GenericTooSmall { function, size } => write!(
+                f,
+                "generic body of {function:#x} is {size} bytes, smaller than an entry jump"
+            ),
+            RtError::BadFnPtrTarget { var_addr, target } => write!(
+                f,
+                "function pointer at {var_addr:#x} holds unreachable target {target:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+impl From<MemError> for RtError {
+    fn from(e: MemError) -> RtError {
+        RtError::Mem(e)
+    }
+}
+
+impl From<DescError> for RtError {
+    fn from(e: DescError) -> RtError {
+        RtError::Desc(e)
+    }
+}

@@ -1,0 +1,188 @@
+//! Low-level text-segment patching primitives.
+//!
+//! Every write follows the §4 discipline: make the affected pages writable,
+//! write, restore the original protection, flush the instruction cache.
+//! The machine enforces both halves — unwritable text faults, and stale
+//! decoded instructions keep executing until the flush.
+
+use crate::error::RtError;
+use crate::stats::PatchStats;
+use mvasm::{Insn, CALL_SITE_LEN};
+use mvobj::Prot;
+use mvvm::Machine;
+
+/// Writes `bytes` into the text segment at `addr` under a transient-RW
+/// window and flushes the icache for the range.
+pub fn patch_bytes(
+    m: &mut Machine,
+    addr: u64,
+    bytes: &[u8],
+    stats: &mut PatchStats,
+) -> Result<(), RtError> {
+    let len = bytes.len() as u64;
+    m.mem.mprotect(addr, len, Prot::RW)?;
+    stats.mprotects += 1;
+    m.mem.write(addr, bytes)?;
+    stats.bytes_written += len;
+    m.mem.mprotect(addr, len, Prot::RX)?;
+    stats.mprotects += 1;
+    m.mem.flush_icache(addr, len);
+    stats.icache_flushes += 1;
+    Ok(())
+}
+
+/// Decodes the instruction currently at `addr`.
+pub fn insn_at(m: &Machine, addr: u64) -> Result<Insn, RtError> {
+    let bytes = m.mem.read_vec(addr, 16).or_else(|_| {
+        // Near the end of a mapping fewer bytes may be readable.
+        m.mem.read_vec(addr, CALL_SITE_LEN)
+    })?;
+    let (insn, _) = mvasm::decode(&bytes).map_err(|e| RtError::SiteVerifyFailed {
+        site: addr,
+        what: format!("undecodable bytes: {e}"),
+    })?;
+    Ok(insn)
+}
+
+/// Resolved target of a `call rel32` at `site`.
+pub fn call_target(site: u64, rel: i32) -> u64 {
+    (site + CALL_SITE_LEN as u64).wrapping_add(rel as i64 as u64)
+}
+
+/// Encodes a `call rel32` at `site` aimed at `target`.
+pub fn encode_call(site: u64, target: u64) -> Vec<u8> {
+    let rel = target.wrapping_sub(site + CALL_SITE_LEN as u64) as i64;
+    mvasm::encode(&Insn::CallRel { rel: rel as i32 })
+}
+
+/// Encodes a `jmp rel32` at `at` aimed at `target` (the generic-entry
+/// completeness jump).
+pub fn encode_jmp(at: u64, target: u64) -> Vec<u8> {
+    let rel = target.wrapping_sub(at + CALL_SITE_LEN as u64) as i64;
+    mvasm::encode(&Insn::Jmp { rel: rel as i32 })
+}
+
+/// Verifies that `site` currently holds a `call rel32` to `expected`.
+pub fn verify_call(m: &Machine, site: u64, expected: u64) -> Result<(), RtError> {
+    match insn_at(m, site)? {
+        Insn::CallRel { rel } => {
+            let t = call_target(site, rel);
+            if t == expected {
+                Ok(())
+            } else {
+                Err(RtError::SiteVerifyFailed {
+                    site,
+                    what: format!("call targets {t:#x}, expected {expected:#x}"),
+                })
+            }
+        }
+        other => Err(RtError::SiteVerifyFailed {
+            site,
+            what: format!("found `{other}`, expected a call"),
+        }),
+    }
+}
+
+/// Builds the byte image for inlining `body` (already stripped of its
+/// final `ret`) into a site of `site_len` bytes, NOP-padding the rest.
+///
+/// An empty body yields a pure NOP sled — Fig. 3 c's "suitably large nop".
+pub fn inline_image(body: &[u8], site_len: usize) -> Vec<u8> {
+    assert!(body.len() <= site_len);
+    let mut v = body.to_vec();
+    v.extend(mvasm::nop_fill(site_len - body.len()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvasm::Reg;
+    use mvobj::{link, Layout, Object, SectionKind, Symbol};
+    use mvvm::{CostModel, MachineConfig};
+
+    fn machine_with_text(code: &[u8]) -> (Machine, u64) {
+        let mut o = Object::new("t");
+        o.append(mvobj::SEC_TEXT, SectionKind::Text, code);
+        o.define(Symbol::func("main", mvobj::SEC_TEXT, 0, code.len() as u64));
+        let exe = link(&[o], &Layout::default()).unwrap();
+        let mut m = Machine::new(CostModel::default(), MachineConfig::default());
+        m.load(&exe);
+        (m, exe.entry)
+    }
+
+    #[test]
+    fn patch_respects_wxorx() {
+        let code = mvasm::encode(&Insn::Ret);
+        let (mut m, text) = machine_with_text(&code);
+        // A raw write faults; patch_bytes succeeds and restores RX.
+        assert!(m.mem.write(text, &[0x90]).is_err());
+        let mut stats = PatchStats::default();
+        patch_bytes(&mut m, text, &[0x90], &mut stats).unwrap();
+        assert!(m.mem.write(text, &[0x90]).is_err());
+        assert_eq!(stats.mprotects, 2);
+        assert_eq!(stats.icache_flushes, 1);
+        assert_eq!(stats.bytes_written, 1);
+    }
+
+    #[test]
+    fn verify_call_accepts_and_rejects() {
+        let mut code = encode_call(0, 100); // placeholder, rewritten below
+        code.extend(mvasm::encode(&Insn::Ret));
+        let (mut m, text) = machine_with_text(&code);
+        // Point the call at text+5 (the ret) so verification can succeed.
+        let mut stats = PatchStats::default();
+        patch_bytes(&mut m, text, &encode_call(text, text + 5), &mut stats).unwrap();
+        verify_call(&m, text, text + 5).unwrap();
+        let err = verify_call(&m, text, text + 100).unwrap_err();
+        assert!(matches!(err, RtError::SiteVerifyFailed { .. }));
+        // Not-a-call also fails verification.
+        patch_bytes(&mut m, text, &mvasm::nop_fill(5), &mut stats).unwrap();
+        assert!(verify_call(&m, text, text + 5).is_err());
+    }
+
+    #[test]
+    fn call_encode_roundtrip() {
+        let site = 0x1_0000u64;
+        for target in [0x1_0005u64, 0x0_8000, 0x2_0000, site] {
+            let bytes = encode_call(site, target);
+            let (insn, _) = mvasm::decode(&bytes).unwrap();
+            let Insn::CallRel { rel } = insn else {
+                panic!()
+            };
+            assert_eq!(call_target(site, rel), target);
+        }
+    }
+
+    #[test]
+    fn inline_image_pads_with_nops() {
+        let body = mvasm::encode(&Insn::Cli);
+        let img = inline_image(&body, 5);
+        assert_eq!(img.len(), 5);
+        let (first, n) = mvasm::decode(&img).unwrap();
+        assert_eq!(first, Insn::Cli);
+        let (second, _) = mvasm::decode(&img[n..]).unwrap();
+        assert!(second.is_nop());
+        // Empty body: a single wide NOP.
+        let img = inline_image(&[], 5);
+        let (only, n) = mvasm::decode(&img).unwrap();
+        assert_eq!(only, Insn::Nop { len: 5 });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn insn_at_reads_current_bytes() {
+        let code = mvasm::encode(&Insn::MovRI {
+            dst: Reg::R3,
+            imm: 9,
+        });
+        let (m, text) = machine_with_text(&code);
+        assert_eq!(
+            insn_at(&m, text).unwrap(),
+            Insn::MovRI {
+                dst: Reg::R3,
+                imm: 9
+            }
+        );
+    }
+}

@@ -1,0 +1,568 @@
+//! The run-time library proper: descriptor interpretation, variant
+//! selection, and the commit/revert API of Table 1.
+
+use crate::error::RtError;
+use crate::patch::{encode_call, encode_jmp, inline_image, insn_at, patch_bytes, verify_call};
+use crate::stats::PatchStats;
+use mvasm::{Insn, CALL_SITE_LEN};
+use mvobj::descriptor::{
+    parse_callsites, parse_functions, parse_variables, CallsiteDesc, FnDesc, VarDesc, NOT_INLINABLE,
+};
+use mvobj::{Executable, SEC_MV_CALLSITES, SEC_MV_FUNCTIONS, SEC_MV_VARIABLES};
+use mvvm::Machine;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// How commits install variants — the §7.1 design-space ablation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PatchStrategy {
+    /// The paper's mechanism: rewrite every recorded call site (and
+    /// inline short bodies), plus the completeness entry jump.
+    #[default]
+    CallSites,
+    /// The rejected alternative, approximated: only the generic entry is
+    /// redirected (one patch per function, like body patching would
+    /// need). Calls pay an extra jump and nothing is ever inlined, but
+    /// patching is O(functions) instead of O(call sites).
+    EntryOnly,
+}
+
+/// Current binding of a multiversed function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FnBinding {
+    /// The generic body is live; switches are evaluated dynamically.
+    Generic,
+    /// A specialized variant (by entry address) is committed.
+    Variant(u64),
+}
+
+/// How a call site is currently bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SiteBinding {
+    /// Untouched original instruction.
+    Original,
+    /// Rewritten to a direct call to this target.
+    Call(u64),
+    /// A variant body was inlined (recorded by variant address).
+    Inlined(u64),
+}
+
+/// A call site and its patch state.
+#[derive(Clone, Debug)]
+struct SiteState {
+    desc: CallsiteDesc,
+    /// Total patchable length: 5 for a `call rel32` site, 9 for a
+    /// `call *[mem]` (function-pointer) site.
+    len: usize,
+    /// `true` if the original instruction was an indirect memory call.
+    indirect: bool,
+    original: Vec<u8>,
+    binding: SiteBinding,
+}
+
+/// A multiversed function and its patch state.
+#[derive(Clone, Debug)]
+struct FnState {
+    desc: FnDesc,
+    binding: FnBinding,
+    saved_prologue: Option<Vec<u8>>,
+}
+
+/// Outcome of a commit operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommitReport {
+    /// Functions now bound to a specialized variant.
+    pub variants_committed: usize,
+    /// Functions left on (or reverted to) the generic body because no
+    /// variant admitted the current switch values — the signalled
+    /// situation of Fig. 3 d.
+    pub generic_fallbacks: usize,
+    /// Function-pointer call sites re-bound.
+    pub fnptr_sites: usize,
+    /// Call sites visited in this operation.
+    pub sites_touched: usize,
+}
+
+/// The attached multiverse runtime for one loaded program.
+pub struct Runtime {
+    vars: Vec<VarDesc>,
+    var_by_addr: HashMap<u64, usize>,
+    fns: Vec<FnState>,
+    fn_by_addr: HashMap<u64, usize>,
+    sites: Vec<SiteState>,
+    /// callee address (generic entry or fn-pointer variable) → site indices.
+    sites_of: HashMap<u64, Vec<usize>>,
+    /// Cumulative patching statistics.
+    pub stats: PatchStats,
+    /// Host wall-clock time spent patching, cumulative.
+    pub patch_time: Duration,
+    /// Patch strategy (default: call-site patching).
+    pub strategy: PatchStrategy,
+    /// Whether short bodies may be inlined into call sites (default on).
+    pub inline_enabled: bool,
+}
+
+impl Runtime {
+    /// Parses the descriptor sections out of the loaded image and verifies
+    /// every recorded call site.
+    ///
+    /// Mirrors the library initialization of §5: the descriptors are read
+    /// from the process image itself (the linker already concatenated and
+    /// relocated them).
+    pub fn attach(m: &Machine, exe: &Executable) -> Result<Runtime, RtError> {
+        let read_sec = |name: &str| -> Result<Vec<u8>, RtError> {
+            let (addr, size) = exe.section(name);
+            if size == 0 {
+                return Ok(Vec::new());
+            }
+            Ok(m.mem.read_vec(addr, size as usize)?)
+        };
+        let vars = parse_variables(&read_sec(SEC_MV_VARIABLES)?)?;
+        let fn_descs = parse_functions(&read_sec(SEC_MV_FUNCTIONS)?)?;
+        let site_descs = parse_callsites(&read_sec(SEC_MV_CALLSITES)?)?;
+
+        let var_by_addr: HashMap<u64, usize> =
+            vars.iter().enumerate().map(|(i, v)| (v.addr, i)).collect();
+        let fn_by_addr: HashMap<u64, usize> = fn_descs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.generic, i))
+            .collect();
+
+        let mut sites = Vec::with_capacity(site_descs.len());
+        let mut sites_of: HashMap<u64, Vec<usize>> = HashMap::new();
+        for desc in site_descs {
+            let insn = insn_at(m, desc.site)?;
+            let (len, indirect) = match insn {
+                Insn::CallRel { rel } => {
+                    let t = crate::patch::call_target(desc.site, rel);
+                    if t != desc.callee {
+                        return Err(RtError::SiteVerifyFailed {
+                            site: desc.site,
+                            what: format!(
+                                "initial call targets {t:#x}, descriptor says {:#x}",
+                                desc.callee
+                            ),
+                        });
+                    }
+                    (CALL_SITE_LEN, false)
+                }
+                Insn::CallMem { addr } => {
+                    if addr != desc.callee {
+                        return Err(RtError::SiteVerifyFailed {
+                            site: desc.site,
+                            what: format!(
+                                "indirect call through {addr:#x}, descriptor says {:#x}",
+                                desc.callee
+                            ),
+                        });
+                    }
+                    (insn.len(), true)
+                }
+                other => {
+                    return Err(RtError::SiteVerifyFailed {
+                        site: desc.site,
+                        what: format!("found `{other}`, expected a call"),
+                    })
+                }
+            };
+            let original = m.mem.read_vec(desc.site, len)?;
+            sites_of.entry(desc.callee).or_default().push(sites.len());
+            sites.push(SiteState {
+                desc,
+                len,
+                indirect,
+                original,
+                binding: SiteBinding::Original,
+            });
+        }
+
+        Ok(Runtime {
+            vars,
+            var_by_addr,
+            fns: fn_descs
+                .into_iter()
+                .map(|desc| FnState {
+                    desc,
+                    binding: FnBinding::Generic,
+                    saved_prologue: None,
+                })
+                .collect(),
+            fn_by_addr,
+            sites,
+            sites_of,
+            stats: PatchStats::default(),
+            patch_time: Duration::ZERO,
+            strategy: PatchStrategy::default(),
+            inline_enabled: true,
+        })
+    }
+
+    /// Number of known configuration switches.
+    pub fn num_variables(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of multiversed functions.
+    pub fn num_functions(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// Number of recorded call sites.
+    pub fn num_callsites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Call sites recorded for the callee at `addr` (generic function or
+    /// function-pointer switch).
+    pub fn callsites_of(&self, addr: u64) -> usize {
+        self.sites_of.get(&addr).map_or(0, |v| v.len())
+    }
+
+    /// Current binding of the function whose generic entry is `addr`.
+    pub fn binding_of(&self, addr: u64) -> Option<FnBinding> {
+        self.fn_by_addr.get(&addr).map(|&i| self.fns[i].binding)
+    }
+
+    /// The variant entry addresses of the function at `addr` (for tests
+    /// and tooling).
+    pub fn variants_of(&self, addr: u64) -> Option<Vec<u64>> {
+        self.fn_by_addr
+            .get(&addr)
+            .map(|&i| self.fns[i].desc.variants.iter().map(|v| v.addr).collect())
+    }
+
+    /// Reads the current value of the configuration switch at `addr`,
+    /// honoring its descriptor's width and signedness.
+    pub fn read_switch(&self, m: &Machine, addr: u64) -> Result<i64, RtError> {
+        let &i = self
+            .var_by_addr
+            .get(&addr)
+            .ok_or(RtError::UnknownVariable(addr))?;
+        let v = &self.vars[i];
+        Ok(m.mem.read_int(v.addr, v.width as usize, v.signed)?)
+    }
+
+    /// Writes a configuration switch (convenience for hosts; guest code
+    /// writes switches with ordinary stores).
+    pub fn write_switch(&self, m: &mut Machine, addr: u64, value: i64) -> Result<(), RtError> {
+        let &i = self
+            .var_by_addr
+            .get(&addr)
+            .ok_or(RtError::UnknownVariable(addr))?;
+        let v = &self.vars[i];
+        Ok(m.mem.write_int(v.addr, value as u64, v.width as usize)?)
+    }
+
+    fn select_variant(&self, m: &Machine, fi: usize) -> Result<Option<usize>, RtError> {
+        let f = &self.fns[fi];
+        'variants: for (vi, v) in f.desc.variants.iter().enumerate() {
+            for g in &v.guards {
+                let &var_i =
+                    self.var_by_addr
+                        .get(&g.var_addr)
+                        .ok_or(RtError::UnknownGuardVariable {
+                            function: f.desc.generic,
+                            var_addr: g.var_addr,
+                        })?;
+                let var = &self.vars[var_i];
+                let value = m.mem.read_int(var.addr, var.width as usize, var.signed)?;
+                if !g.admits(value) {
+                    continue 'variants;
+                }
+            }
+            return Ok(Some(vi));
+        }
+        Ok(None)
+    }
+
+    fn patch_site_to(
+        &mut self,
+        m: &mut Machine,
+        si: usize,
+        target: u64,
+        inline: Option<(u64, u32)>,
+    ) -> Result<(), RtError> {
+        let (site, len, binding) = {
+            let s = &self.sites[si];
+            (s.desc.site, s.len, s.binding)
+        };
+        // §4: check the site still points at the expected target before
+        // touching it.
+        match binding {
+            SiteBinding::Call(t) => verify_call(m, site, t)?,
+            SiteBinding::Original if !self.sites[si].indirect => {
+                verify_call(m, site, self.sites[si].desc.callee)?
+            }
+            _ => {}
+        }
+        let (bytes, new_binding) = match inline {
+            Some((body_addr, inline_len)) if (inline_len as usize) <= len => {
+                let body = m.mem.read_vec(body_addr, inline_len as usize)?;
+                self.stats.sites_inlined += 1;
+                (inline_image(&body, len), SiteBinding::Inlined(body_addr))
+            }
+            _ => {
+                let mut b = encode_call(site, target);
+                b.extend(mvasm::nop_fill(len - CALL_SITE_LEN));
+                (b, SiteBinding::Call(target))
+            }
+        };
+        patch_bytes(m, site, &bytes, &mut self.stats)?;
+        self.stats.sites_patched += 1;
+        self.sites[si].binding = new_binding;
+        Ok(())
+    }
+
+    fn restore_site(&mut self, m: &mut Machine, si: usize) -> Result<(), RtError> {
+        if self.sites[si].binding == SiteBinding::Original {
+            return Ok(());
+        }
+        let site = self.sites[si].desc.site;
+        let original = self.sites[si].original.clone();
+        patch_bytes(m, site, &original, &mut self.stats)?;
+        self.stats.sites_patched += 1;
+        self.sites[si].binding = SiteBinding::Original;
+        Ok(())
+    }
+
+    fn install_variant(&mut self, m: &mut Machine, fi: usize, vi: usize) -> Result<usize, RtError> {
+        let (generic, generic_size, v_addr, v_inline) = {
+            let f = &self.fns[fi];
+            let v = &f.desc.variants[vi];
+            (f.desc.generic, f.desc.generic_size, v.addr, v.inline_len)
+        };
+        // Patch all recorded call sites of the generic function (the
+        // EntryOnly strategy leaves them aimed at the generic entry, where
+        // the jump redirects them).
+        let site_idxs = match self.strategy {
+            PatchStrategy::CallSites => self.sites_of.get(&generic).cloned().unwrap_or_default(),
+            PatchStrategy::EntryOnly => Vec::new(),
+        };
+        let inline = if self.inline_enabled && v_inline != NOT_INLINABLE {
+            Some((v_addr, v_inline))
+        } else {
+            None
+        };
+        for si in &site_idxs {
+            self.patch_site_to(m, *si, v_addr, inline)?;
+        }
+        // Completeness: overwrite the generic entry with `jmp variant`,
+        // saving the prologue the first time.
+        if generic_size < CALL_SITE_LEN as u32 {
+            return Err(RtError::GenericTooSmall {
+                function: generic,
+                size: generic_size,
+            });
+        }
+        if self.fns[fi].saved_prologue.is_none() {
+            let saved = m.mem.read_vec(generic, CALL_SITE_LEN)?;
+            self.fns[fi].saved_prologue = Some(saved);
+        }
+        let jmp = encode_jmp(generic, v_addr);
+        patch_bytes(m, generic, &jmp, &mut self.stats)?;
+        self.stats.entry_jumps += 1;
+        self.fns[fi].binding = FnBinding::Variant(v_addr);
+        self.stats.committed_variants += 1;
+        Ok(site_idxs.len())
+    }
+
+    fn revert_fn_idx(&mut self, m: &mut Machine, fi: usize) -> Result<usize, RtError> {
+        let generic = self.fns[fi].desc.generic;
+        let site_idxs = self.sites_of.get(&generic).cloned().unwrap_or_default();
+        for si in &site_idxs {
+            self.restore_site(m, *si)?;
+        }
+        if let Some(prologue) = self.fns[fi].saved_prologue.take() {
+            patch_bytes(m, generic, &prologue, &mut self.stats)?;
+            self.stats.prologues_restored += 1;
+        }
+        self.fns[fi].binding = FnBinding::Generic;
+        Ok(site_idxs.len())
+    }
+
+    fn commit_fn_idx(
+        &mut self,
+        m: &mut Machine,
+        fi: usize,
+        report: &mut CommitReport,
+    ) -> Result<(), RtError> {
+        if self.fns[fi].desc.variants.is_empty() {
+            // A descriptor without variants only registers the function
+            // (e.g. as a pointer target with known inline information);
+            // there is nothing to bind.
+            return Ok(());
+        }
+        match self.select_variant(m, fi)? {
+            Some(vi) => {
+                report.sites_touched += self.install_variant(m, fi, vi)?;
+                report.variants_committed += 1;
+            }
+            None => {
+                // Fig. 3 d: no viable variant — revert to the generic
+                // body, which dynamically evaluates the switches and is
+                // therefore correct for *any* value; signal the fallback.
+                report.sites_touched += self.revert_fn_idx(m, fi)?;
+                report.generic_fallbacks += 1;
+                self.stats.generic_fallbacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn commit_fnptr_var(
+        &mut self,
+        m: &mut Machine,
+        var_addr: u64,
+        report: &mut CommitReport,
+    ) -> Result<(), RtError> {
+        let target = m.mem.read_uint(var_addr, 8)?;
+        if target == 0 {
+            return Err(RtError::BadFnPtrTarget { var_addr, target });
+        }
+        // If the pointee is a described function with an inlinable body,
+        // inline it into the sites (PV-Ops style); otherwise bind a direct
+        // call.
+        let inline = self.fn_by_addr.get(&target).and_then(|&fi| {
+            let il = self.fns[fi].desc.generic_inline_len;
+            (self.inline_enabled && il != NOT_INLINABLE).then_some((target, il))
+        });
+        let site_idxs = self.sites_of.get(&var_addr).cloned().unwrap_or_default();
+        for si in &site_idxs {
+            self.patch_site_to(m, *si, target, inline)?;
+            report.fnptr_sites += 1;
+        }
+        report.sites_touched += site_idxs.len();
+        Ok(())
+    }
+
+    fn revert_fnptr_var(&mut self, m: &mut Machine, var_addr: u64) -> Result<usize, RtError> {
+        let site_idxs = self.sites_of.get(&var_addr).cloned().unwrap_or_default();
+        for si in &site_idxs {
+            self.restore_site(m, *si)?;
+        }
+        Ok(site_idxs.len())
+    }
+
+    /// `multiverse_commit()`: inspect all switches, select and install
+    /// variants for every multiversed function, and re-bind every
+    /// function-pointer switch.
+    pub fn commit(&mut self, m: &mut Machine) -> Result<CommitReport, RtError> {
+        let start = Instant::now();
+        let mut report = CommitReport::default();
+        for fi in 0..self.fns.len() {
+            self.commit_fn_idx(m, fi, &mut report)?;
+        }
+        let fnptrs: Vec<u64> = self
+            .vars
+            .iter()
+            .filter(|v| v.fn_ptr)
+            .map(|v| v.addr)
+            .collect();
+        for addr in fnptrs {
+            self.commit_fnptr_var(m, addr, &mut report)?;
+        }
+        self.patch_time += start.elapsed();
+        Ok(report)
+    }
+
+    /// `multiverse_revert()`: restore the original process image
+    /// everywhere.
+    pub fn revert(&mut self, m: &mut Machine) -> Result<CommitReport, RtError> {
+        let start = Instant::now();
+        let mut report = CommitReport::default();
+        for fi in 0..self.fns.len() {
+            report.sites_touched += self.revert_fn_idx(m, fi)?;
+        }
+        let fnptrs: Vec<u64> = self
+            .vars
+            .iter()
+            .filter(|v| v.fn_ptr)
+            .map(|v| v.addr)
+            .collect();
+        for addr in fnptrs {
+            report.sites_touched += self.revert_fnptr_var(m, addr)?;
+        }
+        self.patch_time += start.elapsed();
+        Ok(report)
+    }
+
+    /// `multiverse_commit_refs(&var)`: commit only the functions whose
+    /// variants are guarded by the switch at `var_addr` (or, for a
+    /// function-pointer switch, its call sites).
+    pub fn commit_refs(&mut self, m: &mut Machine, var_addr: u64) -> Result<CommitReport, RtError> {
+        let start = Instant::now();
+        let &vi = self
+            .var_by_addr
+            .get(&var_addr)
+            .ok_or(RtError::UnknownVariable(var_addr))?;
+        let mut report = CommitReport::default();
+        if self.vars[vi].fn_ptr {
+            self.commit_fnptr_var(m, var_addr, &mut report)?;
+        } else {
+            for fi in 0..self.fns.len() {
+                if self.references_var(fi, var_addr) {
+                    self.commit_fn_idx(m, fi, &mut report)?;
+                }
+            }
+        }
+        self.patch_time += start.elapsed();
+        Ok(report)
+    }
+
+    /// `multiverse_revert_refs(&var)`.
+    pub fn revert_refs(&mut self, m: &mut Machine, var_addr: u64) -> Result<CommitReport, RtError> {
+        let start = Instant::now();
+        let &vi = self
+            .var_by_addr
+            .get(&var_addr)
+            .ok_or(RtError::UnknownVariable(var_addr))?;
+        let mut report = CommitReport::default();
+        if self.vars[vi].fn_ptr {
+            report.sites_touched += self.revert_fnptr_var(m, var_addr)?;
+        } else {
+            for fi in 0..self.fns.len() {
+                if self.references_var(fi, var_addr) {
+                    report.sites_touched += self.revert_fn_idx(m, fi)?;
+                }
+            }
+        }
+        self.patch_time += start.elapsed();
+        Ok(report)
+    }
+
+    /// `multiverse_commit_func(&fn)`: commit a single function by its
+    /// generic entry address.
+    pub fn commit_func(&mut self, m: &mut Machine, fn_addr: u64) -> Result<CommitReport, RtError> {
+        let start = Instant::now();
+        let &fi = self
+            .fn_by_addr
+            .get(&fn_addr)
+            .ok_or(RtError::UnknownFunction(fn_addr))?;
+        let mut report = CommitReport::default();
+        self.commit_fn_idx(m, fi, &mut report)?;
+        self.patch_time += start.elapsed();
+        Ok(report)
+    }
+
+    /// `multiverse_revert_func(&fn)`.
+    pub fn revert_func(&mut self, m: &mut Machine, fn_addr: u64) -> Result<CommitReport, RtError> {
+        let start = Instant::now();
+        let &fi = self
+            .fn_by_addr
+            .get(&fn_addr)
+            .ok_or(RtError::UnknownFunction(fn_addr))?;
+        let mut report = CommitReport::default();
+        report.sites_touched += self.revert_fn_idx(m, fi)?;
+        self.patch_time += start.elapsed();
+        Ok(report)
+    }
+
+    fn references_var(&self, fi: usize, var_addr: u64) -> bool {
+        self.fns[fi]
+            .desc
+            .variants
+            .iter()
+            .any(|v| v.guards.iter().any(|g| g.var_addr == var_addr))
+    }
+}

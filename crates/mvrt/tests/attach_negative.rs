@@ -1,0 +1,110 @@
+//! Negative tests of runtime attachment: malformed descriptor sections
+//! and descriptor/text mismatches must be rejected up front, not cause
+//! wild patches later.
+
+use mvasm::{Assembler, Insn};
+use mvobj::descriptor::{emit_callsite, CallsiteDescSym};
+use mvobj::{link, Layout, Object, SectionKind};
+use mvrt::{RtError, Runtime};
+use mvvm::{CostModel, Machine, MachineConfig};
+
+fn base_object() -> Object {
+    let mut o = Object::new("t");
+    let mut a = Assembler::new();
+    a.emit(Insn::Halt);
+    o.add_code("main", &a.finish().unwrap());
+    o
+}
+
+fn attach(o: Object) -> Result<Runtime, RtError> {
+    let exe = link(&[o], &Layout::default()).unwrap();
+    let mut m = Machine::new(CostModel::default(), MachineConfig::default());
+    m.load(&exe);
+    Runtime::attach(&m, &exe)
+}
+
+#[test]
+fn truncated_variable_section_is_rejected() {
+    let mut o = base_object();
+    // 31 bytes: not a multiple of the 32-byte record size.
+    o.append(mvobj::SEC_MV_VARIABLES, SectionKind::Rodata, &[0u8; 31]);
+    assert!(matches!(attach(o), Err(RtError::Desc(_))));
+}
+
+#[test]
+fn truncated_callsite_section_is_rejected() {
+    let mut o = base_object();
+    o.append(mvobj::SEC_MV_CALLSITES, SectionKind::Rodata, &[0u8; 17]);
+    assert!(matches!(attach(o), Err(RtError::Desc(_))));
+}
+
+#[test]
+fn function_section_with_phantom_variants_is_rejected() {
+    let mut o = base_object();
+    // A 48-byte header claiming 3 variants with no variant records.
+    let mut rec = vec![0u8; 48];
+    rec[16..20].copy_from_slice(&3u32.to_le_bytes());
+    o.append(mvobj::SEC_MV_FUNCTIONS, SectionKind::Rodata, &rec);
+    assert!(matches!(attach(o), Err(RtError::Desc(_))));
+}
+
+#[test]
+fn callsite_descriptor_must_point_at_a_call() {
+    // A descriptor whose site address holds a `halt`, not a call.
+    let mut o = base_object();
+    let mut a = Assembler::new();
+    a.ret();
+    o.add_code("victim", &a.finish().unwrap());
+    emit_callsite(
+        &mut o,
+        &CallsiteDescSym {
+            callee: "victim".into(),
+            caller: "main".into(),
+            offset: 0, // main+0 is `halt`, not a call
+        },
+    );
+    let err = match attach(o) {
+        Err(e) => e,
+        Ok(_) => panic!("attach must fail"),
+    };
+    assert!(matches!(err, RtError::SiteVerifyFailed { .. }), "{err:?}");
+}
+
+#[test]
+fn callsite_descriptor_with_wrong_callee_is_rejected() {
+    // The call at the site targets a different function than the
+    // descriptor claims.
+    let mut o = base_object();
+    let mut a = Assembler::new();
+    a.ret();
+    o.add_code("real_target", &a.finish().unwrap());
+    let mut a = Assembler::new();
+    a.ret();
+    o.add_code("claimed_target", &a.finish().unwrap());
+    let mut a = Assembler::new();
+    let off = a.len() as u32;
+    a.call_sym("real_target", false);
+    a.ret();
+    o.add_code("caller_fn", &a.finish().unwrap());
+    emit_callsite(
+        &mut o,
+        &CallsiteDescSym {
+            callee: "claimed_target".into(),
+            caller: "caller_fn".into(),
+            offset: off,
+        },
+    );
+    let err = match attach(o) {
+        Err(e) => e,
+        Ok(_) => panic!("attach must fail"),
+    };
+    assert!(matches!(err, RtError::SiteVerifyFailed { .. }), "{err:?}");
+}
+
+#[test]
+fn empty_descriptor_sections_attach_cleanly() {
+    let rt = attach(base_object()).unwrap();
+    assert_eq!(rt.num_variables(), 0);
+    assert_eq!(rt.num_functions(), 0);
+    assert_eq!(rt.num_callsites(), 0);
+}

@@ -1,0 +1,66 @@
+//! Architectural CPU state.
+
+use mvasm::Reg;
+
+/// Register file, flags and the time-stamp counter.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    /// General-purpose registers.
+    pub regs: [u64; Reg::COUNT],
+    /// Program counter.
+    pub pc: u64,
+    /// Operands of the most recent `cmp` (conditions are evaluated lazily
+    /// against them).
+    pub cmp: (u64, u64),
+    /// Interrupt-enable flag (`sti`/`cli`).
+    pub if_flag: bool,
+    /// Time-stamp counter — advances with the cost model, read by `rdtsc`.
+    pub tsc: u64,
+    /// Set once `halt` retires.
+    pub halted: bool,
+}
+
+impl Cpu {
+    /// Creates a reset CPU with the stack pointer at `sp`.
+    pub fn new(sp: u64) -> Cpu {
+        let mut regs = [0u64; Reg::COUNT];
+        regs[Reg::SP.index()] = sp;
+        Cpu {
+            regs,
+            pc: 0,
+            cmp: (0, 0),
+            if_flag: true,
+            tsc: 0,
+            halted: false,
+        }
+    }
+
+    /// Reads a register.
+    pub fn get(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Current stack pointer.
+    pub fn sp(&self) -> u64 {
+        self.regs[Reg::SP.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state() {
+        let c = Cpu::new(0x8000_0000);
+        assert_eq!(c.sp(), 0x8000_0000);
+        assert!(c.if_flag);
+        assert!(!c.halted);
+        assert_eq!(c.tsc, 0);
+    }
+}

@@ -1,0 +1,958 @@
+//! The interpreter: fetch, decode (cached), execute, charge cycles.
+
+use crate::cost::CostModel;
+use crate::cpu::Cpu;
+use crate::mem::{extend, MemError, Memory};
+use crate::pred::Predictors;
+use crate::stats::Stats;
+use mvasm::{AluOp, DecodeError, Insn, Reg};
+use mvobj::Executable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Unicore or multicore operation — switches the cost of bus-locked
+/// atomics, modelling the UP/SMP distinction of the spinlock case study.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachineMode {
+    /// Single CPU online; atomics stay core-local.
+    Unicore,
+    /// Multiple CPUs online; atomics pay coherence traffic.
+    Multicore,
+}
+
+/// Execution platform — native hardware or a paravirtualized Xen guest.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Platform {
+    /// Bare metal: `sti`/`cli` are cheap, hypercalls are invalid.
+    Native,
+    /// Xen PV guest: `sti`/`cli` trap to the hypervisor (expensive
+    /// emulation), `hypercall` performs the operation at moderate cost.
+    XenGuest,
+}
+
+/// Machine construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Unicore or multicore.
+    pub mode: MachineMode,
+    /// Native or guest.
+    pub platform: Platform,
+    /// Stack size in bytes.
+    pub stack_size: u64,
+    /// Maximum instructions a single [`Machine::call`] may retire before
+    /// failing with [`Fault::Timeout`].
+    pub fuel: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            mode: MachineMode::Unicore,
+            platform: Platform::Native,
+            stack_size: 1 << 20,
+            fuel: 20_000_000_000,
+        }
+    }
+}
+
+/// Top of the stack region.
+pub const STACK_TOP: u64 = 0x7FFF_F000;
+/// Return-address sentinel used by [`Machine::call`]; reaching it ends the
+/// call.
+pub const RET_SENTINEL: u64 = 0xFFFF_FFFF_0000_0000;
+
+/// Execution faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Memory access or protection violation.
+    Mem(MemError),
+    /// Undecodable instruction bytes.
+    Decode {
+        /// Address of the bad instruction.
+        addr: u64,
+        /// Decoder diagnosis.
+        err: DecodeError,
+    },
+    /// Integer division by zero.
+    DivByZero {
+        /// Address of the dividing instruction.
+        addr: u64,
+    },
+    /// `hypercall` on native hardware or with an unknown number.
+    InvalidHypercall {
+        /// Address of the instruction.
+        addr: u64,
+        /// Hypercall number.
+        nr: u8,
+    },
+    /// The fuel limit was exhausted.
+    Timeout {
+        /// Instructions retired before giving up.
+        executed: u64,
+    },
+    /// `halt` retired inside [`Machine::call`] (the program ended instead
+    /// of returning).
+    Halted,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Mem(e) => write!(f, "{e}"),
+            Fault::Decode { addr, err } => write!(f, "decode fault at {addr:#x}: {err}"),
+            Fault::DivByZero { addr } => write!(f, "division by zero at {addr:#x}"),
+            Fault::InvalidHypercall { addr, nr } => {
+                write!(f, "invalid hypercall {nr} at {addr:#x}")
+            }
+            Fault::Timeout { executed } => write!(f, "fuel exhausted after {executed} insns"),
+            Fault::Halted => write!(f, "machine halted during call"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+impl From<MemError> for Fault {
+    fn from(e: MemError) -> Fault {
+        Fault::Mem(e)
+    }
+}
+
+/// Hypercall number: enable interrupts.
+pub const HC_STI: u8 = 1;
+/// Hypercall number: disable interrupts.
+pub const HC_CLI: u8 = 2;
+
+/// The virtual machine.
+pub struct Machine {
+    /// Guest memory.
+    pub mem: Memory,
+    /// CPU state.
+    pub cpu: Cpu,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Branch predictors.
+    pub pred: Predictors,
+    /// Event counters.
+    pub stats: Stats,
+    config: MachineConfig,
+    out: Vec<u8>,
+    decode_cache: HashMap<u64, (Insn, u64)>,
+    /// `pc` at which a `jcc` would macro-fuse with the preceding `cmp`.
+    fusable_at: Option<u64>,
+    trace: Option<crate::trace::Trace>,
+}
+
+impl Machine {
+    /// Creates a machine with the given cost model and configuration.
+    /// The stack is mapped immediately.
+    pub fn new(cost: CostModel, config: MachineConfig) -> Machine {
+        let mut mem = Memory::new();
+        mem.map(
+            STACK_TOP - config.stack_size,
+            config.stack_size,
+            mvobj::Prot::RW,
+        );
+        Machine {
+            mem,
+            cpu: Cpu::new(STACK_TOP - 64),
+            cost,
+            pred: Predictors::new(),
+            stats: Stats::default(),
+            config,
+            out: Vec::new(),
+            decode_cache: HashMap::new(),
+            fusable_at: None,
+            trace: None,
+        }
+    }
+
+    /// Creates a default native unicore machine and loads `exe`.
+    pub fn boot(exe: &Executable) -> Machine {
+        let mut m = Machine::new(CostModel::default(), MachineConfig::default());
+        m.load(exe);
+        m
+    }
+
+    /// Maps all segments of a linked executable.
+    pub fn load(&mut self, exe: &Executable) {
+        self.mem.load(exe);
+        self.decode_cache.clear();
+    }
+
+    /// Machine mode (unicore/multicore).
+    pub fn mode(&self) -> MachineMode {
+        self.config.mode
+    }
+
+    /// Switches between unicore and multicore cost behavior at run time
+    /// (CPU hot-plug, as in the paper's SMP scenario).
+    pub fn set_mode(&mut self, mode: MachineMode) {
+        self.config.mode = mode;
+    }
+
+    /// Execution platform.
+    pub fn platform(&self) -> Platform {
+        self.config.platform
+    }
+
+    /// Current cycle count (the TSC).
+    pub fn cycles(&self) -> u64 {
+        self.cpu.tsc
+    }
+
+    /// Bytes written via `out` so far.
+    pub fn output(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Takes and clears the output sink.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Flushes all branch-predictor state (cold-BTB ablation).
+    pub fn flush_predictors(&mut self) {
+        self.pred.flush();
+    }
+
+    /// Starts recording the last `cap` retired instructions.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(crate::trace::Trace::new(cap));
+    }
+
+    /// Stops tracing and returns the recorded ring, if any.
+    pub fn take_trace(&mut self) -> Option<crate::trace::Trace> {
+        self.trace.take()
+    }
+
+    /// The active trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&crate::trace::Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Best-effort stack backtrace: return addresses collected by walking
+    /// the saved-`bp` chain that framed functions maintain (`push bp; mov
+    /// bp, sp`). Frameless leaves do not appear — as with `-fomit-frame-
+    /// pointer` code under a real debugger.
+    pub fn backtrace(&self, max_frames: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut bp = self.cpu.get(Reg::BP);
+        for _ in 0..max_frames {
+            // Frame layout: [bp] = caller's bp, [bp+8] = return address.
+            let Ok(ret) = self.mem.read_uint(bp.wrapping_add(8), 8) else {
+                break;
+            };
+            let Ok(next_bp) = self.mem.read_uint(bp, 8) else {
+                break;
+            };
+            if ret == 0 || ret == RET_SENTINEL {
+                break;
+            }
+            out.push(ret);
+            if next_bp <= bp {
+                break; // stacks grow down; anything else is a torn chain
+            }
+            bp = next_bp;
+        }
+        out
+    }
+
+    fn charge(&mut self, cycles: u64) {
+        self.cpu.tsc += cycles;
+    }
+
+    fn push(&mut self, v: u64) -> Result<(), Fault> {
+        let sp = self.cpu.sp().wrapping_sub(8);
+        self.mem.write(sp, &v.to_le_bytes())?;
+        self.cpu.set(Reg::SP, sp);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<u64, Fault> {
+        let sp = self.cpu.sp();
+        let v = self.mem.read_uint(sp, 8)?;
+        self.cpu.set(Reg::SP, sp.wrapping_add(8));
+        Ok(v)
+    }
+
+    fn decode_at(&mut self, pc: u64) -> Result<Insn, Fault> {
+        let version = self.mem.code_version(pc);
+        if let Some(&(insn, v)) = self.decode_cache.get(&pc) {
+            if v == version {
+                return Ok(insn);
+            }
+        }
+        let mut buf = [0u8; 16];
+        let n = self.mem.fetch(pc, &mut buf)?;
+        let (insn, _) = mvasm::decode(&buf[..n]).map_err(|err| Fault::Decode { addr: pc, err })?;
+        self.decode_cache.insert(pc, (insn, version));
+        Ok(insn)
+    }
+
+    fn alu(&mut self, op: AluOp, a: u64, b: u64, at: u64) -> Result<u64, Fault> {
+        let v = match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Divs => {
+                if b == 0 {
+                    return Err(Fault::DivByZero { addr: at });
+                }
+                (a as i64).wrapping_div(b as i64) as u64
+            }
+            AluOp::Divu => {
+                if b == 0 {
+                    return Err(Fault::DivByZero { addr: at });
+                }
+                a / b
+            }
+            AluOp::Rems => {
+                if b == 0 {
+                    return Err(Fault::DivByZero { addr: at });
+                }
+                (a as i64).wrapping_rem(b as i64) as u64
+            }
+            AluOp::Remu => {
+                if b == 0 {
+                    return Err(Fault::DivByZero { addr: at });
+                }
+                a % b
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32),
+            AluOp::Shrs => (a as i64).wrapping_shr(b as u32) as u64,
+            AluOp::Shru => a.wrapping_shr(b as u32),
+        };
+        let c = match op {
+            AluOp::Mul => self.cost.mul,
+            AluOp::Divs | AluOp::Divu | AluOp::Rems | AluOp::Remu => self.cost.div,
+            _ => self.cost.alu,
+        };
+        self.charge(c);
+        Ok(v)
+    }
+
+    /// Executes one instruction.
+    pub fn step(&mut self) -> Result<(), Fault> {
+        let pc = self.cpu.pc;
+        let insn = self.decode_at(pc)?;
+        let next = pc + insn.len() as u64;
+        self.stats.instructions += 1;
+        if let Some(t) = &mut self.trace {
+            t.record(pc, insn);
+        }
+        let fused_here = self.fusable_at == Some(pc);
+        self.fusable_at = None;
+        let mut new_pc = next;
+
+        match insn {
+            Insn::MovRR { dst, src } => {
+                let v = self.cpu.get(src);
+                self.cpu.set(dst, v);
+                self.charge(self.cost.alu);
+            }
+            Insn::MovRI { dst, imm } => {
+                self.cpu.set(dst, imm as u64);
+                self.charge(self.cost.alu);
+            }
+            Insn::Lea { dst, addr } => {
+                self.cpu.set(dst, addr);
+                self.charge(self.cost.lea);
+            }
+            Insn::Load {
+                dst,
+                base,
+                off,
+                width,
+                signed,
+            } => {
+                let a = self.cpu.get(base).wrapping_add(off as i64 as u64);
+                let raw = self.mem.read_uint(a, width.bytes())?;
+                self.cpu.set(dst, extend(raw, width.bytes(), signed) as u64);
+                self.stats.loads += 1;
+                self.charge(self.cost.load);
+            }
+            Insn::Store {
+                src,
+                base,
+                off,
+                width,
+            } => {
+                let a = self.cpu.get(base).wrapping_add(off as i64 as u64);
+                let v = self.cpu.get(src);
+                self.mem.write_int(a, v, width.bytes())?;
+                self.stats.stores += 1;
+                self.charge(self.cost.store);
+            }
+            Insn::LoadAbs {
+                dst,
+                addr,
+                width,
+                signed,
+            } => {
+                let raw = self.mem.read_uint(addr, width.bytes())?;
+                self.cpu.set(dst, extend(raw, width.bytes(), signed) as u64);
+                self.stats.loads += 1;
+                self.charge(self.cost.load);
+            }
+            Insn::StoreAbs { src, addr, width } => {
+                let v = self.cpu.get(src);
+                self.mem.write_int(addr, v, width.bytes())?;
+                self.stats.stores += 1;
+                self.charge(self.cost.store);
+            }
+            Insn::AluRR { op, dst, src } => {
+                let v = self.alu(op, self.cpu.get(dst), self.cpu.get(src), pc)?;
+                self.cpu.set(dst, v);
+            }
+            Insn::AluRI { op, dst, imm } => {
+                let v = self.alu(op, self.cpu.get(dst), imm as u64, pc)?;
+                self.cpu.set(dst, v);
+            }
+            Insn::CmpRR { a, b } => {
+                self.cpu.cmp = (self.cpu.get(a), self.cpu.get(b));
+                self.charge(self.cost.cmp);
+                self.fusable_at = Some(next);
+            }
+            Insn::CmpRI { a, imm } => {
+                self.cpu.cmp = (self.cpu.get(a), imm as u64);
+                self.charge(self.cost.cmp);
+                self.fusable_at = Some(next);
+            }
+            Insn::Setcc { cc, dst } => {
+                let (a, b) = self.cpu.cmp;
+                self.cpu.set(dst, cc.eval(a, b) as u64);
+                self.charge(self.cost.alu);
+            }
+            Insn::Jmp { rel } => {
+                new_pc = next.wrapping_add(rel as i64 as u64);
+                self.charge(self.cost.jmp);
+            }
+            Insn::Jcc { cc, rel } => {
+                let (a, b) = self.cpu.cmp;
+                let taken = cc.eval(a, b);
+                self.stats.branches += 1;
+                if taken {
+                    self.stats.branches_taken += 1;
+                    new_pc = next.wrapping_add(rel as i64 as u64);
+                }
+                let base = if fused_here {
+                    self.cost.fused_cmp_branch.saturating_sub(self.cost.cmp)
+                } else {
+                    self.cost.branch
+                };
+                self.charge(base);
+                if !self.pred.cond_branch(pc, taken) {
+                    self.stats.mispredicts += 1;
+                    self.charge(self.cost.mispredict);
+                }
+            }
+            Insn::CallRel { rel } => {
+                self.push(next)?;
+                self.pred.push_ret(next);
+                new_pc = next.wrapping_add(rel as i64 as u64);
+                self.stats.calls += 1;
+                self.charge(self.cost.call);
+            }
+            Insn::CallInd { target } => {
+                let t = self.cpu.get(target);
+                self.push(next)?;
+                self.pred.push_ret(next);
+                new_pc = t;
+                self.stats.indirect_calls += 1;
+                self.charge(self.cost.call_ind);
+                if !self.pred.indirect(pc, t) {
+                    self.stats.mispredicts += 1;
+                    self.charge(self.cost.mispredict);
+                }
+            }
+            Insn::CallMem { addr } => {
+                let t = self.mem.read_uint(addr, 8)?;
+                self.push(next)?;
+                self.pred.push_ret(next);
+                new_pc = t;
+                self.stats.indirect_calls += 1;
+                self.stats.loads += 1;
+                self.charge(self.cost.call_ind + self.cost.call_mem_extra);
+                if !self.pred.indirect(pc, t) {
+                    self.stats.mispredicts += 1;
+                    self.charge(self.cost.mispredict);
+                }
+            }
+            Insn::Push { src } => {
+                let v = self.cpu.get(src);
+                self.push(v)?;
+                self.charge(self.cost.push_pop);
+            }
+            Insn::Pop { dst } => {
+                let v = self.pop()?;
+                self.cpu.set(dst, v);
+                self.charge(self.cost.push_pop);
+            }
+            Insn::Ret => {
+                let t = self.pop()?;
+                new_pc = t;
+                self.stats.rets += 1;
+                self.charge(self.cost.ret);
+                if !self.pred.pop_ret(t) {
+                    self.stats.mispredicts += 1;
+                    self.charge(self.cost.mispredict);
+                }
+            }
+            Insn::Halt => {
+                self.cpu.halted = true;
+                new_pc = pc;
+            }
+            Insn::Sti | Insn::Cli => {
+                let enable = matches!(insn, Insn::Sti);
+                self.cpu.if_flag = enable;
+                match self.config.platform {
+                    Platform::Native => self.charge(self.cost.sti_cli),
+                    Platform::XenGuest => {
+                        self.stats.guest_traps += 1;
+                        self.charge(self.cost.guest_priv_trap);
+                    }
+                }
+            }
+            Insn::Hypercall { nr } => {
+                if self.config.platform == Platform::Native {
+                    return Err(Fault::InvalidHypercall { addr: pc, nr });
+                }
+                match nr {
+                    HC_STI => self.cpu.if_flag = true,
+                    HC_CLI => self.cpu.if_flag = false,
+                    _ => return Err(Fault::InvalidHypercall { addr: pc, nr }),
+                }
+                self.stats.hypercalls += 1;
+                self.charge(self.cost.hypercall);
+            }
+            Insn::Rdtsc { dst } => {
+                self.charge(self.cost.rdtsc);
+                let t = self.cpu.tsc;
+                self.cpu.set(dst, t);
+            }
+            Insn::Pause => self.charge(self.cost.pause),
+            Insn::Out { src } => {
+                let b = self.cpu.get(src) as u8;
+                self.out.push(b);
+                self.stats.out_bytes += 1;
+                self.charge(self.cost.out);
+            }
+            Insn::XchgLock { val, base } => {
+                let a = self.cpu.get(base);
+                let old = self.mem.read_uint(a, 8)?;
+                let v = self.cpu.get(val);
+                self.mem.write_int(a, v, 8)?;
+                self.cpu.set(val, old);
+                self.stats.atomics += 1;
+                let c = match self.config.mode {
+                    MachineMode::Unicore => self.cost.atomic_up,
+                    MachineMode::Multicore => self.cost.atomic_smp,
+                };
+                self.charge(c);
+            }
+            Insn::Mfence => self.charge(self.cost.fence),
+            Insn::Nop { .. } => {
+                self.stats.nops += 1;
+                self.charge(self.cost.nop);
+            }
+        }
+
+        self.cpu.pc = new_pc;
+        Ok(())
+    }
+
+    /// Calls the function at `addr` with up to six `args`, runs it to
+    /// completion and returns `r0`.
+    ///
+    /// The machine's TSC, statistics and predictor state persist across
+    /// calls, so repeated calls model a warm microbenchmark loop.
+    pub fn call(&mut self, addr: u64, args: &[u64]) -> Result<u64, Fault> {
+        assert!(args.len() <= 6, "at most six register arguments");
+        for (i, &a) in args.iter().enumerate() {
+            self.cpu.set(Reg::new(i as u8).expect("< 6"), a);
+        }
+        self.push(RET_SENTINEL)?;
+        self.pred.push_ret(RET_SENTINEL);
+        self.cpu.pc = addr;
+        let mut executed = 0u64;
+        while self.cpu.pc != RET_SENTINEL {
+            if self.cpu.halted {
+                return Err(Fault::Halted);
+            }
+            if executed >= self.config.fuel {
+                return Err(Fault::Timeout { executed });
+            }
+            self.step()?;
+            executed += 1;
+        }
+        Ok(self.cpu.get(Reg::R0))
+    }
+
+    /// Runs from the image entry point until `halt`; returns `r0`.
+    pub fn run_entry(&mut self, exe: &Executable) -> Result<u64, Fault> {
+        self.cpu.pc = exe.entry;
+        let mut executed = 0u64;
+        while !self.cpu.halted {
+            if executed >= self.config.fuel {
+                return Err(Fault::Timeout { executed });
+            }
+            self.step()?;
+            executed += 1;
+        }
+        Ok(self.cpu.get(Reg::R0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvasm::Cond;
+    use mvobj::{link, Layout, Object, SectionKind, Symbol};
+
+    fn exe_from(asm: mvasm::Assembler, extra: impl FnOnce(&mut Object)) -> Executable {
+        let blob = asm.finish().unwrap();
+        let mut o = Object::new("t");
+        o.append(mvobj::SEC_TEXT, SectionKind::Text, &blob.bytes);
+        o.define(Symbol::func(
+            "main",
+            mvobj::SEC_TEXT,
+            0,
+            blob.bytes.len() as u64,
+        ));
+        for f in &blob.fixups {
+            let kind = match f.kind {
+                mvasm::FixupKind::Rel32 { next_insn } => mvobj::RelocKind::Rel32 {
+                    next_insn: next_insn as u64,
+                },
+                mvasm::FixupKind::Abs64 => mvobj::RelocKind::Abs64,
+            };
+            o.relocate(mvobj::Reloc {
+                section: mvobj::SEC_TEXT.into(),
+                offset: f.offset as u64,
+                kind,
+                symbol: f.symbol.clone(),
+                addend: f.addend,
+            });
+        }
+        extra(&mut o);
+        link(&[o], &Layout::default()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_loop_computes_sum() {
+        // sum 1..=10 into r0
+        let mut a = mvasm::Assembler::new();
+        a.mov_ri(Reg::R0, 0);
+        a.mov_ri(Reg::R1, 1);
+        a.label("loop");
+        a.emit(Insn::AluRR {
+            op: AluOp::Add,
+            dst: Reg::R0,
+            src: Reg::R1,
+        });
+        a.emit(Insn::AluRI {
+            op: AluOp::Add,
+            dst: Reg::R1,
+            imm: 1,
+        });
+        a.cmp_ri(Reg::R1, 10);
+        a.jcc("loop", Cond::Le);
+        a.emit(Insn::Halt);
+        let exe = exe_from(a, |_| {});
+        let mut m = Machine::boot(&exe);
+        assert_eq!(m.run_entry(&exe).unwrap(), 55);
+    }
+
+    #[test]
+    fn call_and_ret_roundtrip() {
+        let mut a = mvasm::Assembler::new();
+        a.call_sym("double_it", false);
+        a.emit(Insn::Halt);
+        a.label("double_it");
+        // Local label targets are assembler-local; expose as symbol below.
+        let blob_offset_known = a.len();
+        a.emit(Insn::AluRR {
+            op: AluOp::Add,
+            dst: Reg::R0,
+            src: Reg::R0,
+        });
+        a.ret();
+        let exe = exe_from(a, |o| {
+            o.define(Symbol::func(
+                "double_it",
+                mvobj::SEC_TEXT,
+                blob_offset_known as u64,
+                5,
+            ));
+        });
+        let mut m = Machine::boot(&exe);
+        m.cpu.set(Reg::R0, 21);
+        assert_eq!(m.run_entry(&exe).unwrap(), 42);
+        assert_eq!(m.stats.calls, 1);
+        assert_eq!(m.stats.rets, 1);
+    }
+
+    #[test]
+    fn machine_call_returns_r0() {
+        let mut a = mvasm::Assembler::new();
+        a.emit(Insn::Halt); // entry, unused
+        a.label("f");
+        let f_off = a.len();
+        a.emit(Insn::AluRI {
+            op: AluOp::Add,
+            dst: Reg::R0,
+            imm: 5,
+        });
+        a.ret();
+        let exe = exe_from(a, |o| {
+            o.define(Symbol::func("f", mvobj::SEC_TEXT, f_off as u64, 12));
+        });
+        let mut m = Machine::boot(&exe);
+        let f = exe.symbol("f").unwrap();
+        assert_eq!(m.call(f, &[37]).unwrap(), 42);
+        // TSC advanced and the machine is reusable.
+        let t = m.cycles();
+        assert!(t > 0);
+        assert_eq!(m.call(f, &[0]).unwrap(), 5);
+        assert!(m.cycles() > t);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let mut a = mvasm::Assembler::new();
+        a.mov_ri(Reg::R0, 1);
+        a.mov_ri(Reg::R1, 0);
+        a.emit(Insn::AluRR {
+            op: AluOp::Divu,
+            dst: Reg::R0,
+            src: Reg::R1,
+        });
+        a.emit(Insn::Halt);
+        let exe = exe_from(a, |_| {});
+        let mut m = Machine::boot(&exe);
+        assert!(matches!(
+            m.run_entry(&exe).unwrap_err(),
+            Fault::DivByZero { .. }
+        ));
+    }
+
+    #[test]
+    fn warm_branch_costs_less_than_cold() {
+        // A taken loop branch: first iterations mispredict, then the
+        // predictor warms up.
+        let mut a = mvasm::Assembler::new();
+        a.mov_ri(Reg::R1, 0);
+        a.label("loop");
+        a.emit(Insn::AluRI {
+            op: AluOp::Add,
+            dst: Reg::R1,
+            imm: 1,
+        });
+        a.cmp_ri(Reg::R1, 1000);
+        a.jcc("loop", Cond::Lt);
+        a.emit(Insn::Halt);
+        let exe = exe_from(a, |_| {});
+        let mut m = Machine::boot(&exe);
+        m.run_entry(&exe).unwrap();
+        // Only the warm-up and the final not-taken branch mispredict.
+        assert!(m.stats.mispredicts <= 3, "{}", m.stats.mispredicts);
+        assert_eq!(m.stats.branches, 1000);
+    }
+
+    #[test]
+    fn guest_sti_traps_native_does_not() {
+        let mut a = mvasm::Assembler::new();
+        a.emit(Insn::Cli);
+        a.emit(Insn::Sti);
+        a.emit(Insn::Halt);
+        let exe = exe_from(a, |_| {});
+
+        let mut native = Machine::boot(&exe);
+        native.run_entry(&exe).unwrap();
+        assert_eq!(native.stats.guest_traps, 0);
+        let native_cycles = native.cycles();
+
+        let mut guest = Machine::new(
+            CostModel::default(),
+            MachineConfig {
+                platform: Platform::XenGuest,
+                ..MachineConfig::default()
+            },
+        );
+        guest.load(&exe);
+        guest.run_entry(&exe).unwrap();
+        assert_eq!(guest.stats.guest_traps, 2);
+        assert!(guest.cycles() > native_cycles * 10);
+    }
+
+    #[test]
+    fn hypercall_invalid_on_native() {
+        let mut a = mvasm::Assembler::new();
+        a.emit(Insn::Hypercall { nr: HC_CLI });
+        a.emit(Insn::Halt);
+        let exe = exe_from(a, |_| {});
+        let mut m = Machine::boot(&exe);
+        assert!(matches!(
+            m.run_entry(&exe).unwrap_err(),
+            Fault::InvalidHypercall { nr: HC_CLI, .. }
+        ));
+
+        let mut guest = Machine::new(
+            CostModel::default(),
+            MachineConfig {
+                platform: Platform::XenGuest,
+                ..MachineConfig::default()
+            },
+        );
+        guest.load(&exe);
+        guest.run_entry(&exe).unwrap();
+        assert!(!guest.cpu.if_flag);
+        assert_eq!(guest.stats.hypercalls, 1);
+    }
+
+    #[test]
+    fn atomic_costs_more_in_smp() {
+        let mk = |mode| {
+            let mut a = mvasm::Assembler::new();
+            a.lea_sym(Reg::R1, "lockword");
+            a.mov_ri(Reg::R0, 1);
+            a.emit(Insn::XchgLock {
+                val: Reg::R0,
+                base: Reg::R1,
+            });
+            a.emit(Insn::Halt);
+            let exe = exe_from(a, |o| o.define_bss("lockword", 8));
+            let mut m = Machine::new(
+                CostModel::default(),
+                MachineConfig {
+                    mode,
+                    ..MachineConfig::default()
+                },
+            );
+            m.load(&exe);
+            m.run_entry(&exe).unwrap();
+            (m.cycles(), m.stats.atomics)
+        };
+        let (up, a1) = mk(MachineMode::Unicore);
+        let (smp, a2) = mk(MachineMode::Multicore);
+        assert_eq!((a1, a2), (1, 1));
+        assert!(smp > up);
+    }
+
+    #[test]
+    fn xchg_swaps_memory() {
+        let mut a = mvasm::Assembler::new();
+        a.lea_sym(Reg::R1, "word");
+        a.mov_ri(Reg::R0, 7);
+        a.emit(Insn::XchgLock {
+            val: Reg::R0,
+            base: Reg::R1,
+        });
+        a.emit(Insn::Halt);
+        let exe = exe_from(a, |o| {
+            o.define_data("word", &42u64.to_le_bytes());
+        });
+        let mut m = Machine::boot(&exe);
+        m.run_entry(&exe).unwrap();
+        assert_eq!(m.cpu.get(Reg::R0), 42);
+        let w = exe.symbol("word").unwrap();
+        assert_eq!(m.mem.read_uint(w, 8).unwrap(), 7);
+    }
+
+    #[test]
+    fn out_collects_bytes() {
+        let mut a = mvasm::Assembler::new();
+        a.mov_ri(Reg::R0, b'h' as i64);
+        a.emit(Insn::Out { src: Reg::R0 });
+        a.mov_ri(Reg::R0, b'i' as i64);
+        a.emit(Insn::Out { src: Reg::R0 });
+        a.emit(Insn::Halt);
+        let exe = exe_from(a, |_| {});
+        let mut m = Machine::boot(&exe);
+        m.run_entry(&exe).unwrap();
+        assert_eq!(m.take_output(), b"hi");
+        assert!(m.output().is_empty());
+    }
+
+    #[test]
+    fn stale_icache_executes_old_instruction() {
+        // Execute a mov once (populating the decode cache), then patch the
+        // text without flushing: the machine must keep executing the stale
+        // decoded instruction until flush_icache.
+        let mut a = mvasm::Assembler::new();
+        a.label("f");
+        a.mov_ri(Reg::R0, 1);
+        a.ret();
+        a.emit(Insn::Halt);
+        let f_len = 0;
+        let exe = exe_from(a, |o| {
+            o.define(Symbol::func("f", mvobj::SEC_TEXT, f_len, 11));
+        });
+        let mut m = Machine::boot(&exe);
+        let f = exe.symbol("f").unwrap();
+        assert_eq!(m.call(f, &[]).unwrap(), 1);
+
+        // Patch `mov r0, 1` → `mov r0, 2` behind the icache's back.
+        let patched = mvasm::encode(&Insn::MovRI {
+            dst: Reg::R0,
+            imm: 2,
+        });
+        m.mem.mprotect(f, 16, mvobj::Prot::RW).unwrap();
+        m.mem.write(f, &patched).unwrap();
+        m.mem.mprotect(f, 16, mvobj::Prot::RX).unwrap();
+
+        // Stale: still returns 1.
+        assert_eq!(m.call(f, &[]).unwrap(), 1);
+        // After the flush the new code is visible.
+        m.mem.flush_icache(f, 16);
+        assert_eq!(m.call(f, &[]).unwrap(), 2);
+    }
+
+    #[test]
+    fn fuel_exhaustion_times_out() {
+        let mut a = mvasm::Assembler::new();
+        a.label("spin");
+        a.jmp("spin");
+        a.emit(Insn::Halt);
+        let exe = exe_from(a, |_| {});
+        let mut m = Machine::new(
+            CostModel::default(),
+            MachineConfig {
+                fuel: 1000,
+                ..MachineConfig::default()
+            },
+        );
+        m.load(&exe);
+        assert!(matches!(
+            m.run_entry(&exe).unwrap_err(),
+            Fault::Timeout { executed: 1000 }
+        ));
+    }
+
+    #[test]
+    fn fused_cmp_jcc_is_cheaper_than_unfused() {
+        // cmp;jcc adjacent (fused) vs cmp;nop;jcc (unfused): same outcome,
+        // the fused pair must not cost more.
+        let run = |fused: bool| {
+            let mut a = mvasm::Assembler::new();
+            a.cmp_ri(Reg::R0, 1);
+            if !fused {
+                a.emit(Insn::Nop { len: 1 });
+            }
+            a.jcc("t", Cond::Eq);
+            a.label("t");
+            a.emit(Insn::Halt);
+            let exe = exe_from(a, |_| {});
+            let mut m = Machine::boot(&exe);
+            m.run_entry(&exe).unwrap();
+            m.cycles()
+        };
+        // Unfused pays the nop (1) plus the unfused branch (1); fused pays
+        // only the pair cost.
+        assert!(run(true) < run(false));
+    }
+}

@@ -1,0 +1,103 @@
+//! Execution tracing — the debugger's view of a patched program.
+//!
+//! §7.2 reports that GDB keeps displaying the *original* call at a
+//! patched site while execution steps into the variant. The trace ring
+//! here records what actually retires, so tests and tools can assert
+//! "the variant body ran" even though the static disassembly of the
+//! caller would still show `call multi`.
+
+use mvasm::Insn;
+use std::collections::VecDeque;
+
+/// A bounded ring buffer of retired instructions.
+#[derive(Debug, Default)]
+pub struct Trace {
+    ring: VecDeque<(u64, Insn)>,
+    cap: usize,
+}
+
+impl Trace {
+    /// Creates a trace keeping the last `cap` retired instructions.
+    pub fn new(cap: usize) -> Trace {
+        Trace {
+            ring: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+        }
+    }
+
+    /// Records one retired instruction.
+    pub fn record(&mut self, pc: u64, insn: Insn) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((pc, insn));
+    }
+
+    /// The retired instructions, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &(u64, Insn)> {
+        self.ring.iter()
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// `true` if any retired instruction's address lies in
+    /// `[start, start+len)` — "did this body execute?".
+    pub fn touched(&self, start: u64, len: u64) -> bool {
+        self.ring
+            .iter()
+            .any(|&(pc, _)| pc >= start && pc < start + len)
+    }
+
+    /// Renders the trace like a debugger's instruction history.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (pc, insn) in &self.ring {
+            let _ = writeln!(s, "{pc:#010x}: {insn}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5u64 {
+            t.record(i, Insn::Ret);
+        }
+        let pcs: Vec<u64> = t.entries().map(|&(pc, _)| pc).collect();
+        assert_eq!(pcs, vec![2, 3, 4]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn touched_checks_ranges() {
+        let mut t = Trace::new(8);
+        t.record(0x100, Insn::Ret);
+        assert!(t.touched(0x100, 1));
+        assert!(t.touched(0xF0, 0x20));
+        assert!(!t.touched(0x101, 0x10));
+    }
+
+    #[test]
+    fn render_is_line_per_insn() {
+        let mut t = Trace::new(2);
+        t.record(0x10, Insn::Cli);
+        t.record(0x11, Insn::Sti);
+        let r = t.render();
+        assert!(r.contains("0x00000010: cli"));
+        assert!(r.contains("sti"));
+    }
+}

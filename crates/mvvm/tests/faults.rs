@@ -1,0 +1,102 @@
+//! Fault-model tests: NX enforcement, unmapped execution, stack
+//! exhaustion and bad jumps must all surface as structured faults, never
+//! as silent misbehaviour.
+
+use mvasm::{Assembler, Insn, Reg};
+use mvobj::{link, Layout, Object};
+use mvvm::{CostModel, Fault, Machine, MachineConfig};
+
+fn boot(build: impl FnOnce(&mut Object)) -> (Machine, mvobj::Executable) {
+    let mut o = Object::new("t");
+    build(&mut o);
+    let exe = link(&[o], &Layout::default()).unwrap();
+    let mut m = Machine::new(CostModel::default(), MachineConfig::default());
+    m.load(&exe);
+    (m, exe)
+}
+
+#[test]
+fn executing_data_faults_nx() {
+    // A function pointer aimed at the .data segment: fetch must fault
+    // (the data segment is RW, not X — W^X cuts both ways).
+    let (mut m, exe) = boot(|o| {
+        let mut a = Assembler::new();
+        a.lea_sym(Reg::R1, "blob");
+        a.emit(Insn::CallInd { target: Reg::R1 });
+        a.emit(Insn::Halt);
+        o.add_code("main", &a.finish().unwrap());
+        // Valid instruction bytes, but in a non-executable section.
+        o.define_data("blob", &mvasm::encode(&Insn::Ret));
+    });
+    match m.run_entry(&exe) {
+        Err(Fault::Mem(e)) => {
+            assert!(e.mapped, "mapped but not executable");
+        }
+        other => panic!("expected NX fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn jumping_into_the_void_faults() {
+    let (mut m, exe) = boot(|o| {
+        let mut a = Assembler::new();
+        a.mov_ri(Reg::R1, 0xdead_0000);
+        a.emit(Insn::CallInd { target: Reg::R1 });
+        a.emit(Insn::Halt);
+        o.add_code("main", &a.finish().unwrap());
+    });
+    match m.run_entry(&exe) {
+        Err(Fault::Mem(e)) => assert!(!e.mapped),
+        other => panic!("expected unmapped fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn runaway_recursion_overflows_the_stack() {
+    // main calls itself forever; the stack guard (unmapped page below
+    // the stack) stops it with a memory fault, not a host crash.
+    let (mut m, exe) = boot(|o| {
+        let mut a = Assembler::new();
+        a.label("self");
+        a.call_sym("main", false);
+        a.emit(Insn::Halt);
+        o.add_code("main", &a.finish().unwrap());
+    });
+    match m.run_entry(&exe) {
+        Err(Fault::Mem(e)) => assert!(!e.mapped, "fell off the stack mapping"),
+        other => panic!("expected stack overflow fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_bytes_are_never_valid_instructions() {
+    // Jump into the zero-filled BSS-like padding within the text page.
+    let (mut m, exe) = boot(|o| {
+        let mut a = Assembler::new();
+        a.emit(Insn::Jmp { rel: 64 }); // far past the emitted code
+        a.emit(Insn::Halt);
+        o.add_code("main", &a.finish().unwrap());
+    });
+    match m.run_entry(&exe) {
+        Err(Fault::Decode { err, .. }) => {
+            assert!(matches!(err, mvasm::DecodeError::BadOpcode(0)));
+        }
+        other => panic!("expected decode fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn ret_with_empty_stack_faults_not_panics() {
+    let (mut m, exe) = boot(|o| {
+        let mut a = Assembler::new();
+        // Pop the host-pushed sentinel… there is none under run_entry, so
+        // sp points at the pristine stack top; ret reads the zeroed slot
+        // and jumps to address 0 → unmapped execute fault.
+        a.ret();
+        o.add_code("main", &a.finish().unwrap());
+    });
+    match m.run_entry(&exe) {
+        Err(Fault::Mem(e)) => assert!(!e.mapped),
+        other => panic!("expected fault, got {other:?}"),
+    }
+}

@@ -1,0 +1,104 @@
+//! Model-based property tests of the guest memory: reads, writes,
+//! protection changes and icache flushes are checked against a simple
+//! byte-map reference model.
+
+use mvobj::Prot;
+use mvvm::{Memory, PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const BASE: u64 = 0x10000;
+const SPAN: u64 = 4 * PAGE_SIZE;
+
+#[derive(Clone, Debug)]
+enum MemOp {
+    Write { off: u64, data: Vec<u8> },
+    Read { off: u64, len: usize },
+    Protect { page: u64, prot: u8 },
+    Flush { page: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (0..SPAN - 64, proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(off, data)| MemOp::Write { off, data }),
+        (0..SPAN - 64, 1usize..64).prop_map(|(off, len)| MemOp::Read { off, len }),
+        (0u64..4, 0u8..3).prop_map(|(page, prot)| MemOp::Protect { page, prot }),
+        (0u64..4).prop_map(|page| MemOp::Flush { page }),
+    ]
+}
+
+fn prot_of(code: u8) -> Prot {
+    match code {
+        0 => Prot::R,
+        1 => Prot::RW,
+        _ => Prot::RX,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every successful write is visible to every later read; writes that
+    /// fault leave memory untouched; protection gates writes exactly.
+    #[test]
+    fn memory_matches_byte_map_model(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut mem = Memory::new();
+        mem.map(BASE, SPAN, Prot::RW);
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        let mut prot = [Prot::RW; 4];
+
+        for op in &ops {
+            match op {
+                MemOp::Write { off, data } => {
+                    let addr = BASE + off;
+                    let first = off / PAGE_SIZE;
+                    let last = (off + data.len() as u64 - 1) / PAGE_SIZE;
+                    let allowed = (first..=last).all(|p| prot[p as usize].write);
+                    let r = mem.write(addr, data);
+                    prop_assert_eq!(r.is_ok(), allowed, "write gating at {:#x}", addr);
+                    if allowed {
+                        for (i, &b) in data.iter().enumerate() {
+                            model.insert(addr + i as u64, b);
+                        }
+                    }
+                }
+                MemOp::Read { off, len } => {
+                    let addr = BASE + off;
+                    let got = mem.read_vec(addr, *len).unwrap();
+                    for (i, &b) in got.iter().enumerate() {
+                        let expect = model.get(&(addr + i as u64)).copied().unwrap_or(0);
+                        prop_assert_eq!(b, expect, "byte at {:#x}", addr + i as u64);
+                    }
+                }
+                MemOp::Protect { page, prot: p } => {
+                    let pr = prot_of(*p);
+                    mem.mprotect(BASE + page * PAGE_SIZE, PAGE_SIZE, pr).unwrap();
+                    prot[*page as usize] = pr;
+                }
+                MemOp::Flush { page } => {
+                    let addr = BASE + page * PAGE_SIZE;
+                    let before = mem.code_version(addr);
+                    mem.flush_icache(addr, 1);
+                    prop_assert_eq!(mem.code_version(addr), before + 1);
+                }
+            }
+        }
+    }
+
+    /// Failed cross-page writes are atomic: no partial bytes land.
+    #[test]
+    fn failed_writes_are_atomic(
+        data in proptest::collection::vec(any::<u8>(), 2..32),
+        tail in 1u64..16,
+    ) {
+        let mut mem = Memory::new();
+        mem.map(BASE, 2 * PAGE_SIZE, Prot::RW);
+        mem.mprotect(BASE + PAGE_SIZE, PAGE_SIZE, Prot::R).unwrap();
+        // Straddle the boundary so the second page faults.
+        let addr = BASE + PAGE_SIZE - tail.min(data.len() as u64 - 1);
+        let before = mem.read_vec(addr, data.len()).unwrap();
+        prop_assert!(mem.write(addr, &data).is_err());
+        prop_assert_eq!(mem.read_vec(addr, data.len()).unwrap(), before);
+    }
+}

@@ -1,0 +1,173 @@
+//! The Linux `alternative`/`alternative_smp` macro family (§1.1),
+//! expressed with multiverse.
+//!
+//! The kernel marks single instructions so boot code can overwrite them
+//! with alternatives — e.g. the SMAP guards (`stac`/`clac`) are replaced
+//! by NOPs when the boot processor lacks the feature. The paper's claim
+//! is that multiverse *subsumes* these hand-rolled mechanisms: mark the
+//! feature flag as a switch, wrap the instruction in a multiversed
+//! one-liner, and the commit inlines either the instruction or nothing
+//! into every call site.
+//!
+//! The model here uses the memory fence as the stand-in single
+//! instruction (MV64 has no `stac`/`clac`): with the feature present the
+//! guard executes `mfence`, without it the empty variant is erased into a
+//! NOP at each of the call sites — byte-level exactly what
+//! `apply_alternatives()` does at boot.
+
+use multiverse::mvc::Options;
+use multiverse::{BuildError, Program, World};
+
+/// The SMAP-style guarded copy routine.
+pub const SRC: &str = r#"
+    // Boot-detected CPU feature, fixed before user space starts.
+    multiverse bool cpu_has_smap;
+
+    u8 user_buf[256];
+    u8 kernel_buf[256];
+
+    // The alternative-marked guards: a single instruction when the
+    // feature exists, nothing otherwise.
+    multiverse void smap_allow(void) {
+        if (cpu_has_smap) { __mfence(); }
+    }
+    multiverse void smap_forbid(void) {
+        if (cpu_has_smap) { __mfence(); }
+    }
+
+    // copy_from_user-style routine with the guards around the access
+    // window, as the kernel places stac/clac.
+    i64 copy_from_user(i64 n) {
+        smap_allow();
+        for (i64 i = 0; i < n; i++) {
+            kernel_buf[i] = user_buf[i];
+        }
+        smap_forbid();
+        return n;
+    }
+
+    i64 main(void) { return 0; }
+"#;
+
+/// Builds the kernel and applies the boot-time alternative patching for
+/// the detected feature state.
+pub fn boot(cpu_has_smap: bool) -> Result<World, BuildError> {
+    let program = Program::build(&[("alternative.c", SRC)])?;
+    let mut world = program.boot();
+    world.set("cpu_has_smap", cpu_has_smap as i64)?;
+    world.commit()?;
+    Ok(world)
+}
+
+/// The dynamic baseline the macros exist to avoid: test the feature flag
+/// on every guard execution.
+pub fn boot_dynamic(cpu_has_smap: bool) -> Result<World, BuildError> {
+    let program = Program::build_with(&[("alternative.c", SRC)], &Options::dynamic())?;
+    let mut world = program.boot();
+    world.set("cpu_has_smap", cpu_has_smap as i64)?;
+    Ok(world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_user_buf(w: &mut World) {
+        let buf = w.sym("user_buf").unwrap();
+        let data: Vec<u8> = (0..=255).collect();
+        w.machine.mem.write(buf, &data).unwrap();
+    }
+
+    #[test]
+    fn copy_works_with_and_without_the_feature() {
+        for smap in [false, true] {
+            let mut w = boot(smap).unwrap();
+            fill_user_buf(&mut w);
+            assert_eq!(w.call("copy_from_user", &[64]).unwrap(), 64);
+            let kbuf = w.sym("kernel_buf").unwrap();
+            let got = w.machine.mem.read_vec(kbuf, 64).unwrap();
+            assert_eq!(got, (0..64).collect::<Vec<u8>>(), "smap={smap}");
+        }
+    }
+
+    #[test]
+    fn feature_present_executes_the_instruction() {
+        let mut w = boot(true).unwrap();
+        let f0 = count_fences(&mut w);
+        assert_eq!(f0, 2, "allow + forbid each fence once");
+    }
+
+    #[test]
+    fn feature_absent_is_patched_to_nops() {
+        let mut w = boot(false).unwrap();
+        assert_eq!(count_fences(&mut w), 0, "guards erased");
+        // And erased means *inlined as NOPs at the call sites* — no calls
+        // to the guards remain either.
+        let c0 = w.machine.stats.calls;
+        w.call("copy_from_user", &[1]).unwrap();
+        assert_eq!(
+            w.machine.stats.calls - c0,
+            0,
+            "host entry does not execute call instructions; guards are NOPs"
+        );
+    }
+
+    fn count_fences(w: &mut World) -> u64 {
+        // The cost model charges `fence` cycles only for mfence; count
+        // via a cycle-difference fingerprint instead of new stats: run
+        // once with and compare against instructions… simplest: use the
+        // instruction count of the two guard bodies by calling them
+        // directly through their generic entries.
+        let s0 = w.machine.stats.instructions;
+        let c0 = w.machine.cycles();
+        w.call("copy_from_user", &[0]).unwrap();
+        let d_insns = w.machine.stats.instructions - s0;
+        let d_cycles = w.machine.cycles() - c0;
+        // Each executed mfence costs (fence - nop) more than a NOP would,
+        // with identical instruction counts across the two builds after
+        // inlining. Derive the fence count from the cycle surplus over
+        // the all-NOP lower bound of this exact instruction sequence.
+        let _ = d_insns;
+        // Calibrate: a zero-length copy with NOP guards costs a fixed
+        // baseline; measure it from a known-false boot.
+        let mut base = boot(false).unwrap();
+        let b0 = base.machine.cycles();
+        base.call("copy_from_user", &[0]).unwrap();
+        let baseline = base.machine.cycles() - b0;
+        let fence_cost = base.machine.cost.fence - base.machine.cost.nop;
+        (d_cycles.saturating_sub(baseline)) / fence_cost
+    }
+
+    #[test]
+    fn multiverse_beats_the_dynamic_guard() {
+        // The reason the kernel patches instead of testing: per-call
+        // overhead on every copy_from_user.
+        let n = 2000;
+        let mut dynamic = boot_dynamic(false).unwrap();
+        let d = dynamic
+            .time_calls("copy_from_user", &[4], n, false)
+            .unwrap();
+        let mut patched = boot(false).unwrap();
+        let p = patched
+            .time_calls("copy_from_user", &[4], n, false)
+            .unwrap();
+        assert!(
+            p.avg_cycles < d.avg_cycles,
+            "patched {} !< dynamic {}",
+            p.avg_cycles,
+            d.avg_cycles
+        );
+    }
+
+    #[test]
+    fn refeature_at_runtime() {
+        // What the macros cannot do and multiverse can: un-apply. (The
+        // paper's VM-migration motivation — a feature appearing or
+        // vanishing under a live kernel.)
+        let mut w = boot(true).unwrap();
+        assert_eq!(count_fences(&mut w), 2);
+        w.set("cpu_has_smap", 0).unwrap();
+        w.commit().unwrap();
+        assert_eq!(count_fences(&mut w), 0);
+    }
+}

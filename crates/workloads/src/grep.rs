@@ -1,0 +1,192 @@
+//! GNU grep — the §6.2.3 case study.
+//!
+//! At startup grep inspects the locale and the pattern and fixes a mode:
+//! does matching have to be multibyte (UTF-8) aware? The mode never
+//! changes afterwards, yet the matcher consults it on hot paths. The
+//! paper multiverses the mode variable (50 changed lines, 4 files) and
+//! commits the specialized matcher after setup, gaining 2.73 % end to end
+//! on a 2 GiB hex-random corpus with the pattern `a.a`.
+//!
+//! The mini-grep here scans a generated corpus line by line; the
+//! per-line matcher is the variation point guarded by `mb_mode`. The
+//! single-byte fast path and the multibyte-aware path produce identical
+//! results on pure-ASCII input (which hex data is), exactly the situation
+//! grep's `MB_CUR_MAX > 1` check guards.
+
+use multiverse::mvc::Options;
+use multiverse::{BuildError, Program, World};
+
+/// Size of the in-image corpus buffer.
+pub const HAYSTACK_CAP: usize = 1 << 18;
+
+/// The mini-grep source.
+pub const SRC: &str = r#"
+    // Locale mode, fixed after setup: 0 = single-byte, 1 = multibyte.
+    multiverse(0, 1) i32 mb_mode;
+
+    u8 haystack[262144];
+
+    // Matches the pattern "a.a" within one line.
+    multiverse i64 match_line(i64 start, i64 end) {
+        i64 count = 0;
+        i64 i = start;
+        if (mb_mode) {
+            // Multibyte-aware scan: classify each byte before matching
+            // (lead bytes of multi-byte sequences are skipped wholesale).
+            while (i + 2 < end) {
+                i64 c = haystack[i];
+                if (c >= 192) { i = i + 2; continue; }
+                if (c >= 128) { i = i + 1; continue; }
+                if (c == 'a') {
+                    if (haystack[i + 2] == 'a') { count = count + 1; }
+                }
+                i = i + 1;
+            }
+        } else {
+            while (i + 2 < end) {
+                if (haystack[i] == 'a') {
+                    if (haystack[i + 2] == 'a') { count = count + 1; }
+                }
+                i = i + 1;
+            }
+        }
+        return count;
+    }
+
+    // The grep driver: split into lines, match each line.
+    i64 grep_all(i64 len) {
+        i64 total = 0;
+        i64 pos = 0;
+        while (pos < len) {
+            i64 eol = pos;
+            while (eol < len) {
+                if (haystack[eol] == '\n') { break; }
+                eol = eol + 1;
+            }
+            total = total + match_line(pos, eol);
+            pos = eol + 1;
+        }
+        return total;
+    }
+
+    i64 main(void) { return 0; }
+"#;
+
+/// Build flavor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GrepBuild {
+    /// Unmodified grep: the mode is tested dynamically.
+    Without,
+    /// Multiversed mode variable, committed after setup.
+    With,
+}
+
+impl GrepBuild {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GrepBuild::Without => "w/o Multiverse",
+            GrepBuild::With => "w/ Multiverse",
+        }
+    }
+}
+
+/// Builds mini-grep, loads `corpus` into the haystack, sets the locale
+/// mode, and (for the multiverse build) commits the matcher.
+pub fn boot(build: GrepBuild, corpus: &[u8], multibyte: bool) -> Result<World, BuildError> {
+    assert!(corpus.len() <= HAYSTACK_CAP, "corpus exceeds haystack");
+    let opts = match build {
+        GrepBuild::Without => Options::dynamic(),
+        GrepBuild::With => Options::default(),
+    };
+    let program = Program::build_with(&[("grep.c", SRC)], &opts)?;
+    let mut world = program.boot();
+    let hay = world.sym("haystack")?;
+    world
+        .machine
+        .mem
+        .write(hay, corpus)
+        .map_err(multiverse::mvvm::Fault::Mem)
+        .map_err(BuildError::Fault)?;
+    world.set("mb_mode", multibyte as i64)?;
+    if build == GrepBuild::With {
+        world.commit()?;
+    }
+    Ok(world)
+}
+
+/// Runs the end-to-end search; returns `(match count, cycles)`.
+pub fn run(world: &mut World, len: usize) -> Result<(u64, u64), BuildError> {
+    let c0 = world.cycles();
+    let count = world.call("grep_all", &[len as u64])?;
+    Ok((count, world.cycles() - c0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textgen;
+
+    #[test]
+    fn match_count_equals_rust_reference() {
+        let corpus = textgen::hex_corpus(16_384, 11);
+        let expect = textgen::count_a_any_a(&corpus);
+        for build in [GrepBuild::Without, GrepBuild::With] {
+            for mb in [false, true] {
+                let mut w = boot(build, &corpus, mb).unwrap();
+                let (count, _) = run(&mut w, corpus.len()).unwrap();
+                assert_eq!(count, expect, "{build:?} mb={mb}");
+            }
+        }
+    }
+
+    #[test]
+    fn multibyte_path_skips_non_ascii() {
+        // An `a` inside a multi-byte sequence is not a match start for
+        // the multibyte matcher, but the raw byte matcher sees it.
+        let corpus = b"\xC3axa xx".to_vec();
+        let mut sb = boot(GrepBuild::Without, &corpus, false).unwrap();
+        let (c_sb, _) = run(&mut sb, corpus.len()).unwrap();
+        let mut mb = boot(GrepBuild::Without, &corpus, true).unwrap();
+        let (c_mb, _) = run(&mut mb, corpus.len()).unwrap();
+        assert_ne!(c_sb, c_mb, "modes differ on non-ASCII input");
+    }
+
+    #[test]
+    fn end_to_end_improvement_is_small_but_real() {
+        // §6.2.3: −2.73 % end to end. The mode check sits on the per-line
+        // path, so the win is small relative to the per-byte scan.
+        let corpus = textgen::hex_corpus(65_536, 5);
+        let mut without = boot(GrepBuild::Without, &corpus, false).unwrap();
+        let (_, c_without) = run(&mut without, corpus.len()).unwrap();
+        let mut with = boot(GrepBuild::With, &corpus, false).unwrap();
+        let (_, c_with) = run(&mut with, corpus.len()).unwrap();
+        let delta = 1.0 - c_with as f64 / c_without as f64;
+        assert!(
+            (0.001..0.15).contains(&delta),
+            "improvement {:.2}% should be small but positive",
+            delta * 100.0
+        );
+    }
+
+    #[test]
+    fn committed_matcher_loses_the_mode_load() {
+        let corpus = textgen::hex_corpus(8_192, 9);
+        let n_lines = corpus.iter().filter(|&&b| b == b'\n').count() as u64;
+        let mut without = boot(GrepBuild::Without, &corpus, false).unwrap();
+        let s0 = without.machine.stats;
+        run(&mut without, corpus.len()).unwrap();
+        let loads_without = without.machine.stats.since(&s0).loads;
+
+        let mut with = boot(GrepBuild::With, &corpus, false).unwrap();
+        let s0 = with.machine.stats;
+        run(&mut with, corpus.len()).unwrap();
+        let loads_with = with.machine.stats.since(&s0).loads;
+
+        // One mode load per line disappears.
+        assert!(
+            loads_without >= loads_with + n_lines,
+            "without={loads_without} with={loads_with} lines={n_lines}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! The paper's case studies (§6), rebuilt in MVC and run on the simulated
+//! machine:
+//!
+//! * [`spinlock`] — Linux lock elision (Fig. 1 and Fig. 4 left): the
+//!   `CONFIG_SMP` spinlock in four kernel builds (no elision / `if`
+//!   elision / multiverse elision / static UP).
+//! * [`pvops`] — paravirtual operations (Fig. 4 right): `sti`/`cli`
+//!   through the PV-Ops function-pointer table with boot-time patching
+//!   and the custom all-callee-saved calling convention, versus
+//!   multiversed interrupt operations, versus statically disabled
+//!   paravirtualization.
+//! * [`musl`] — the musl C library (Fig. 5): `__lock`/`__lockfile`
+//!   elision keyed on `threads_minus_1`, measured through `random()`,
+//!   `malloc(0)`, `malloc(1)` and `fputc('a')`.
+//! * [`grep`] — GNU grep (§6.2.3): the multibyte-locale mode switch in
+//!   the line-matching loop over a generated hex-random corpus.
+//! * [`cpython`] — cPython (§6.2.1): the GC enable flag on the
+//!   object-allocation path.
+//! * [`alternative`] — the `alternative`/`alternative_smp` macro family
+//!   (§1.1): boot-time single-instruction patching (the SMAP guards),
+//!   subsumed by multiverse.
+//! * [`textgen`] — deterministic workload-input generation.
+//!
+//! Every module exposes the MVC source, builders for the relevant
+//! configurations, and measurement helpers shared by the Criterion
+//! benches and the `paper_tables` harness.
+
+pub mod alternative;
+pub mod cpython;
+pub mod grep;
+pub mod musl;
+pub mod pvops;
+pub mod spinlock;
+pub mod textgen;

@@ -1,0 +1,481 @@
+//! The musl C library — the Fig. 5 case study.
+//!
+//! musl guards its internal state with a word spinlock (`__lock`) and its
+//! stdio `FILE` objects with an owner lock (`__lockfile`); both are taken
+//! unconditionally in the pristine library, but musl already maintains
+//! `threads_minus_1`, updated on every `pthread_create`/`exit`. The paper
+//! marks that counter as a configuration switch, multiverses the lock and
+//! unlock functions so the single-threaded variants have *empty bodies*
+//! (erased into wide NOPs at every call site), and commits around the
+//! second thread's lifetime (§6.2.2, 67 changed lines across 10 files).
+//!
+//! The mini-musl here implements the three benchmarked entry points over
+//! the same locking structure:
+//!
+//! * `random()` — the LCG behind musl's `random`, lock-protected;
+//! * `malloc(n)`/`free(p)` — a size-class free-list allocator over a
+//!   static arena, lock-protected (`malloc(0)` is the special case the
+//!   paper benchmarks separately);
+//! * `fputc(c)` — buffered stdio write under the file lock, flushing
+//!   through the machine's `out` port (the paper reports the bandwidth
+//!   gain 124 → 264 MiB/s).
+
+use multiverse::mvc::Options;
+use multiverse::mvvm::Stats;
+use multiverse::{BuildError, Program, World};
+
+/// The mini-musl source.
+pub const SRC: &str = r#"
+    // musl keeps this up to date on every pthread_create/pthread_exit;
+    // the paper turns it into a configuration switch with domain {0, 1}.
+    multiverse(0, 1) i32 threads_minus_1;
+
+    // ---- libc-internal locks -------------------------------------------
+    i64 libc_lock;
+    i64 file_lock;
+
+    multiverse void __lock(void) {
+        if (threads_minus_1) {
+            while (__xchg(&libc_lock, 1) != 0) { __pause(); }
+        }
+    }
+    multiverse void __unlock(void) {
+        if (threads_minus_1) {
+            libc_lock = 0;
+        }
+    }
+    multiverse void __lockfile(void) {
+        if (threads_minus_1) {
+            while (__xchg(&file_lock, 1) != 0) { __pause(); }
+        }
+    }
+    multiverse void __unlockfile(void) {
+        if (threads_minus_1) {
+            file_lock = 0;
+        }
+    }
+
+    // ---- random() ------------------------------------------------------
+    u64 rand_state = 1;
+
+    i64 random_(void) {
+        __lock();
+        rand_state = rand_state * 6364136223846793005 + 1442695040888963407;
+        i64 r = rand_state >> 33;
+        __unlock();
+        return r;
+    }
+
+    void srandom_(i64 seed) {
+        __lock();
+        rand_state = seed;
+        __unlock();
+    }
+
+    // ---- malloc()/free(): size-class free lists over a static arena ----
+    // Chunk 0 is reserved so 0 can mean NULL; free-list next pointers
+    // live in a side table indexed by chunk number (offset / 16).
+    u8 heap[262144];
+    u64 heap_brk = 16;
+    u64 free_head[8];        // classes of 16, 32, ..., 128 bytes
+    u64 free_next[16384];
+    u64 alloc_count;
+
+    i64 size_class(i64 n) {
+        if (n <= 0) { return 0; }    // malloc(0): smallest class
+        return (n - 1) >> 4;
+    }
+
+    i64 malloc_(i64 n) {
+        __lock();
+        alloc_count = alloc_count + 1;
+        i64 c = size_class(n);
+        i64 p = 0;
+        if (c < 8) {
+            i64 head = free_head[c];
+            if (head != 0) {
+                free_head[c] = free_next[head >> 4];
+                p = head;
+            }
+        }
+        if (p == 0) {
+            i64 sz = (c + 1) * 16;
+            if (c >= 8) { sz = n + 16; }
+            if (heap_brk + sz > 262144) {
+                __unlock();
+                return 0;            // out of arena
+            }
+            p = heap_brk;
+            heap_brk = heap_brk + sz;
+        }
+        __unlock();
+        return p;
+    }
+
+    void free_(i64 p, i64 n) {
+        if (p == 0) { return; }
+        __lock();
+        i64 c = size_class(n);
+        if (c < 8) {
+            free_next[p >> 4] = free_head[c];
+            free_head[c] = p;
+        }
+        __unlock();
+    }
+
+    // ---- fputc(): buffered stdio under the file lock --------------------
+    u8 file_buf[4096];
+    i64 file_pos;
+
+    void flush_(void) {
+        for (i64 i = 0; i < file_pos; i++) {
+            __out(file_buf[i]);
+        }
+        file_pos = 0;
+    }
+
+    i64 fputc_(i64 c) {
+        __lockfile();
+        file_buf[file_pos] = c;
+        file_pos = file_pos + 1;
+        if (file_pos == 4096) {
+            flush_();
+        }
+        __unlockfile();
+        return c;
+    }
+
+    // ---- benchmark drivers (10 M tight-loop invocations in the paper) --
+    i64 bench_random(i64 n) {
+        i64 acc = 0;
+        for (i64 i = 0; i < n; i++) { acc = acc + random_(); }
+        return acc;
+    }
+
+    i64 bench_malloc(i64 n, i64 size) {
+        i64 acc = 0;
+        for (i64 i = 0; i < n; i++) {
+            i64 p = malloc_(size);
+            acc = acc + p;
+            free_(p, size);
+        }
+        return acc;
+    }
+
+    i64 bench_fputc(i64 n) {
+        for (i64 i = 0; i < n; i++) { fputc_('a'); }
+        return file_pos;
+    }
+
+    i64 main(void) { return 0; }
+"#;
+
+/// Whether the library is built with multiverse (w/) or as the pristine
+/// dynamic library (w/o).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MuslBuild {
+    /// Unmodified musl: locks test `threads_minus_1` dynamically.
+    Without,
+    /// Multiversed locks, committed for the current thread count.
+    With,
+}
+
+impl MuslBuild {
+    /// Display label matching Fig. 5.
+    pub fn label(self) -> &'static str {
+        match self {
+            MuslBuild::Without => "w/o Multiverse",
+            MuslBuild::With => "w/ Multiverse",
+        }
+    }
+}
+
+/// Thread mode of the process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThreadMode {
+    /// One thread (`threads_minus_1 == 0`): locks are elidable.
+    Single,
+    /// Two or more threads (`threads_minus_1 == 1`): locks are taken.
+    Multi,
+}
+
+impl ThreadMode {
+    /// Display label matching Fig. 5.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreadMode::Single => "Single Threaded",
+            ThreadMode::Multi => "Multi Threaded",
+        }
+    }
+}
+
+/// Builds and boots mini-musl; for [`MuslBuild::With`] the lock variants
+/// are committed for the thread mode (the paper calls
+/// `multiverse_commit()` around the second thread's spawn/exit).
+pub fn boot(build: MuslBuild, threads: ThreadMode) -> Result<World, BuildError> {
+    let opts = match build {
+        MuslBuild::Without => Options::dynamic(),
+        MuslBuild::With => Options::default(),
+    };
+    let program = Program::build_with(&[("musl.c", SRC)], &opts)?;
+    let mut world = program.boot();
+    world.set("threads_minus_1", (threads == ThreadMode::Multi) as i64)?;
+    if build == MuslBuild::With {
+        world.commit()?;
+    }
+    Ok(world)
+}
+
+/// One benchmarked libc function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LibcFn {
+    /// `random()`.
+    Random,
+    /// `malloc(0)` (+ paired free).
+    Malloc0,
+    /// `malloc(1)` (+ paired free).
+    Malloc1,
+    /// `fputc('a')`.
+    Fputc,
+}
+
+impl LibcFn {
+    /// Display label matching Fig. 5.
+    pub fn label(self) -> &'static str {
+        match self {
+            LibcFn::Random => "random()",
+            LibcFn::Malloc0 => "malloc(0)",
+            LibcFn::Malloc1 => "malloc(1)",
+            LibcFn::Fputc => "fputc('a')",
+        }
+    }
+
+    /// All four, in figure order.
+    pub fn all() -> [LibcFn; 4] {
+        [
+            LibcFn::Random,
+            LibcFn::Malloc0,
+            LibcFn::Malloc1,
+            LibcFn::Fputc,
+        ]
+    }
+}
+
+/// Runs `n` invocations of `func` and returns `(total cycles, stats)`.
+pub fn run_bench(world: &mut World, func: LibcFn, n: u64) -> Result<(u64, Stats), BuildError> {
+    let (name, args): (&str, Vec<u64>) = match func {
+        LibcFn::Random => ("bench_random", vec![n]),
+        LibcFn::Malloc0 => ("bench_malloc", vec![n, 0]),
+        LibcFn::Malloc1 => ("bench_malloc", vec![n, 1]),
+        LibcFn::Fputc => ("bench_fputc", vec![n]),
+    };
+    let s0 = world.machine.stats;
+    let c0 = world.cycles();
+    world.call(name, &args)?;
+    Ok((world.cycles() - c0, world.machine.stats.since(&s0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sequence_is_deterministic_lcg() {
+        let mut w = boot(MuslBuild::Without, ThreadMode::Single).unwrap();
+        w.call("srandom_", &[42]).unwrap();
+        let a = w.call("random_", &[]).unwrap();
+        let b = w.call("random_", &[]).unwrap();
+        // Rust reference.
+        let mut st: u64 = 42;
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let ra = st >> 33;
+        st = st
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let rb = st >> 33;
+        assert_eq!((a, b), (ra, rb));
+    }
+
+    #[test]
+    fn malloc_returns_distinct_reusable_chunks() {
+        let mut w = boot(MuslBuild::With, ThreadMode::Single).unwrap();
+        let p1 = w.call("malloc_", &[24]).unwrap();
+        let p2 = w.call("malloc_", &[24]).unwrap();
+        assert_ne!(p1, 0);
+        assert_ne!(p2, 0);
+        assert_ne!(p1, p2);
+        w.call("free_", &[p2, 24]).unwrap();
+        let p3 = w.call("malloc_", &[20]).unwrap();
+        assert_eq!(p3, p2, "same size class reuses the freed chunk");
+    }
+
+    #[test]
+    fn free_list_chains_beyond_one_chunk() {
+        let mut w = boot(MuslBuild::Without, ThreadMode::Single).unwrap();
+        let ps: Vec<u64> = (0..5).map(|_| w.call("malloc_", &[8]).unwrap()).collect();
+        for &p in &ps {
+            w.call("free_", &[p, 8]).unwrap();
+        }
+        // LIFO reuse through the chained free list.
+        for &p in ps.iter().rev() {
+            assert_eq!(w.call("malloc_", &[8]).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn malloc_zero_is_valid_and_small() {
+        let mut w = boot(MuslBuild::Without, ThreadMode::Single).unwrap();
+        let p = w.call("malloc_", &[0]).unwrap();
+        assert_ne!(p, 0, "mini-musl returns a unique chunk for malloc(0)");
+    }
+
+    #[test]
+    fn malloc_exhaustion_returns_null() {
+        let mut w = boot(MuslBuild::Without, ThreadMode::Single).unwrap();
+        let mut got_null = false;
+        for _ in 0..40 {
+            if w.call("malloc_", &[8192]).unwrap() == 0 {
+                got_null = true;
+                break;
+            }
+        }
+        assert!(got_null);
+    }
+
+    #[test]
+    fn fputc_buffers_and_flushes() {
+        let mut w = boot(MuslBuild::With, ThreadMode::Single).unwrap();
+        for _ in 0..4095 {
+            w.call("fputc_", &[b'a' as u64]).unwrap();
+        }
+        assert!(w.machine.output().is_empty(), "not flushed yet");
+        w.call("fputc_", &[b'b' as u64]).unwrap();
+        let out = w.machine.take_output();
+        assert_eq!(out.len(), 4096);
+        assert_eq!(out[0], b'a');
+        assert_eq!(out[4095], b'b');
+    }
+
+    #[test]
+    fn locks_are_taken_only_in_multi_mode() {
+        let mut single = boot(MuslBuild::With, ThreadMode::Single).unwrap();
+        let a0 = single.machine.stats.atomics;
+        single.call("random_", &[]).unwrap();
+        assert_eq!(
+            single.machine.stats.atomics, a0,
+            "no atomic single-threaded"
+        );
+
+        let mut multi = boot(MuslBuild::With, ThreadMode::Multi).unwrap();
+        let a0 = multi.machine.stats.atomics;
+        multi.call("random_", &[]).unwrap();
+        assert!(
+            multi.machine.stats.atomics > a0,
+            "lock taken multi-threaded"
+        );
+    }
+
+    #[test]
+    fn results_identical_with_and_without_multiverse() {
+        // Soundness across the two builds for every benchmarked function.
+        for threads in [ThreadMode::Single, ThreadMode::Multi] {
+            let mut a = boot(MuslBuild::Without, threads).unwrap();
+            let mut b = boot(MuslBuild::With, threads).unwrap();
+            for f in LibcFn::all() {
+                let (name, args): (&str, Vec<u64>) = match f {
+                    LibcFn::Random => ("bench_random", vec![50]),
+                    LibcFn::Malloc0 => ("bench_malloc", vec![50, 0]),
+                    LibcFn::Malloc1 => ("bench_malloc", vec![50, 1]),
+                    LibcFn::Fputc => ("bench_fputc", vec![50]),
+                };
+                let ra = a.call(name, &args).unwrap();
+                let rb = b.call(name, &args).unwrap();
+                assert_eq!(ra, rb, "{f:?} {threads:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_single_threaded_speedup_in_paper_range() {
+        // Fig. 5: single-threaded improvements between −43 % and −54 %.
+        let n = 3000;
+        for f in LibcFn::all() {
+            let (without, _) = run_bench(
+                &mut boot(MuslBuild::Without, ThreadMode::Single).unwrap(),
+                f,
+                n,
+            )
+            .unwrap();
+            let (with, _) = run_bench(
+                &mut boot(MuslBuild::With, ThreadMode::Single).unwrap(),
+                f,
+                n,
+            )
+            .unwrap();
+            let delta = 1.0 - with as f64 / without as f64;
+            assert!(
+                (0.08..=0.70).contains(&delta),
+                "{f:?}: improvement {:.1}% out of plausible range",
+                delta * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_multi_threaded_is_roughly_unchanged() {
+        let n = 3000;
+        for f in [LibcFn::Random, LibcFn::Malloc1] {
+            let (without, _) = run_bench(
+                &mut boot(MuslBuild::Without, ThreadMode::Multi).unwrap(),
+                f,
+                n,
+            )
+            .unwrap();
+            let (with, _) =
+                run_bench(&mut boot(MuslBuild::With, ThreadMode::Multi).unwrap(), f, n).unwrap();
+            let delta = (1.0 - with as f64 / without as f64).abs();
+            assert!(
+                delta < 0.10,
+                "{f:?}: multi-threaded delta {:.1}%",
+                delta * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn branch_reduction_for_malloc1() {
+        // §6.2.2 reports ≈ −40 % executed branches for malloc(1).
+        let n = 2000;
+        let (_, s_without) = run_bench(
+            &mut boot(MuslBuild::Without, ThreadMode::Single).unwrap(),
+            LibcFn::Malloc1,
+            n,
+        )
+        .unwrap();
+        let (_, s_with) = run_bench(
+            &mut boot(MuslBuild::With, ThreadMode::Single).unwrap(),
+            LibcFn::Malloc1,
+            n,
+        )
+        .unwrap();
+        let delta = 1.0 - s_with.branches as f64 / s_without.branches as f64;
+        assert!(
+            delta > 0.15,
+            "branch reduction {:.1}% (without={} with={})",
+            delta * 100.0,
+            s_without.branches,
+            s_with.branches
+        );
+    }
+
+    #[test]
+    fn empty_lock_bodies_are_inlined_as_nops() {
+        let w = boot(MuslBuild::With, ThreadMode::Single).unwrap();
+        let rt = w.rt.as_ref().unwrap();
+        // All four lock functions committed, with the empty variants
+        // inlined at their call sites.
+        assert!(rt.stats.sites_inlined >= 4, "{}", rt.stats.sites_inlined);
+    }
+}

@@ -1,0 +1,279 @@
+//! Lock elision — the Fig. 1 / Fig. 4 (left) spinlock case study.
+//!
+//! The kernel's `spin_lock_irq`/`spin_unlock_irq` pair, with the SMP lock
+//! acquisition guarded by `config_smp`. One MVC source builds all four
+//! kernels measured in §6.1:
+//!
+//! | kernel | binding | build |
+//! |---|---|---|
+//! | No Lock Elision ("Ubuntu standard") | compile-time `SMP=1` | [`KernelBuild::NoElision`] |
+//! | Lock Elision \[if\] | dynamic test | [`KernelBuild::ElisionIf`] |
+//! | Lock Elision \[multiverse\] | commit-time | [`KernelBuild::ElisionMultiverse`] |
+//! | Lock Elision \[ifdef Off\] | compile-time `SMP=0` | [`KernelBuild::IfdefOff`] |
+
+use multiverse::mvc::Options;
+use multiverse::mvvm::{CostModel, MachineConfig, MachineMode};
+use multiverse::{BuildError, Program, World};
+
+/// The spinlock kernel fragment (shared by every build).
+pub const SRC: &str = r#"
+    // CONFIG_SMP as a run-time configuration switch (Fig. 1 C).
+    multiverse bool config_smp;
+    i64 lock_word;
+    i64 preempt_count;
+
+    multiverse void spin_lock_irq(void) {
+        __cli();
+        // Like the kernel, the lock path also maintains the preemption
+        // count; this keeps the specialized bodies above the 5-byte
+        // call-site inline threshold, as real spinlocks are.
+        preempt_count = preempt_count + 1;
+        if (config_smp) {
+            while (__xchg(&lock_word, 1) != 0) { __pause(); }
+        }
+    }
+
+    multiverse void spin_unlock_irq(void) {
+        if (config_smp) {
+            lock_word = 0;
+        }
+        preempt_count = preempt_count - 1;
+        __sti();
+    }
+
+    // Fig. 4 measures the lock+unlock pair; Fig. 1 the lock alone.
+    void lock_unlock(void) {
+        spin_lock_irq();
+        spin_unlock_irq();
+    }
+
+    i64 main(void) { return 0; }
+"#;
+
+/// The four benchmarked kernel configurations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelBuild {
+    /// Mainline SMP kernel: the lock is always taken (static `SMP=1`).
+    NoElision,
+    /// Run-time `if (config_smp)` elision — binding B.
+    ElisionIf,
+    /// Multiverse elision — binding C (committed per machine mode).
+    ElisionMultiverse,
+    /// Statically UP kernel (`SMP=0` at compile time) — binding A.
+    IfdefOff,
+}
+
+impl KernelBuild {
+    /// Display label matching Fig. 4.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelBuild::NoElision => "No Lock Elision",
+            KernelBuild::ElisionIf => "Lock Elision [if]",
+            KernelBuild::ElisionMultiverse => "Lock Elision [multiverse]",
+            KernelBuild::IfdefOff => "Lock Elision [ifdef Off]",
+        }
+    }
+
+    fn options(self) -> Options {
+        match self {
+            KernelBuild::NoElision => Options::static_build(&[("config_smp", 1)]),
+            KernelBuild::ElisionIf => Options::dynamic(),
+            KernelBuild::ElisionMultiverse => Options::default(),
+            KernelBuild::IfdefOff => Options::static_build(&[("config_smp", 0)]),
+        }
+    }
+}
+
+/// Compiles the spinlock kernel in the given build configuration.
+pub fn build(kind: KernelBuild) -> Result<Program, BuildError> {
+    Program::build_with(&[("spinlock.c", SRC)], &kind.options())
+}
+
+/// Boots a kernel in `mode` (unicore/multicore), sets `config_smp`
+/// accordingly, and — for the multiverse kernel — commits.
+pub fn boot(kind: KernelBuild, mode: MachineMode) -> Result<World, BuildError> {
+    let program = build(kind)?;
+    let mut world = program.boot_with(
+        CostModel::default(),
+        MachineConfig {
+            mode,
+            ..MachineConfig::default()
+        },
+    );
+    let smp = matches!(mode, MachineMode::Multicore);
+    // Static builds read a baked-in constant; the variable write is
+    // harmless there.
+    world.set("config_smp", smp as i64)?;
+    if kind == KernelBuild::ElisionMultiverse {
+        world.commit()?;
+    }
+    Ok(world)
+}
+
+/// Average cycles for the lock+unlock pair (Fig. 4 left).
+pub fn measure_pair(world: &mut World, iterations: u64) -> Result<f64, BuildError> {
+    Ok(world
+        .time_calls("lock_unlock", &[], iterations, false)?
+        .avg_cycles)
+}
+
+/// Average cycles for `spin_lock_irq` alone (the Fig. 1 table). The
+/// lock word is cleared between calls so the SMP path never spins.
+pub fn measure_lock(world: &mut World, iterations: u64) -> Result<f64, BuildError> {
+    let lock_word = world.sym("lock_word")?;
+    let addr = world.sym("spin_lock_irq")?;
+    world.machine.call(addr, &[])?; // warm-up
+    world.machine.mem.write_int(lock_word, 0, 8)?;
+    let c0 = world.cycles();
+    for _ in 0..iterations {
+        world.machine.call(addr, &[])?;
+        // Release outside the measured function, as the benchmark driver
+        // in the paper's kernel module does between samples.
+        world.machine.mem.write_int(lock_word, 0, 8)?;
+    }
+    Ok((world.cycles() - c0) as f64 / iterations as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_build_and_run() {
+        for kind in [
+            KernelBuild::NoElision,
+            KernelBuild::ElisionIf,
+            KernelBuild::ElisionMultiverse,
+            KernelBuild::IfdefOff,
+        ] {
+            for mode in [MachineMode::Unicore, MachineMode::Multicore] {
+                if kind == KernelBuild::IfdefOff && mode == MachineMode::Multicore {
+                    continue; // the UP kernel is never run SMP (Fig. 4)
+                }
+                let mut w = boot(kind, mode).unwrap();
+                w.call("lock_unlock", &[]).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn lock_actually_locks_in_smp() {
+        let mut w = boot(KernelBuild::NoElision, MachineMode::Multicore).unwrap();
+        w.call("spin_lock_irq", &[]).unwrap();
+        assert_eq!(w.get("lock_word").unwrap(), 1, "lock word taken");
+        w.call("spin_unlock_irq", &[]).unwrap();
+        assert_eq!(w.get("lock_word").unwrap(), 0, "released");
+    }
+
+    #[test]
+    fn up_kernels_elide_the_atomic() {
+        for kind in [KernelBuild::ElisionMultiverse, KernelBuild::IfdefOff] {
+            let mut w = boot(kind, MachineMode::Unicore).unwrap();
+            let a0 = w.machine.stats.atomics;
+            w.call("lock_unlock", &[]).unwrap();
+            assert_eq!(w.machine.stats.atomics, a0, "{kind:?}: no atomic in UP");
+        }
+        // The mainline kernel always pays the atomic.
+        let mut w = boot(KernelBuild::NoElision, MachineMode::Unicore).unwrap();
+        let a0 = w.machine.stats.atomics;
+        w.call("lock_unlock", &[]).unwrap();
+        assert!(w.machine.stats.atomics > a0);
+    }
+
+    #[test]
+    fn fig1_ordering_holds_in_unicore() {
+        // Fig. 1: static (A) ≤ multiverse (C) < dynamic (B) < mainline.
+        let n = 2000;
+        let a = measure_lock(
+            &mut boot(KernelBuild::IfdefOff, MachineMode::Unicore).unwrap(),
+            n,
+        )
+        .unwrap();
+        let b = measure_lock(
+            &mut boot(KernelBuild::ElisionIf, MachineMode::Unicore).unwrap(),
+            n,
+        )
+        .unwrap();
+        let c = measure_lock(
+            &mut boot(KernelBuild::ElisionMultiverse, MachineMode::Unicore).unwrap(),
+            n,
+        )
+        .unwrap();
+        let main = measure_lock(
+            &mut boot(KernelBuild::NoElision, MachineMode::Unicore).unwrap(),
+            n,
+        )
+        .unwrap();
+        assert!(a <= c + 0.5, "static {a} ≤ multiverse {c}");
+        assert!(c < b, "multiverse {c} < dynamic {b}");
+        assert!(b < main, "dynamic {b} < mainline {main}");
+    }
+
+    #[test]
+    fn smp_costs_dominate_in_multicore() {
+        // Fig. 4: in multicore mode all three SMP-capable kernels are
+        // close (the atomic dominates; the warm branch is nearly free).
+        let n = 2000;
+        let no = measure_pair(
+            &mut boot(KernelBuild::NoElision, MachineMode::Multicore).unwrap(),
+            n,
+        )
+        .unwrap();
+        let dynif = measure_pair(
+            &mut boot(KernelBuild::ElisionIf, MachineMode::Multicore).unwrap(),
+            n,
+        )
+        .unwrap();
+        let mv = measure_pair(
+            &mut boot(KernelBuild::ElisionMultiverse, MachineMode::Multicore).unwrap(),
+            n,
+        )
+        .unwrap();
+        let spread = (no - mv).abs().max((no - dynif).abs());
+        assert!(
+            spread / no < 0.25,
+            "SMP kernels within 25%: no={no} if={dynif} mv={mv}"
+        );
+        // And every SMP run is far above the UP multiverse run.
+        let up = measure_pair(
+            &mut boot(KernelBuild::ElisionMultiverse, MachineMode::Unicore).unwrap(),
+            n,
+        )
+        .unwrap();
+        assert!(no > 1.5 * up, "SMP {no} ≫ UP {up}");
+    }
+
+    #[test]
+    fn multiverse_kernel_reconfigures_at_runtime() {
+        // UP → SMP hot-plug: flip the switch, re-commit, lock works.
+        let mut w = boot(KernelBuild::ElisionMultiverse, MachineMode::Unicore).unwrap();
+        let a0 = w.machine.stats.atomics;
+        w.call("lock_unlock", &[]).unwrap();
+        assert_eq!(w.machine.stats.atomics, a0);
+
+        w.machine.set_mode(MachineMode::Multicore);
+        w.set("config_smp", 1).unwrap();
+        w.commit().unwrap();
+        w.call("lock_unlock", &[]).unwrap();
+        assert!(w.machine.stats.atomics > a0, "lock taken after hot-plug");
+
+        // And back to UP.
+        w.machine.set_mode(MachineMode::Unicore);
+        w.set("config_smp", 0).unwrap();
+        w.commit().unwrap();
+        let a1 = w.machine.stats.atomics;
+        w.call("lock_unlock", &[]).unwrap();
+        assert_eq!(w.machine.stats.atomics, a1);
+    }
+
+    #[test]
+    fn callsites_are_recorded() {
+        let p = build(KernelBuild::ElisionMultiverse).unwrap();
+        let w = p.boot();
+        let rt = w.rt.as_ref().unwrap();
+        assert_eq!(rt.num_variables(), 1);
+        assert_eq!(rt.num_functions(), 2);
+        // lock_unlock calls both multiversed functions.
+        assert!(rt.num_callsites() >= 2);
+    }
+}

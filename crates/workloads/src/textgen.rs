@@ -1,0 +1,81 @@
+//! Deterministic workload-input generation.
+//!
+//! The grep experiment of §6.2.3 runs over "a 2 GiB large file of
+//! hexadecimal-formatted random numbers" placed on a ramdisk. This module
+//! generates the same *kind* of corpus — lines of lowercase hex digits —
+//! at configurable (laptop-scale) sizes, deterministically seeded so every
+//! benchmark run sees identical bytes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `size` bytes of newline-separated hexadecimal random text.
+///
+/// Each line is one hexadecimal-formatted random number (8–16 digits),
+/// as a number-per-line dump produces. The digits `a`–`f` occur
+/// naturally, so patterns like the paper's `a.a` match at a realistic
+/// density.
+pub fn hex_corpus(size: usize, seed: u64) -> Vec<u8> {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(size);
+    while out.len() < size {
+        let line_len = rng.gen_range(8..=16).min(size - out.len());
+        for _ in 0..line_len {
+            out.push(HEX[rng.gen_range(0..16)]);
+        }
+        if out.len() < size {
+            out.push(b'\n');
+        }
+    }
+    out.truncate(size);
+    out
+}
+
+/// Counts the matches of the paper's pattern `a.a` (an `a`, any one
+/// character, another `a`) in `text` — the Rust reference implementation
+/// the MVC matcher is validated against. Overlapping matches count, as
+/// a scan-every-position matcher sees them.
+pub fn count_a_any_a(text: &[u8]) -> u64 {
+    let mut n = 0;
+    for w in text.windows(3) {
+        if w[0] == b'a' && w[2] == b'a' && w[1] != b'\n' {
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        assert_eq!(hex_corpus(1000, 7), hex_corpus(1000, 7));
+        assert_ne!(hex_corpus(1000, 7), hex_corpus(1000, 8));
+    }
+
+    #[test]
+    fn corpus_is_hex_lines() {
+        let c = hex_corpus(4096, 1);
+        assert_eq!(c.len(), 4096);
+        assert!(c
+            .iter()
+            .all(|&b| b == b'\n' || b.is_ascii_digit() || (b'a'..=b'f').contains(&b)));
+        assert!(c.contains(&b'\n'));
+    }
+
+    #[test]
+    fn pattern_counter_reference() {
+        assert_eq!(count_a_any_a(b"axa"), 1);
+        assert_eq!(count_a_any_a(b"aaa"), 1);
+        assert_eq!(count_a_any_a(b"aaaa"), 2, "overlapping matches");
+        assert_eq!(count_a_any_a(b"a\na"), 0, "no match across newline");
+        assert_eq!(count_a_any_a(b"bcb"), 0);
+        // Matches exist at a realistic density in generated corpora.
+        let c = hex_corpus(10_000, 3);
+        let n = count_a_any_a(&c);
+        assert!(n > 10, "{n}");
+    }
+}

@@ -1,0 +1,65 @@
+//! The Fig. 5 musl scenario: lock elision keyed on the live thread
+//! count, re-committed as threads come and go.
+//!
+//! ```sh
+//! cargo run --release --example musl_locks
+//! ```
+
+use mv_workloads::musl::{boot, run_bench, LibcFn, MuslBuild, ThreadMode};
+
+fn main() {
+    let n = 10_000;
+
+    println!("Fig. 5 — cycles per call, {n} calls each:");
+    println!(
+        "{:34} {:>10} {:>10} {:>10} {:>11}",
+        "", "random()", "malloc(0)", "malloc(1)", "fputc('a')"
+    );
+    for threads in [ThreadMode::Single, ThreadMode::Multi] {
+        for build in [MuslBuild::Without, MuslBuild::With] {
+            let label = format!("{} | {}", threads.label(), build.label());
+            print!("{label:34}");
+            for f in LibcFn::all() {
+                let mut w = boot(build, threads).unwrap();
+                let (cycles, _) = run_bench(&mut w, f, n).unwrap();
+                print!(" {:>10.2}", cycles as f64 / n as f64);
+            }
+            println!();
+        }
+    }
+
+    // The transaction the paper sketches in §2: spawn a second thread →
+    // flip the switch → commit; join it → flip back → commit.
+    println!("\npthread_create / pthread_exit transitions:");
+    let mut w = boot(MuslBuild::With, ThreadMode::Single).unwrap();
+    let (fast, _) = run_bench(&mut w, LibcFn::Random, n).unwrap();
+    println!(
+        "  1 thread : {:6.2} cycles/random()",
+        fast as f64 / n as f64
+    );
+
+    // pthread_create: threads_minus_1++ then commit.
+    w.set("threads_minus_1", 1).unwrap();
+    w.commit().unwrap();
+    let (locked, _) = run_bench(&mut w, LibcFn::Random, n).unwrap();
+    println!(
+        "  2 threads: {:6.2} cycles/random() (locks live)",
+        locked as f64 / n as f64
+    );
+
+    // pthread_exit of the second thread: back to lock-free.
+    w.set("threads_minus_1", 0).unwrap();
+    w.commit().unwrap();
+    let (fast2, _) = run_bench(&mut w, LibcFn::Random, n).unwrap();
+    println!(
+        "  1 thread : {:6.2} cycles/random() (elided again)",
+        fast2 as f64 / n as f64
+    );
+
+    assert!(fast < locked);
+    let stats = w.rt.as_ref().unwrap().stats;
+    println!(
+        "\npatcher: {} sites patched ({} inlined) across the commits",
+        stats.sites_patched, stats.sites_inlined
+    );
+}

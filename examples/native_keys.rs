@@ -1,0 +1,81 @@
+//! The native Rust layer: dynamic variability for a real Rust program —
+//! static-key-style feature switches with commit/revert semantics,
+//! measured in actual nanoseconds on the host.
+//!
+//! ```sh
+//! cargo run --release --example native_keys
+//! ```
+
+use multiverse::native::{MvBool, MvFn0, Registry};
+use std::time::Instant;
+
+// The configuration switch: tracing on or off.
+static TRACING: MvBool = MvBool::new(false);
+
+// The generic variant reads the switch on every call (binding B).
+fn record_event_generic() -> u64 {
+    if TRACING.read() {
+        // Pretend to format and store a trace record.
+        std::hint::black_box(42u64.wrapping_mul(0x9E3779B97F4A7C15))
+    } else {
+        0
+    }
+}
+
+// Monomorphized specialists: the switch is a compile-time constant, the
+// branch is gone (binding C's variant bodies).
+fn record_event_spec<const ON: bool>() -> u64 {
+    if ON {
+        std::hint::black_box(42u64.wrapping_mul(0x9E3779B97F4A7C15))
+    } else {
+        0
+    }
+}
+
+// The dispatch cell: index 0 is the generic, 1 = off, 2 = on.
+static RECORD_EVENT: MvFn0<u64> = MvFn0::new(&[
+    record_event_generic,
+    record_event_spec::<false>,
+    record_event_spec::<true>,
+]);
+
+fn time(label: &str, f: impl Fn() -> u64) {
+    const N: u64 = 20_000_000;
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..N {
+        acc = acc.wrapping_add(std::hint::black_box(f()));
+    }
+    let per_call = t0.elapsed().as_nanos() as f64 / N as f64;
+    println!("{label:38} {per_call:6.2} ns/call  (acc {acc})");
+}
+
+fn main() {
+    let mv = Registry::new();
+    mv.register(|commit| {
+        if commit {
+            RECORD_EVENT.bind(if TRACING.read() { 2 } else { 1 });
+        } else {
+            RECORD_EVENT.revert();
+        }
+    });
+
+    println!("tracing disabled:");
+    TRACING.write(false);
+    time("  dynamic test (generic)", record_event_generic);
+    mv.commit();
+    time("  committed cell (specialist, off)", || RECORD_EVENT.call());
+
+    println!("tracing enabled at run time — flip + commit:");
+    TRACING.write(true);
+    // §2 semantics: nothing changes until the commit.
+    assert_eq!(RECORD_EVENT.call(), 0, "still bound to the off specialist");
+    mv.commit();
+    assert_ne!(RECORD_EVENT.call(), 0);
+    time("  committed cell (specialist, on)", || RECORD_EVENT.call());
+
+    mv.revert();
+    println!("reverted: cell dispatches the generic again");
+    TRACING.write(false);
+    assert_eq!(RECORD_EVENT.call(), 0);
+}

@@ -1,0 +1,7 @@
+#![warn(missing_docs)]
+//! Workspace root crate for the Multiverse (EuroSys'19) reproduction.
+//!
+//! All functionality lives in the member crates; this crate only hosts the
+//! cross-crate integration tests under `tests/` and the runnable examples
+//! under `examples/`. See [`multiverse`] for the user-facing API.
+pub use multiverse as mv;

@@ -1,0 +1,86 @@
+//! Backtrace support: the saved-`bp` chain of framed functions is
+//! walkable mid-execution, and the return addresses symbolize to the
+//! expected call stack — including through patched variants.
+
+use multiverse::Program;
+
+const SRC: &str = r#"
+    multiverse bool deep;
+    u64 probe_bp;
+
+    // leaf() is big enough that the inliner leaves it out of line, and
+    // its locals force a frame.
+    i64 leaf(i64 x) {
+        i64 v = x * 3;
+        i64 a = v + 1;
+        i64 b = a * 2;
+        i64 c = b - x;
+        i64 d = c ^ 9;
+        i64 e = d + a;
+        i64 g = e * b;
+        i64 h = g - c;
+        __out(v);
+        return v + (h & 0);
+    }
+
+    multiverse i64 middle(i64 x) {
+        if (deep) {
+            return leaf(x + 1);
+        }
+        return x;
+    }
+
+    i64 outer(i64 x) {
+        i64 r = middle(x);
+        return r + 100;
+    }
+
+    i64 main(void) { return 0; }
+"#;
+
+#[test]
+fn bp_chain_symbolizes_through_committed_variants() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    w.set("deep", 1).unwrap();
+    w.commit().unwrap();
+
+    // Run until the machine is inside leaf() (detect via the `out`
+    // instruction), then walk the stack.
+    let outer = w.sym("outer").unwrap();
+    let exe = program.exe().clone();
+    let m = &mut w.machine;
+    // Manually drive a call so we can stop mid-execution.
+    m.cpu.set(multiverse::mvasm::Reg::R0, 7);
+    let sp = m.cpu.get(multiverse::mvasm::Reg::SP);
+    m.mem
+        .write_int(sp - 8, multiverse::mvvm::machine::RET_SENTINEL, 8)
+        .unwrap();
+    m.cpu.set(multiverse::mvasm::Reg::SP, sp - 8);
+    m.cpu.pc = outer;
+    let out_before = m.output().len();
+    for _ in 0..10_000 {
+        m.step().unwrap();
+        if m.output().len() > out_before {
+            break; // the __out inside leaf just retired
+        }
+    }
+    assert!(m.output().len() > out_before, "reached leaf()");
+
+    let bt = m.backtrace(8);
+    assert!(!bt.is_empty(), "at least the call into leaf is visible");
+    // The innermost return address lies inside the committed variant
+    // middle.deep=1, and the next one inside outer.
+    let names: Vec<&str> = bt
+        .iter()
+        .filter_map(|&a| exe.symbolize(a).map(|(n, _)| n))
+        .collect();
+    assert!(
+        names.iter().any(|n| n.starts_with("middle")),
+        "middle frame present: {names:?}"
+    );
+    assert!(
+        names.contains(&"outer"),
+        "outer frame present: {names:?}"
+    );
+}

@@ -1,0 +1,78 @@
+//! §7.4 completeness: the committed variant is reached through *every*
+//! invocation path — recorded call sites, function pointers the compiler
+//! saw, function pointers written at run time, and host-driven ("foreign
+//! code") calls to the generic entry.
+
+use multiverse::Program;
+
+const SRC: &str = r#"
+    multiverse bool fast_mode;
+    u64 generic_hits;
+
+    multiverse i64 which_path(void) {
+        if (fast_mode) { return 1; }
+        return 2;
+    }
+
+    // A recorded direct call site.
+    i64 via_direct(void) { return which_path(); }
+
+    // An indirect call through a plain (non-multiverse) function pointer:
+    // the compiler records no site for it, so only the entry jump covers
+    // it.
+    fnptr handler = &which_path;
+    i64 via_pointer(void) { return handler(); }
+
+    i64 main(void) { return 0; }
+"#;
+
+#[test]
+fn every_call_path_reaches_the_committed_variant() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+
+    w.set("fast_mode", 1).unwrap();
+    w.commit().unwrap();
+    // Make the generic's dynamic answer diverge from the committed one,
+    // so any path that still executes the generic is caught.
+    w.set("fast_mode", 0).unwrap();
+
+    // 1. Recorded call site (patched directly).
+    assert_eq!(w.call("via_direct", &[]).unwrap(), 1);
+
+    // 2. Function pointer the compiler initialized (unrecorded indirect
+    //    call → generic entry → jump).
+    assert_eq!(w.call("via_pointer", &[]).unwrap(), 1);
+
+    // 3. Function pointer overwritten at run time ("wild pointer").
+    let which = w.sym("which_path").unwrap();
+    let handler = w.sym("handler").unwrap();
+    w.machine.mem.write_int(handler, which, 8).unwrap();
+    assert_eq!(w.call("via_pointer", &[]).unwrap(), 1);
+
+    // 4. Foreign/host call straight to the generic entry address.
+    assert_eq!(w.machine.call(which, &[]).unwrap(), 1);
+
+    // After revert, all four paths see the dynamic behaviour again.
+    w.revert().unwrap();
+    assert_eq!(w.call("via_direct", &[]).unwrap(), 2);
+    assert_eq!(w.call("via_pointer", &[]).unwrap(), 2);
+    assert_eq!(w.machine.call(which, &[]).unwrap(), 2);
+}
+
+#[test]
+fn call_site_patching_is_an_optimization_only() {
+    // §7.4: "the collection and the patching of call sites is a mere
+    // optimization" — with entry-only patching the program behaves
+    // identically, just slower.
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    w.rt.as_mut().unwrap().strategy = multiverse::mvrt::PatchStrategy::EntryOnly;
+    w.set("fast_mode", 1).unwrap();
+    w.commit().unwrap();
+    w.set("fast_mode", 0).unwrap();
+    assert_eq!(w.call("via_direct", &[]).unwrap(), 1);
+    assert_eq!(w.call("via_pointer", &[]).unwrap(), 1);
+    // No call sites were touched.
+    assert_eq!(w.rt.as_ref().unwrap().stats.sites_patched, 0);
+}

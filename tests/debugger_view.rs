@@ -1,0 +1,90 @@
+//! §7.2 — the debugger's view of a patched program: the static
+//! disassembly of a patched call site may still *look* like the original
+//! call (GDB shows the original), but stepping (the retirement trace)
+//! lands in the committed variant.
+
+use multiverse::Program;
+
+const SRC: &str = r#"
+    multiverse bool turbo;
+    multiverse i64 engine(void) {
+        if (turbo) { return 2; }
+        return 1;
+    }
+    i64 drive(void) { return engine(); }
+    i64 main(void) { return 0; }
+"#;
+
+#[test]
+fn trace_steps_into_the_variant() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    w.set("turbo", 1).unwrap();
+    w.commit().unwrap();
+
+    let exe = program.exe();
+    let generic = exe.symbol("engine").unwrap();
+    let variant = exe.symbol("engine.turbo=1").unwrap();
+    let variant_end = exe
+        .symbols
+        .values()
+        .filter(|&&a| a > variant)
+        .min()
+        .copied()
+        .unwrap_or(variant + 64);
+
+    w.machine.enable_trace(256);
+    assert_eq!(w.call("drive", &[]).unwrap(), 2);
+    let trace = w.machine.take_trace().unwrap();
+
+    // Execution went through the variant body…
+    assert!(
+        trace.touched(variant, variant_end - variant),
+        "variant must retire instructions:\n{}",
+        trace.render()
+    );
+    // …and never through the generic body *behind* its entry jump (the
+    // first 5 bytes are the patched jump; anything after must not run).
+    assert!(
+        !trace.touched(generic + 5, 16),
+        "generic body must not execute:\n{}",
+        trace.render()
+    );
+}
+
+#[test]
+fn trace_documents_the_nop_erasure() {
+    // For an empty variant the call site itself retires a NOP — the
+    // "instruction history" a debugger user would see.
+    let src = r#"
+        multiverse bool log_on;
+        u64 logged;
+        multiverse void maybe_log(void) {
+            if (log_on) { logged = logged + 1; }
+        }
+        i64 work(void) { maybe_log(); return 7; }
+        i64 main(void) { return 0; }
+    "#;
+    let program = Program::build(&[("t.c", src)]).unwrap();
+    let mut w = program.boot();
+    w.set("log_on", 0).unwrap();
+    w.commit().unwrap();
+
+    w.machine.enable_trace(64);
+    assert_eq!(w.call("work", &[]).unwrap(), 7);
+    let trace = w.machine.take_trace().unwrap();
+    let nops = trace.entries().filter(|(_, insn)| insn.is_nop()).count();
+    assert!(
+        nops >= 1,
+        "erased call site retires a NOP:\n{}",
+        trace.render()
+    );
+    // And no call instruction retired at all.
+    assert!(
+        trace
+            .entries()
+            .all(|(_, insn)| !matches!(insn, multiverse::mvasm::Insn::CallRel { .. })),
+        "{}",
+        trace.render()
+    );
+}

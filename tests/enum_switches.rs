@@ -1,0 +1,96 @@
+//! Enum-typed configuration switches end to end (§3: "for enumeration
+//! types, we choose all declared enumeration items as specialization
+//! values"), including the non-contiguous-domain case where merged
+//! variants need multiple point-guard descriptor entries.
+
+use multiverse::Program;
+
+const SRC: &str = r#"
+    // Non-contiguous enumerator values, as real kernels have.
+    enum io_scheduler { IO_NOOP = 0, IO_DEADLINE = 3, IO_CFQ = 7 };
+    multiverse enum io_scheduler sched;
+
+    u64 submitted;
+
+    multiverse i64 submit(i64 n) {
+        submitted = submitted + 1;
+        if (sched == 3) {
+            return n * 10;     // deadline: weighted
+        }
+        if (sched == 7) {
+            return n * 100;    // cfq: heavily weighted
+        }
+        return n;              // noop (and any other value)
+    }
+
+    i64 main(void) { return 0; }
+"#;
+
+#[test]
+fn all_enumerators_get_variants() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let exe = program.exe();
+    // Domain = {0, 3, 7}: three assignments, three distinct bodies.
+    assert!(exe.symbol("submit.sched=0").is_some());
+    assert!(exe.symbol("submit.sched=3").is_some());
+    assert!(exe.symbol("submit.sched=7").is_some());
+}
+
+#[test]
+fn each_enumerator_commits_to_its_specialist() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    for (value, expect) in [(0i64, 5u64), (3, 50), (7, 500)] {
+        w.set("sched", value).unwrap();
+        let r = w.commit().unwrap();
+        assert_eq!(r.generic_fallbacks, 0, "sched={value} is in domain");
+        assert_eq!(w.call("submit", &[5]).unwrap(), expect, "sched={value}");
+    }
+    // A value between enumerators is out of domain → generic fallback,
+    // still correct dynamically.
+    w.set("sched", 4).unwrap();
+    let r = w.commit().unwrap();
+    assert_eq!(r.generic_fallbacks, 1);
+    assert_eq!(w.call("submit", &[5]).unwrap(), 5);
+}
+
+#[test]
+fn non_contiguous_merge_uses_point_guards() {
+    // A function where IO_NOOP and IO_CFQ collapse to the same body:
+    // {0, 7} is not a contiguous range, so the merged variant must carry
+    // two point-guard descriptor entries — and both must select it.
+    let src = r#"
+        enum io_scheduler { IO_NOOP = 0, IO_DEADLINE = 3, IO_CFQ = 7 };
+        multiverse enum io_scheduler sched;
+        multiverse i64 needs_sort(void) {
+            if (sched == 3) { return 1; }
+            return 0;
+        }
+        i64 main(void) { return 0; }
+    "#;
+    let program = Program::build(&[("t.c", src)]).unwrap();
+    let exe = program.exe();
+    // One merged body covers 0 and 7 (named after the first + count).
+    let merged = exe
+        .symbols
+        .keys()
+        .find(|n| n.starts_with("needs_sort.sched=") && n.contains('+'))
+        .expect("merged non-box variant exists");
+    assert!(merged.ends_with("+1"), "{merged}: covers one extra assignment");
+
+    let mut w = program.boot();
+    for value in [0i64, 7] {
+        w.set("sched", value).unwrap();
+        let r = w.commit().unwrap();
+        assert_eq!(r.generic_fallbacks, 0, "sched={value} selects the merged body");
+        assert_eq!(w.call("needs_sort", &[]).unwrap(), 0);
+    }
+    w.set("sched", 3).unwrap();
+    w.commit().unwrap();
+    assert_eq!(w.call("needs_sort", &[]).unwrap(), 1);
+    // Value 5 sits inside [0, 7] but matches no point guard: the range
+    // must NOT admit it (that is why non-box merges cannot use ranges).
+    w.set("sched", 5).unwrap();
+    let r = w.commit().unwrap();
+    assert_eq!(r.generic_fallbacks, 1, "5 is not admitted by any guard");
+}

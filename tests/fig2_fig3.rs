@@ -1,0 +1,141 @@
+//! E9 — the paper's running example (Fig. 2 and Fig. 3) driven through
+//! every patch state, asserting both behaviour and the exact text-segment
+//! transformations.
+
+#![allow(clippy::disallowed_names)] // `foo` is the paper's own Fig. 2 identifier
+use multiverse::{mvasm, mvobj, Program, World};
+
+const SRC: &str = r#"
+    multiverse bool A;
+    multiverse i32 B;
+
+    u64 calc_count;
+    u64 log_count;
+
+    void calc(void) { calc_count = calc_count + 1; }
+    void log_(void) { log_count = log_count + 1; }
+
+    multiverse void multi(void) {
+        if (A) {
+            calc();
+            if (B) {
+                log_();
+            }
+        }
+    }
+
+    void foo(void) { multi(); }
+
+    i64 main(void) { return 0; }
+"#;
+
+fn counts(w: &mut World) -> (i64, i64) {
+    (w.get("calc_count").unwrap(), w.get("log_count").unwrap())
+}
+
+fn callsite_insn(w: &World) -> mvasm::Insn {
+    let foo = w.sym("foo").unwrap();
+    let bytes = w.machine.mem.read_vec(foo, 16).unwrap();
+    mvasm::decode(&bytes).unwrap().0
+}
+
+#[test]
+fn fig2_variant_inventory() {
+    let program = Program::build(&[("fig2.c", SRC)]).unwrap();
+    let exe = program.exe();
+    // Fig. 2: four raw assignments, A=0 pair merges → three variants.
+    assert!(exe.symbol("multi.A=1.B=0").is_some());
+    assert!(exe.symbol("multi.A=1.B=1").is_some());
+    assert!(exe.symbol("multi.A=0.B=0-1").is_some(), "merged variant");
+    assert!(exe.symbol("multi.A=0.B=0").is_none());
+
+    // Descriptor sections exist and are well-formed arrays.
+    let (_, vars) = exe.section(mvobj::SEC_MV_VARIABLES);
+    assert_eq!(vars, 2 * 32, "two switches");
+    let (_, sites) = exe.section(mvobj::SEC_MV_CALLSITES);
+    assert_eq!(sites, 16, "one recorded call site (in foo)");
+}
+
+#[test]
+fn fig3_patch_state_machine() {
+    let program = Program::build(&[("fig2.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    let multi = w.sym("multi").unwrap();
+
+    // (a) Initially loaded binary: call to the generic.
+    let initial = callsite_insn(&w);
+    assert!(matches!(initial, mvasm::Insn::CallRel { .. }));
+    let initial_entry = w.machine.mem.read_vec(multi, 5).unwrap();
+
+    // (b) A=1, B=0: the call site targets the specialized variant.
+    w.set("A", 1).unwrap();
+    w.set("B", 0).unwrap();
+    w.commit().unwrap();
+    let v10 = w.sym("multi.A=1.B=0").unwrap();
+    let mvasm::Insn::CallRel { rel } = callsite_insn(&w) else {
+        panic!("expected patched call")
+    };
+    let foo = w.sym("foo").unwrap();
+    assert_eq!((foo + 5).wrapping_add(rel as i64 as u64), v10);
+    // The generic entry is an unconditional jmp to the variant.
+    let entry = w.machine.mem.read_vec(multi, 5).unwrap();
+    let (jmp, _) = mvasm::decode(&entry).unwrap();
+    assert!(matches!(jmp, mvasm::Insn::Jmp { .. }));
+    // Behaviour: calc once, no log.
+    w.call("foo", &[]).unwrap();
+    assert_eq!(counts(&mut w), (1, 0));
+
+    // (c) A=0 (any B): the merged empty variant is inlined as a NOP.
+    w.set("A", 0).unwrap();
+    w.set("B", 1).unwrap();
+    w.commit().unwrap();
+    let insn = callsite_insn(&w);
+    assert!(insn.is_nop(), "empty body erased, found `{insn}`");
+    w.call("foo", &[]).unwrap();
+    assert_eq!(counts(&mut w), (1, 0), "inlined NOP does nothing");
+
+    // (d) Out-of-domain values: revert to the (restored) generic.
+    w.set("A", 3).unwrap();
+    w.set("B", 4).unwrap();
+    let report = w.commit().unwrap();
+    assert_eq!(report.generic_fallbacks, 1, "signalled to the user");
+    assert_eq!(
+        w.machine.mem.read_vec(multi, 5).unwrap(),
+        initial_entry,
+        "prologue restored"
+    );
+    // Generic dynamic behaviour for arbitrary values: A=3 truthy, B=4
+    // truthy → calc and log both run.
+    w.call("foo", &[]).unwrap();
+    assert_eq!(counts(&mut w), (2, 1));
+}
+
+#[test]
+fn commit_refs_binds_only_dependent_functions() {
+    // A second function guarded only by B; commit_refs(&A) must not
+    // touch it.
+    let src = format!(
+        "{SRC}
+         multiverse void only_b(void) {{ if (B) {{ log_(); }} }}
+         void bar(void) {{ only_b(); }}"
+    );
+    let src = src.replace("i64 main(void) { return 0; }", "");
+    let src = format!("{src}\n i64 main(void) {{ return 0; }}");
+    let program = Program::build(&[("t.c", &src)]).unwrap();
+    let mut w = program.boot();
+    w.set("A", 1).unwrap();
+    w.set("B", 1).unwrap();
+    w.commit_refs("A").unwrap();
+    let rt = w.rt.as_ref().unwrap();
+    let multi = w.sym("multi").unwrap();
+    let only_b = w.sym("only_b").unwrap();
+    assert!(matches!(
+        rt.binding_of(multi),
+        Some(multiverse::mvrt::FnBinding::Variant(_))
+    ));
+    assert_eq!(
+        rt.binding_of(only_b),
+        Some(multiverse::mvrt::FnBinding::Generic),
+        "only_b does not reference A"
+    );
+}

@@ -1,0 +1,61 @@
+//! §4's closing step — "flush the instruction cache for the respective
+//! locations" — as failure injection: a patcher that forgets the flush
+//! leaves stale decoded instructions executing; the real runtime never
+//! does.
+
+use multiverse::{mvobj::Prot, Program};
+
+const SRC: &str = r#"
+    multiverse bool fast;
+    multiverse i64 pick(void) {
+        if (fast) { return 1; }
+        return 2;
+    }
+    i64 use_it(void) { return pick(); }
+    i64 main(void) { return 0; }
+"#;
+
+#[test]
+fn buggy_patcher_without_flush_runs_stale_code() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+
+    // Warm the decode cache through the call site.
+    assert_eq!(w.call("use_it", &[]).unwrap(), 2);
+
+    // A "buggy patcher": rewrite the call site to target the fast variant
+    // with the correct mprotect dance but NO icache flush.
+    let site = w.sym("use_it").unwrap(); // first insn of use_it is the call
+    let variant = w.sym("pick.fast=1").unwrap();
+    let rel = variant.wrapping_sub(site + 5) as i64 as i32;
+    let patched = multiverse::mvasm::encode(&multiverse::mvasm::Insn::CallRel { rel });
+    w.machine.mem.mprotect(site, 5, Prot::RW).unwrap();
+    w.machine.mem.write(site, &patched).unwrap();
+    w.machine.mem.mprotect(site, 5, Prot::RX).unwrap();
+
+    // Stale: the machine still executes the cached decoded call to the
+    // generic — the bug is observable.
+    assert_eq!(w.call("use_it", &[]).unwrap(), 2, "stale icache");
+
+    // The missing flush fixes it.
+    w.machine.mem.flush_icache(site, 5);
+    assert_eq!(w.call("use_it", &[]).unwrap(), 1, "fresh code after flush");
+}
+
+#[test]
+fn real_runtime_always_flushes() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    assert_eq!(w.call("use_it", &[]).unwrap(), 2);
+
+    // The library's commit takes effect immediately — every patch is
+    // followed by a flush (visible in the statistics).
+    w.set("fast", 1).unwrap();
+    w.commit().unwrap();
+    assert_eq!(w.call("use_it", &[]).unwrap(), 1);
+    let stats = w.rt.as_ref().unwrap().stats;
+    assert!(stats.icache_flushes >= stats.sites_patched + stats.entry_jumps);
+
+    // And every mprotect unlock has a matching relock (W^X window).
+    assert_eq!(stats.mprotects % 2, 0);
+}

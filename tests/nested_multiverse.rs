@@ -1,0 +1,118 @@
+//! Multiversed functions calling multiversed functions: call sites inside
+//! *variant bodies* are recorded and patched too, so a committed call
+//! chain is direct end to end — and reverts unwind every level.
+
+use multiverse::Program;
+
+const SRC: &str = r#"
+    multiverse bool outer_on;
+    multiverse bool inner_on;
+
+    multiverse i64 inner(void) {
+        if (inner_on) { return 10; }
+        return 20;
+    }
+
+    // The call to inner() exists in the generic body and in both outer
+    // variants; each occurrence is a recorded call site.
+    multiverse i64 outer(void) {
+        i64 base = inner();
+        if (outer_on) { return base + 1000; }
+        return base;
+    }
+
+    i64 drive(void) { return outer(); }
+    i64 main(void) { return 0; }
+"#;
+
+#[test]
+fn callsites_inside_variants_are_recorded_and_patched() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+
+    // inner is called from: drive→outer chain has sites in outer's
+    // generic + 2 variants, plus outer's site in drive = 4 total.
+    let rt = w.rt.as_ref().unwrap();
+    let inner = w.sym("inner").unwrap();
+    let outer = w.sym("outer").unwrap();
+    assert_eq!(rt.callsites_of(inner), 3, "generic + two outer variants");
+    assert_eq!(rt.callsites_of(outer), 1);
+
+    // Commit everything; the whole chain binds.
+    w.set("outer_on", 1).unwrap();
+    w.set("inner_on", 1).unwrap();
+    w.commit().unwrap();
+    assert_eq!(w.call("drive", &[]).unwrap(), 1010);
+
+    // Both switch reads disappear from the committed chain (remaining
+    // loads are frame-slot traffic, identical across bindings).
+    let committed = w.time_calls("drive", &[], 100, false).unwrap();
+    w.revert().unwrap();
+    let generic = w.time_calls("drive", &[], 100, false).unwrap();
+    assert_eq!(
+        generic.stats.loads - committed.stats.loads,
+        2 * 100,
+        "one outer_on and one inner_on load per call are gone"
+    );
+    w.commit().unwrap();
+
+    // Re-commit only inner: the site inside outer's *committed variant*
+    // must be repatched.
+    w.set("inner_on", 0).unwrap();
+    w.commit_refs("inner_on").unwrap();
+    assert_eq!(w.call("drive", &[]).unwrap(), 1020);
+
+    // Universal revert unwinds both levels back to dynamic evaluation.
+    w.revert().unwrap();
+    w.set("outer_on", 0).unwrap();
+    w.set("inner_on", 1).unwrap();
+    assert_eq!(w.call("drive", &[]).unwrap(), 10);
+}
+
+#[test]
+fn deep_commit_revert_interleavings_stay_consistent() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    let expected = |o: i64, i: i64| -> u64 {
+        let base = if i != 0 { 10 } else { 20 };
+        (if o != 0 { base + 1000 } else { base }) as u64
+    };
+    for (o, i, op) in [
+        (1, 0, "commit"),
+        (0, 0, "refs_outer"),
+        (0, 1, "refs_inner"),
+        (1, 1, "commit"),
+        (0, 0, "revert"),
+        (1, 0, "func_outer"),
+    ] {
+        w.set("outer_on", o).unwrap();
+        w.set("inner_on", i).unwrap();
+        match op {
+            "commit" => {
+                w.commit().unwrap();
+            }
+            "refs_outer" => {
+                w.commit_refs("outer_on").unwrap();
+            }
+            "refs_inner" => {
+                w.commit_refs("inner_on").unwrap();
+            }
+            "func_outer" => {
+                w.commit_func("outer").unwrap();
+            }
+            "revert" => {
+                w.revert().unwrap();
+            }
+            _ => unreachable!(),
+        }
+        // Whatever the binding state, behaviour equals the dynamic
+        // semantics of the *current* values — because every bound
+        // variant was selected for them and every unbound function reads
+        // them live.
+        assert_eq!(
+            w.call("drive", &[]).unwrap(),
+            expected(o, i),
+            "after {op} with ({o},{i})"
+        );
+    }
+}

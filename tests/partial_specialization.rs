@@ -1,0 +1,74 @@
+//! §2/§7.1 partial specialization: `multiverse(bind(…))` fixes a subset
+//! of the referenced switches; unbound switches remain dynamic *inside
+//! the committed variant*.
+
+use multiverse::Program;
+
+const SRC: &str = r#"
+    multiverse bool fast_path;
+    // Wide domain: full specialization would explode to 2 × 8 variants.
+    multiverse(0,1,2,3,4,5,6,7) i32 verbosity;
+
+    // Only fast_path is bound; verbosity stays a run-time decision.
+    multiverse(bind(fast_path)) i64 handle(i64 x) {
+        i64 r = 0;
+        if (fast_path) {
+            r = x * 2;
+        } else {
+            r = x * 3;
+        }
+        if (verbosity > 4) {
+            r = r + 1000;
+        }
+        return r;
+    }
+
+    i64 main(void) { return 0; }
+"#;
+
+#[test]
+fn unbound_switch_stays_dynamic_after_commit() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    // Only two variants exist despite the 16-assignment cross product.
+    assert!(program.exe().symbol("handle.fast_path=0").is_some());
+    assert!(program.exe().symbol("handle.fast_path=1").is_some());
+    assert!(program
+        .exe()
+        .symbol("handle.fast_path=0.verbosity=0")
+        .is_none());
+
+    let mut w = program.boot();
+    w.set("fast_path", 1).unwrap();
+    w.set("verbosity", 0).unwrap();
+    w.commit().unwrap();
+    assert_eq!(w.call("handle", &[10]).unwrap(), 20);
+
+    // Changing the *unbound* switch takes effect immediately — no
+    // re-commit required, because the variant still reads it.
+    w.set("verbosity", 7).unwrap();
+    assert_eq!(w.call("handle", &[10]).unwrap(), 1020);
+
+    // Changing the *bound* switch does nothing until the next commit.
+    w.set("fast_path", 0).unwrap();
+    assert_eq!(w.call("handle", &[10]).unwrap(), 1020, "still ×2 variant");
+    w.commit().unwrap();
+    assert_eq!(w.call("handle", &[10]).unwrap(), 1030, "×3 after commit");
+}
+
+#[test]
+fn partial_variant_is_cheaper_than_generic_but_keeps_the_dynamic_test() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    w.set("fast_path", 1).unwrap();
+    w.set("verbosity", 0).unwrap();
+
+    let generic = w.time_calls("handle", &[5], 500, false).unwrap();
+    w.commit().unwrap();
+    let partial = w.time_calls("handle", &[5], 500, false).unwrap();
+
+    // The fast_path test is gone…
+    assert!(partial.avg_cycles < generic.avg_cycles);
+    // …but the verbosity test still runs: loads and branches remain.
+    assert!(partial.stats.loads > 0, "unbound switch still read");
+    assert!(partial.stats.branches > 0, "unbound test still branches");
+}

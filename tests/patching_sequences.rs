@@ -1,0 +1,180 @@
+//! Model-based property test of the run-time library: arbitrary
+//! interleavings of switch writes, commits, reverts, per-function and
+//! per-switch operations must always leave every function computing what
+//! an abstract binding model predicts — and a final universal revert must
+//! restore the text segment byte-for-byte.
+
+use multiverse::{Program, World};
+use proptest::prelude::*;
+
+const SRC: &str = r#"
+    multiverse(0, 1, 2) i32 a_;
+    multiverse(0, 1) i32 b_;
+
+    multiverse i64 f1(void) { return a_ * 10 + 1; }
+    multiverse i64 f2(void) { return b_ * 100 + 2; }
+    multiverse i64 f3(void) { return a_ * 1000 + b_ * 10000; }
+
+    i64 main(void) { return 0; }
+"#;
+
+/// Operations the fuzzer may apply.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    SetA(i64),
+    SetB(i64),
+    Commit,
+    Revert,
+    CommitFunc(u8),
+    RevertFunc(u8),
+    CommitRefsA,
+    CommitRefsB,
+    RevertRefsA,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..5).prop_map(Op::SetA), // 3, 4 are out of domain
+        (0i64..4).prop_map(Op::SetB), // 2, 3 are out of domain
+        Just(Op::Commit),
+        Just(Op::Revert),
+        (0u8..3).prop_map(Op::CommitFunc),
+        (0u8..3).prop_map(Op::RevertFunc),
+        Just(Op::CommitRefsA),
+        Just(Op::CommitRefsB),
+        Just(Op::RevertRefsA),
+    ]
+}
+
+/// The abstract model: per function, the switch values it is bound to
+/// (`None` = generic, evaluates dynamically).
+#[derive(Default)]
+struct Model {
+    a: i64,
+    b: i64,
+    /// Bound (a, b) per function, if committed.
+    bound: [Option<(i64, i64)>; 3],
+}
+
+impl Model {
+    fn in_domain_a(&self) -> bool {
+        (0..=2).contains(&self.a)
+    }
+    fn in_domain_b(&self) -> bool {
+        (0..=1).contains(&self.b)
+    }
+
+    /// Commit semantics for one function: bind if the referenced switches
+    /// are in domain, else fall back to generic.
+    fn commit_fn(&mut self, i: usize) {
+        let ok = match i {
+            0 => self.in_domain_a(),
+            1 => self.in_domain_b(),
+            _ => self.in_domain_a() && self.in_domain_b(),
+        };
+        self.bound[i] = ok.then_some((self.a, self.b));
+    }
+
+    fn expected(&self, i: usize) -> i64 {
+        let (a, b) = self.bound[i].unwrap_or((self.a, self.b));
+        match i {
+            0 => a * 10 + 1,
+            1 => b * 100 + 2,
+            _ => a * 1000 + b * 10000,
+        }
+    }
+}
+
+const FNS: [&str; 3] = ["f1", "f2", "f3"];
+/// Which functions reference which switch (f1: a, f2: b, f3: both).
+const REFS_A: [usize; 2] = [0, 2];
+const REFS_B: [usize; 2] = [1, 2];
+
+fn apply(world: &mut World, model: &mut Model, op: Op) {
+    match op {
+        Op::SetA(v) => {
+            world.set("a_", v).unwrap();
+            model.a = v;
+        }
+        Op::SetB(v) => {
+            world.set("b_", v).unwrap();
+            model.b = v;
+        }
+        Op::Commit => {
+            world.commit().unwrap();
+            for i in 0..3 {
+                model.commit_fn(i);
+            }
+        }
+        Op::Revert => {
+            world.revert().unwrap();
+            model.bound = [None; 3];
+        }
+        Op::CommitFunc(i) => {
+            world.commit_func(FNS[i as usize]).unwrap();
+            model.commit_fn(i as usize);
+        }
+        Op::RevertFunc(i) => {
+            let addr = world.sym(FNS[i as usize]).unwrap();
+            let rt = world.rt.as_mut().unwrap();
+            rt.revert_func(&mut world.machine, addr).unwrap();
+            model.bound[i as usize] = None;
+        }
+        Op::CommitRefsA => {
+            world.commit_refs("a_").unwrap();
+            for i in REFS_A {
+                model.commit_fn(i);
+            }
+        }
+        Op::CommitRefsB => {
+            world.commit_refs("b_").unwrap();
+            for i in REFS_B {
+                model.commit_fn(i);
+            }
+        }
+        Op::RevertRefsA => {
+            let addr = world.sym("a_").unwrap();
+            let rt = world.rt.as_mut().unwrap();
+            rt.revert_refs(&mut world.machine, addr).unwrap();
+            for i in REFS_A {
+                model.bound[i] = None;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_patching_sequences_match_the_model(
+        ops in proptest::collection::vec(arb_op(), 1..24),
+    ) {
+        let program = Program::build(&[("t.c", SRC)]).unwrap();
+        let mut world = program.boot();
+        let (taddr, tsize) = program.exe().section(multiverse::mvobj::SEC_TEXT);
+        let pristine = world.machine.mem.read_vec(taddr, tsize as usize).unwrap();
+
+        let mut model = Model::default();
+        for &op in &ops {
+            apply(&mut world, &mut model, op);
+            #[allow(clippy::needless_range_loop)] // index is shared with the model
+            for i in 0..3 {
+                let got = world.call(FNS[i], &[]).unwrap() as i64;
+                prop_assert_eq!(
+                    got,
+                    model.expected(i),
+                    "{} after {:?} (history {:?})",
+                    FNS[i],
+                    op,
+                    ops
+                );
+            }
+        }
+
+        // A final universal revert restores the pristine text segment.
+        world.revert().unwrap();
+        let restored = world.machine.mem.read_vec(taddr, tsize as usize).unwrap();
+        prop_assert_eq!(pristine, restored);
+    }
+}

@@ -1,0 +1,149 @@
+//! Semantic corner cases of the MVC tool-chain: short-circuit side
+//! effects, argument-register limits, fn-pointer re-binding transitions,
+//! and division faults surfacing through the whole stack.
+
+use multiverse::mvvm::Fault;
+use multiverse::{BuildError, Program};
+
+#[test]
+fn short_circuit_skips_effectful_right_side() {
+    let src = r#"
+        u64 calls;
+        i64 probe(void) { calls = calls + 1; return 1; }
+        i64 and_test(i64 x) { if (x && probe()) { return 1; } return 0; }
+        i64 or_test(i64 x) { if (x || probe()) { return 1; } return 0; }
+        i64 main(void) { return 0; }
+    "#;
+    let program = Program::build(&[("t.c", src)]).unwrap();
+    let mut w = program.boot();
+
+    // x == 0: && must not evaluate probe().
+    assert_eq!(w.call("and_test", &[0]).unwrap(), 0);
+    assert_eq!(w.get("calls").unwrap(), 0, "&& short-circuited");
+    // x != 0: && evaluates probe() once.
+    assert_eq!(w.call("and_test", &[5]).unwrap(), 1);
+    assert_eq!(w.get("calls").unwrap(), 1);
+
+    // x != 0: || must not evaluate probe().
+    assert_eq!(w.call("or_test", &[5]).unwrap(), 1);
+    assert_eq!(w.get("calls").unwrap(), 1, "|| short-circuited");
+    // x == 0: || evaluates probe() once.
+    assert_eq!(w.call("or_test", &[0]).unwrap(), 1);
+    assert_eq!(w.get("calls").unwrap(), 2);
+}
+
+#[test]
+fn six_register_arguments_pass_through() {
+    let src = r#"
+        i64 sum6(i64 a, i64 b, i64 c, i64 d, i64 e, i64 f) {
+            return a + b * 2 + c * 4 + d * 8 + e * 16 + f * 32;
+        }
+        i64 relay(i64 a, i64 b, i64 c, i64 d, i64 e, i64 f) {
+            return sum6(f, e, d, c, b, a);
+        }
+        i64 main(void) { return 0; }
+    "#;
+    let program = Program::build(&[("t.c", src)]).unwrap();
+    let mut w = program.boot();
+    assert_eq!(
+        w.call("sum6", &[1, 2, 3, 4, 5, 6]).unwrap(),
+        1 + 4 + 12 + 32 + 80 + 192
+    );
+    // Through a relay that permutes all six (stresses arg staging).
+    assert_eq!(
+        w.call("relay", &[6, 5, 4, 3, 2, 1]).unwrap(),
+        1 + 4 + 12 + 32 + 80 + 192
+    );
+}
+
+#[test]
+fn seventh_argument_is_a_compile_error() {
+    let src = "i64 f(i64 a, i64 b, i64 c, i64 d, i64 e, i64 g, i64 h) { return a; } \
+               i64 main(void) { return f(1,2,3,4,5,6,7); }";
+    match Program::build(&[("t.c", src)]) {
+        Err(BuildError::Compile(_)) => {}
+        Ok(_) => panic!("seven arguments must be rejected"),
+        Err(other) => panic!("wrong error class: {other}"),
+    }
+}
+
+#[test]
+fn fnptr_rebind_transitions_inline_to_direct_and_back() {
+    // A pointer switch first bound to an inlinable target (body inlined
+    // at the site), then to a non-inlinable one (direct call), then back:
+    // every transition must rewrite the site correctly, including from
+    // the inlined state where no call instruction remains to verify.
+    let src = r#"
+        multiverse fnptr op = &tiny;
+        u64 big_calls;
+
+        // Body is a single sti → inlinable into the 9-byte site.
+        void tiny(void) { __sti(); }
+        // Too big to inline.
+        void big(void) {
+            big_calls = big_calls + 1;
+            big_calls = big_calls * 2;
+            big_calls = big_calls - 1;
+        }
+        i64 go(void) { op(); return 0; }
+        i64 main(void) { return 0; }
+    "#;
+    let program = Program::build(&[("t.c", src)]).unwrap();
+    let mut w = program.boot();
+    let op = w.sym("op").unwrap();
+    let tiny = w.sym("tiny").unwrap();
+    let big = w.sym("big").unwrap();
+
+    // 1. inline tiny.
+    w.machine.mem.write_int(op, tiny, 8).unwrap();
+    w.commit_refs("op").unwrap();
+    w.machine.cpu.if_flag = false;
+    let c0 = w.machine.stats.calls + w.machine.stats.indirect_calls;
+    w.call("go", &[]).unwrap();
+    assert!(w.machine.cpu.if_flag, "inlined sti executed");
+    assert_eq!(
+        w.machine.stats.calls + w.machine.stats.indirect_calls,
+        c0,
+        "no call retired — body was inlined"
+    );
+
+    // 2. transition inlined → direct call to big.
+    w.machine.mem.write_int(op, big, 8).unwrap();
+    w.commit_refs("op").unwrap();
+    w.call("go", &[]).unwrap();
+    assert_eq!(w.get("big_calls").unwrap(), 1);
+
+    // 3. back to inlined tiny.
+    w.machine.mem.write_int(op, tiny, 8).unwrap();
+    w.commit_refs("op").unwrap();
+    w.machine.cpu.if_flag = false;
+    w.call("go", &[]).unwrap();
+    assert!(w.machine.cpu.if_flag);
+    assert_eq!(w.get("big_calls").unwrap(), 1, "big not called again");
+
+    // 4. revert restores the original indirect call through the pointer.
+    w.revert().unwrap();
+    w.machine.mem.write_int(op, big, 8).unwrap();
+    let i0 = w.machine.stats.indirect_calls;
+    w.call("go", &[]).unwrap();
+    assert_eq!(w.machine.stats.indirect_calls, i0 + 1, "indirect again");
+    // big computes (x+1)*2-1: 1 → 3 on its second invocation.
+    assert_eq!(w.get("big_calls").unwrap(), 3);
+}
+
+#[test]
+fn division_faults_propagate_to_the_host() {
+    let src = r#"
+        i64 divide(i64 a, i64 b) { return a / b; }
+        i64 main(void) { return 0; }
+    "#;
+    let program = Program::build(&[("t.c", src)]).unwrap();
+    let mut w = program.boot();
+    assert_eq!(w.call("divide", &[42, 7]).unwrap(), 6);
+    match w.call("divide", &[42, 0]) {
+        Err(BuildError::Fault(Fault::DivByZero { .. })) => {}
+        other => panic!("expected division fault, got {other:?}"),
+    }
+    // The machine remains usable after the fault (a new call resets pc).
+    assert_eq!(w.call("divide", &[9, 3]).unwrap(), 3);
+}
