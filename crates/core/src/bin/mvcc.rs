@@ -12,6 +12,11 @@
 //!                                   function)
 //! mvcc run    <file.c>… [--call F] [--set VAR=V]… [--commit]
 //!                                   execute main (or F) on the machine
+//! mvcc verify <file.c>… [--set VAR=V]… [--commit]
+//!                                   dry-run the commit validate phase and
+//!                                   print a per-function / per-site health
+//!                                   report (nothing is patched unless
+//!                                   --commit is given first)
 //!
 //! common flags:
 //!   --dynamic            build without multiverse (binding B)
@@ -39,7 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let cmd = it
         .next()
-        .ok_or("missing command (build|compile|link|dump|disasm|run)")?;
+        .ok_or("missing command (build|compile|link|dump|disasm|run|verify)")?;
     let mut args = Args {
         cmd,
         files: Vec::new(),
@@ -236,6 +241,80 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let p = build(args)?;
+    let mut world = p.boot();
+    for (k, v) in &args.sets {
+        world.set(k, *v).map_err(|e| e.to_string())?;
+        println!("set {k} = {v}");
+    }
+    if args.commit {
+        let report = world.commit().map_err(|e| e.to_string())?;
+        println!(
+            "commit: {} variants bound, {} generic fallbacks, {} sites",
+            report.variants_committed, report.generic_fallbacks, report.sites_touched
+        );
+    }
+    let Some(rt) = &world.rt else {
+        println!("(no multiverse descriptors in this build — nothing to verify)");
+        return Ok(());
+    };
+    let exe = p.exe();
+    let sym_name = |addr: u64| -> String {
+        exe.symbolize(addr)
+            .filter(|(_, off)| *off == 0)
+            .map(|(n, _)| n.to_string())
+            .unwrap_or_else(|| format!("{addr:#x}"))
+    };
+    let report = rt.validate(&world.machine);
+    println!(
+        "verify: {} functions, {} call sites",
+        report.functions.len(),
+        report.sites.len()
+    );
+    for f in &report.functions {
+        let binding = match f.binding {
+            mvrt::FnBinding::Generic => "generic".to_string(),
+            mvrt::FnBinding::Variant(v) => format!("variant {}", sym_name(v)),
+        };
+        let selected = match f.selected {
+            Some(v) => format!("selects {}", sym_name(v)),
+            None => "generic fallback".to_string(),
+        };
+        match &f.issue {
+            Some(issue) => println!(
+                "  fn {:20} bound: {binding:24} {selected}  !! {issue}",
+                sym_name(f.generic)
+            ),
+            None => println!(
+                "  fn {:20} bound: {binding:24} {selected}  ok",
+                sym_name(f.generic)
+            ),
+        }
+    }
+    for s in &report.sites {
+        let state = if s.patched { "patched" } else { "original" };
+        match &s.issue {
+            Some(issue) => println!(
+                "  site {:#10x} -> {:20} {state:9} !! {issue}",
+                s.site,
+                sym_name(s.callee)
+            ),
+            None => println!(
+                "  site {:#10x} -> {:20} {state:9} ok",
+                s.site,
+                sym_name(s.callee)
+            ),
+        }
+    }
+    if report.healthy() {
+        println!("image healthy: a full commit would pass validation");
+        Ok(())
+    } else {
+        Err(format!("{} issue(s) found", report.issues()))
+    }
+}
+
 fn cmd_compile(args: &Args) -> Result<(), String> {
     if args.files.len() != 1 {
         return Err("compile takes exactly one source file".into());
@@ -289,7 +368,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("mvcc: {e}");
-            eprintln!("usage: mvcc build|dump|disasm|run <file.c>… [flags]");
+            eprintln!("usage: mvcc build|dump|disasm|run|verify <file.c>… [flags]");
             return ExitCode::FAILURE;
         }
     };
@@ -300,6 +379,7 @@ fn main() -> ExitCode {
         "dump" => cmd_dump(&args),
         "disasm" => cmd_disasm(&args),
         "run" => cmd_run(&args),
+        "verify" => cmd_verify(&args),
         other => Err(format!("unknown command `{other}`")),
     };
     match r {

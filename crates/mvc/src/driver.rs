@@ -534,8 +534,7 @@ mod static_tests {
             "{} i64 use_b(void) {{ return helper(); }} i64 main(void) {{ return 0; }}",
             unit(2)
         );
-        let (exe, _) =
-            compile_and_link(&[("a.c", &a), ("b.c", &b)], &Options::default()).unwrap();
+        let (exe, _) = compile_and_link(&[("a.c", &a), ("b.c", &b)], &Options::default()).unwrap();
         let mut m = Machine::boot(&exe);
         assert_eq!(m.call(exe.symbol("use_a").unwrap(), &[]).unwrap(), 1);
         assert_eq!(m.call(exe.symbol("use_b").unwrap(), &[]).unwrap(), 2);

@@ -1,8 +1,42 @@
 //! Run-time library errors.
+//!
+//! Since the transactional-commit rework, failures inside
+//! [`crate::Runtime::commit`] and friends are wrapped in
+//! [`RtError::Commit`], which names the phase ([`CommitPhase`]) and, when
+//! known, the generic entry of the function being processed. The
+//! underlying cause is preserved boxed and reachable both through
+//! [`std::error::Error::source`] and [`RtError::root_cause`].
 
 use mvobj::descriptor::DescError;
 use mvvm::MemError;
 use std::fmt;
+
+/// The phase of a transactional commit in which a failure occurred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitPhase {
+    /// The read-only planning pass: variant selection, call-site byte
+    /// verification, page-protection and descriptor-guard checks. A
+    /// validate failure means **nothing was written**.
+    Validate,
+    /// The journaled write pass. An apply failure means the journal was
+    /// rolled back and the image is byte-identical to its pre-commit
+    /// state.
+    Apply,
+    /// Rolling back the journal itself failed. The image may be torn;
+    /// the wrapped [`RtError::RollbackFailed`] names the first address
+    /// whose restore failed.
+    Rollback,
+}
+
+impl fmt::Display for CommitPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CommitPhase::Validate => "validate",
+            CommitPhase::Apply => "apply",
+            CommitPhase::Rollback => "rollback",
+        })
+    }
+}
 
 /// Errors of the multiverse run-time library.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +80,73 @@ pub enum RtError {
         /// Pointer value found.
         target: u64,
     },
+    /// An icache flush after a text write did not take effect (the page's
+    /// code version did not advance), so stale decoded instructions would
+    /// keep executing. Treated as a transient patching fault.
+    IcacheStale {
+        /// Address of the written range whose flush was lost.
+        addr: u64,
+    },
+    /// Restoring a journal entry during rollback failed; the text segment
+    /// may be torn. Carried inside an [`RtError::Commit`] with
+    /// [`CommitPhase::Rollback`].
+    RollbackFailed {
+        /// Address of the journal entry whose restore failed.
+        addr: u64,
+        /// Why the restore failed.
+        source: Box<RtError>,
+    },
+    /// A transactional commit/revert operation failed. `source` is the
+    /// underlying error; `phase` says how far the transaction got (and
+    /// therefore what state the image is in — see [`CommitPhase`]).
+    Commit {
+        /// The phase that failed.
+        phase: CommitPhase,
+        /// Generic entry of the function being processed, when known.
+        function: Option<u64>,
+        /// The underlying error.
+        source: Box<RtError>,
+    },
+}
+
+impl RtError {
+    /// Follows `Commit`/`RollbackFailed` wrappers down to the underlying
+    /// error.
+    pub fn root_cause(&self) -> &RtError {
+        match self {
+            RtError::Commit { source, .. } | RtError::RollbackFailed { source, .. } => {
+                source.root_cause()
+            }
+            other => other,
+        }
+    }
+
+    /// The commit phase this error is attributed to, if it came out of a
+    /// transactional operation.
+    pub fn commit_phase(&self) -> Option<CommitPhase> {
+        match self {
+            RtError::Commit { phase, .. } => Some(*phase),
+            _ => None,
+        }
+    }
+
+    /// `true` for apply-phase failures whose root cause is a transient
+    /// patching fault (a protection fault on a mapped page, or a lost
+    /// icache flush) — the class the bounded retry policy may retry,
+    /// because the image was rolled back and the fault may heal.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            RtError::Commit {
+                phase: CommitPhase::Apply,
+                source,
+                ..
+            } => matches!(
+                source.root_cause(),
+                RtError::Mem(MemError { mapped: true, .. }) | RtError::IcacheStale { .. }
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for RtError {
@@ -70,11 +171,39 @@ impl fmt::Display for RtError {
                 f,
                 "function pointer at {var_addr:#x} holds unreachable target {target:#x}"
             ),
+            RtError::IcacheStale { addr } => {
+                write!(f, "icache flush lost for patched range at {addr:#x}")
+            }
+            RtError::RollbackFailed { addr, source } => {
+                write!(f, "rollback failed restoring {addr:#x}: {source}")
+            }
+            RtError::Commit {
+                phase,
+                function,
+                source,
+            } => {
+                write!(f, "commit failed in {phase} phase")?;
+                if let Some(g) = function {
+                    write!(f, " (function {g:#x})")?;
+                }
+                write!(f, ": {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for RtError {}
+impl std::error::Error for RtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtError::Mem(e) => Some(e),
+            RtError::Desc(e) => Some(e),
+            RtError::RollbackFailed { source, .. } | RtError::Commit { source, .. } => {
+                Some(source.as_ref())
+            }
+            _ => None,
+        }
+    }
+}
 
 impl From<MemError> for RtError {
     fn from(e: MemError) -> RtError {
@@ -85,5 +214,78 @@ impl From<MemError> for RtError {
 impl From<DescError> for RtError {
     fn from(e: DescError) -> RtError {
         RtError::Desc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvvm::mem::Access;
+    use std::error::Error as _;
+
+    fn protection_fault() -> RtError {
+        RtError::Mem(MemError {
+            addr: 0x1000,
+            access: Access::Write,
+            mapped: true,
+        })
+    }
+
+    #[test]
+    fn source_chains_through_wrappers() {
+        let e = RtError::Commit {
+            phase: CommitPhase::Apply,
+            function: Some(0x4000),
+            source: Box::new(protection_fault()),
+        };
+        // RtError -> inner RtError::Mem -> MemError
+        let inner = e.source().unwrap();
+        assert!(inner.source().unwrap().is::<MemError>());
+        assert_eq!(e.root_cause(), &protection_fault());
+        assert_eq!(e.commit_phase(), Some(CommitPhase::Apply));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let transient = RtError::Commit {
+            phase: CommitPhase::Apply,
+            function: None,
+            source: Box::new(protection_fault()),
+        };
+        assert!(transient.is_transient());
+        let validate = RtError::Commit {
+            phase: CommitPhase::Validate,
+            function: None,
+            source: Box::new(protection_fault()),
+        };
+        assert!(!validate.is_transient());
+        let hard = RtError::Commit {
+            phase: CommitPhase::Apply,
+            function: None,
+            source: Box::new(RtError::UnknownFunction(1)),
+        };
+        assert!(!hard.is_transient());
+        assert!(!protection_fault().is_transient());
+        let stale = RtError::Commit {
+            phase: CommitPhase::Apply,
+            function: None,
+            source: Box::new(RtError::IcacheStale { addr: 0x2000 }),
+        };
+        assert!(stale.is_transient());
+    }
+
+    #[test]
+    fn display_names_phase_and_function() {
+        let e = RtError::Commit {
+            phase: CommitPhase::Validate,
+            function: Some(0x4000),
+            source: Box::new(RtError::GenericTooSmall {
+                function: 0x4000,
+                size: 3,
+            }),
+        };
+        let s = e.to_string();
+        assert!(s.contains("validate"), "{s}");
+        assert!(s.contains("0x4000"), "{s}");
     }
 }

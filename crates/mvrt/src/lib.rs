@@ -51,10 +51,14 @@
 
 pub mod error;
 pub mod fnptr;
+pub mod journal;
 pub mod patch;
 pub mod runtime;
 pub mod stats;
+pub mod txn;
 
-pub use error::RtError;
+pub use error::{CommitPhase, RtError};
+pub use journal::{Journal, JournalEntry};
 pub use runtime::{CommitReport, FnBinding, PatchStrategy, Runtime};
 pub use stats::PatchStats;
+pub use txn::{FnHealth, RetryPolicy, SiteHealth, ValidationReport};

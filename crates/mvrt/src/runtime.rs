@@ -1,9 +1,17 @@
 //! The run-time library proper: descriptor interpretation, variant
 //! selection, and the commit/revert API of Table 1.
+//!
+//! Since the transactional rework, every public commit/revert operation
+//! runs as a two-phase transaction (see [`crate::txn`]): a read-only
+//! *validate* pass plans and checks all work, then a journaled *apply*
+//! pass performs it; any apply failure rolls the journal back so the
+//! text segment is left byte-identical to its pre-call state.
 
 use crate::error::RtError;
-use crate::patch::{encode_call, encode_jmp, inline_image, insn_at, patch_bytes, verify_call};
+use crate::journal::Journal;
+use crate::patch::{encode_call, encode_jmp, inline_image, insn_at, verify_call};
 use crate::stats::PatchStats;
+use crate::txn::{RetryPolicy, TxnOp};
 use mvasm::{Insn, CALL_SITE_LEN};
 use mvobj::descriptor::{
     parse_callsites, parse_functions, parse_variables, CallsiteDesc, FnDesc, VarDesc, NOT_INLINABLE,
@@ -38,7 +46,7 @@ pub enum FnBinding {
 
 /// How a call site is currently bound.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum SiteBinding {
+pub(crate) enum SiteBinding {
     /// Untouched original instruction.
     Original,
     /// Rewritten to a direct call to this target.
@@ -49,23 +57,23 @@ enum SiteBinding {
 
 /// A call site and its patch state.
 #[derive(Clone, Debug)]
-struct SiteState {
-    desc: CallsiteDesc,
+pub(crate) struct SiteState {
+    pub(crate) desc: CallsiteDesc,
     /// Total patchable length: 5 for a `call rel32` site, 9 for a
     /// `call *[mem]` (function-pointer) site.
-    len: usize,
+    pub(crate) len: usize,
     /// `true` if the original instruction was an indirect memory call.
-    indirect: bool,
-    original: Vec<u8>,
-    binding: SiteBinding,
+    pub(crate) indirect: bool,
+    pub(crate) original: Vec<u8>,
+    pub(crate) binding: SiteBinding,
 }
 
 /// A multiversed function and its patch state.
 #[derive(Clone, Debug)]
-struct FnState {
-    desc: FnDesc,
-    binding: FnBinding,
-    saved_prologue: Option<Vec<u8>>,
+pub(crate) struct FnState {
+    pub(crate) desc: FnDesc,
+    pub(crate) binding: FnBinding,
+    pub(crate) saved_prologue: Option<Vec<u8>>,
 }
 
 /// Outcome of a commit operation.
@@ -85,21 +93,35 @@ pub struct CommitReport {
 
 /// The attached multiverse runtime for one loaded program.
 pub struct Runtime {
-    vars: Vec<VarDesc>,
-    var_by_addr: HashMap<u64, usize>,
-    fns: Vec<FnState>,
-    fn_by_addr: HashMap<u64, usize>,
-    sites: Vec<SiteState>,
+    pub(crate) vars: Vec<VarDesc>,
+    pub(crate) var_by_addr: HashMap<u64, usize>,
+    pub(crate) fns: Vec<FnState>,
+    pub(crate) fn_by_addr: HashMap<u64, usize>,
+    pub(crate) sites: Vec<SiteState>,
     /// callee address (generic entry or fn-pointer variable) → site indices.
-    sites_of: HashMap<u64, Vec<usize>>,
+    pub(crate) sites_of: HashMap<u64, Vec<usize>>,
+    /// The undo log of the apply phase currently in flight, if any.
+    pub(crate) txn: Option<Journal>,
+    /// Retired journal kept around so the next apply phase reuses its
+    /// allocation instead of growing a fresh one.
+    pub(crate) spare_journal: Journal,
     /// Cumulative patching statistics.
     pub stats: PatchStats,
-    /// Host wall-clock time spent patching, cumulative.
+    /// Host wall-clock time spent patching, cumulative. Includes failed
+    /// operations (validation, partial applies and their rollbacks).
     pub patch_time: Duration,
     /// Patch strategy (default: call-site patching).
     pub strategy: PatchStrategy,
     /// Whether short bodies may be inlined into call sites (default on).
     pub inline_enabled: bool,
+    /// Whether the apply phase keeps the undo log (default on). Off =
+    /// operations are still planned and validated, but applied without
+    /// the journal: a mid-apply fault surfaces raw and leaves the image
+    /// torn. Exists for the journal-overhead ablation in the patch-cost
+    /// benchmark.
+    pub journal: bool,
+    /// Bounded retry for transient apply-phase faults (default: off).
+    pub retry: RetryPolicy,
 }
 
 impl Runtime {
@@ -191,10 +213,14 @@ impl Runtime {
             fn_by_addr,
             sites,
             sites_of,
+            txn: None,
+            spare_journal: Journal::new(),
             stats: PatchStats::default(),
             patch_time: Duration::ZERO,
             strategy: PatchStrategy::default(),
             inline_enabled: true,
+            journal: true,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -254,7 +280,7 @@ impl Runtime {
         Ok(m.mem.write_int(v.addr, value as u64, v.width as usize)?)
     }
 
-    fn select_variant(&self, m: &Machine, fi: usize) -> Result<Option<usize>, RtError> {
+    pub(crate) fn select_variant(&self, m: &Machine, fi: usize) -> Result<Option<usize>, RtError> {
         let f = &self.fns[fi];
         'variants: for (vi, v) in f.desc.variants.iter().enumerate() {
             for g in &v.guards {
@@ -288,13 +314,17 @@ impl Runtime {
             (s.desc.site, s.len, s.binding)
         };
         // §4: check the site still points at the expected target before
-        // touching it.
-        match binding {
-            SiteBinding::Call(t) => verify_call(m, site, t)?,
-            SiteBinding::Original if !self.sites[si].indirect => {
-                verify_call(m, site, self.sites[si].desc.callee)?
+        // touching it. Inside a transaction the validate phase has
+        // already byte-checked every site, so the apply pass skips the
+        // re-decode.
+        if self.txn.is_none() {
+            match binding {
+                SiteBinding::Call(t) => verify_call(m, site, t)?,
+                SiteBinding::Original if !self.sites[si].indirect => {
+                    verify_call(m, site, self.sites[si].desc.callee)?
+                }
+                _ => {}
             }
-            _ => {}
         }
         let (bytes, new_binding) = match inline {
             Some((body_addr, inline_len)) if (inline_len as usize) <= len => {
@@ -308,7 +338,7 @@ impl Runtime {
                 (b, SiteBinding::Call(target))
             }
         };
-        patch_bytes(m, site, &bytes, &mut self.stats)?;
+        self.write_text(m, site, &bytes)?;
         self.stats.sites_patched += 1;
         self.sites[si].binding = new_binding;
         Ok(())
@@ -320,18 +350,32 @@ impl Runtime {
         }
         let site = self.sites[si].desc.site;
         let original = self.sites[si].original.clone();
-        patch_bytes(m, site, &original, &mut self.stats)?;
+        self.write_text(m, site, &original)?;
         self.stats.sites_patched += 1;
         self.sites[si].binding = SiteBinding::Original;
         Ok(())
     }
 
-    fn install_variant(&mut self, m: &mut Machine, fi: usize, vi: usize) -> Result<usize, RtError> {
+    pub(crate) fn install_variant(
+        &mut self,
+        m: &mut Machine,
+        fi: usize,
+        vi: usize,
+    ) -> Result<usize, RtError> {
         let (generic, generic_size, v_addr, v_inline) = {
             let f = &self.fns[fi];
             let v = &f.desc.variants[vi];
             (f.desc.generic, f.desc.generic_size, v.addr, v.inline_len)
         };
+        // Completeness patching needs room for the entry jump; checked
+        // up front so the error surfaces before any call site is touched
+        // even on the unjournaled path.
+        if generic_size < CALL_SITE_LEN as u32 {
+            return Err(RtError::GenericTooSmall {
+                function: generic,
+                size: generic_size,
+            });
+        }
         // Patch all recorded call sites of the generic function (the
         // EntryOnly strategy leaves them aimed at the generic entry, where
         // the jump redirects them).
@@ -349,68 +393,42 @@ impl Runtime {
         }
         // Completeness: overwrite the generic entry with `jmp variant`,
         // saving the prologue the first time.
-        if generic_size < CALL_SITE_LEN as u32 {
-            return Err(RtError::GenericTooSmall {
-                function: generic,
-                size: generic_size,
-            });
-        }
-        if self.fns[fi].saved_prologue.is_none() {
+        let first_install = self.fns[fi].saved_prologue.is_none();
+        if first_install {
             let saved = m.mem.read_vec(generic, CALL_SITE_LEN)?;
             self.fns[fi].saved_prologue = Some(saved);
         }
         let jmp = encode_jmp(generic, v_addr);
-        patch_bytes(m, generic, &jmp, &mut self.stats)?;
+        if let Err(e) = self.write_text(m, generic, &jmp) {
+            // Keep the in-memory state consistent with the image even on
+            // the unjournaled path: nothing was written over the entry.
+            if first_install {
+                self.fns[fi].saved_prologue = None;
+            }
+            return Err(e);
+        }
         self.stats.entry_jumps += 1;
         self.fns[fi].binding = FnBinding::Variant(v_addr);
         self.stats.committed_variants += 1;
         Ok(site_idxs.len())
     }
 
-    fn revert_fn_idx(&mut self, m: &mut Machine, fi: usize) -> Result<usize, RtError> {
+    pub(crate) fn revert_fn_idx(&mut self, m: &mut Machine, fi: usize) -> Result<usize, RtError> {
         let generic = self.fns[fi].desc.generic;
         let site_idxs = self.sites_of.get(&generic).cloned().unwrap_or_default();
         for si in &site_idxs {
             self.restore_site(m, *si)?;
         }
-        if let Some(prologue) = self.fns[fi].saved_prologue.take() {
-            patch_bytes(m, generic, &prologue, &mut self.stats)?;
+        if let Some(prologue) = self.fns[fi].saved_prologue.clone() {
+            self.write_text(m, generic, &prologue)?;
+            self.fns[fi].saved_prologue = None;
             self.stats.prologues_restored += 1;
         }
         self.fns[fi].binding = FnBinding::Generic;
         Ok(site_idxs.len())
     }
 
-    fn commit_fn_idx(
-        &mut self,
-        m: &mut Machine,
-        fi: usize,
-        report: &mut CommitReport,
-    ) -> Result<(), RtError> {
-        if self.fns[fi].desc.variants.is_empty() {
-            // A descriptor without variants only registers the function
-            // (e.g. as a pointer target with known inline information);
-            // there is nothing to bind.
-            return Ok(());
-        }
-        match self.select_variant(m, fi)? {
-            Some(vi) => {
-                report.sites_touched += self.install_variant(m, fi, vi)?;
-                report.variants_committed += 1;
-            }
-            None => {
-                // Fig. 3 d: no viable variant — revert to the generic
-                // body, which dynamically evaluates the switches and is
-                // therefore correct for *any* value; signal the fallback.
-                report.sites_touched += self.revert_fn_idx(m, fi)?;
-                report.generic_fallbacks += 1;
-                self.stats.generic_fallbacks += 1;
-            }
-        }
-        Ok(())
-    }
-
-    fn commit_fnptr_var(
+    pub(crate) fn commit_fnptr_var(
         &mut self,
         m: &mut Machine,
         var_addr: u64,
@@ -436,7 +454,11 @@ impl Runtime {
         Ok(())
     }
 
-    fn revert_fnptr_var(&mut self, m: &mut Machine, var_addr: u64) -> Result<usize, RtError> {
+    pub(crate) fn revert_fnptr_var(
+        &mut self,
+        m: &mut Machine,
+        var_addr: u64,
+    ) -> Result<usize, RtError> {
         let site_idxs = self.sites_of.get(&var_addr).cloned().unwrap_or_default();
         for si in &site_idxs {
             self.restore_site(m, *si)?;
@@ -444,121 +466,71 @@ impl Runtime {
         Ok(site_idxs.len())
     }
 
+    /// Runs `op` as a transaction, charging wall-clock time to
+    /// [`Runtime::patch_time`] whether it succeeds or fails.
+    fn timed(&mut self, m: &mut Machine, op: TxnOp) -> Result<CommitReport, RtError> {
+        let start = Instant::now();
+        let result = self.run_txn(m, op);
+        self.patch_time += start.elapsed();
+        result
+    }
+
     /// `multiverse_commit()`: inspect all switches, select and install
     /// variants for every multiversed function, and re-bind every
     /// function-pointer switch.
+    ///
+    /// Transactional: on `Err` the text segment is byte-identical to its
+    /// state before the call (unless the error's phase is
+    /// [`crate::CommitPhase::Rollback`], which reports a failed restore).
     pub fn commit(&mut self, m: &mut Machine) -> Result<CommitReport, RtError> {
-        let start = Instant::now();
-        let mut report = CommitReport::default();
-        for fi in 0..self.fns.len() {
-            self.commit_fn_idx(m, fi, &mut report)?;
-        }
-        let fnptrs: Vec<u64> = self
-            .vars
-            .iter()
-            .filter(|v| v.fn_ptr)
-            .map(|v| v.addr)
-            .collect();
-        for addr in fnptrs {
-            self.commit_fnptr_var(m, addr, &mut report)?;
-        }
-        self.patch_time += start.elapsed();
-        Ok(report)
+        self.timed(m, TxnOp::CommitAll)
     }
 
     /// `multiverse_revert()`: restore the original process image
-    /// everywhere.
+    /// everywhere. Transactional like [`Runtime::commit`].
     pub fn revert(&mut self, m: &mut Machine) -> Result<CommitReport, RtError> {
-        let start = Instant::now();
-        let mut report = CommitReport::default();
-        for fi in 0..self.fns.len() {
-            report.sites_touched += self.revert_fn_idx(m, fi)?;
-        }
-        let fnptrs: Vec<u64> = self
-            .vars
-            .iter()
-            .filter(|v| v.fn_ptr)
-            .map(|v| v.addr)
-            .collect();
-        for addr in fnptrs {
-            report.sites_touched += self.revert_fnptr_var(m, addr)?;
-        }
-        self.patch_time += start.elapsed();
-        Ok(report)
+        self.timed(m, TxnOp::RevertAll)
     }
 
     /// `multiverse_commit_refs(&var)`: commit only the functions whose
     /// variants are guarded by the switch at `var_addr` (or, for a
-    /// function-pointer switch, its call sites).
+    /// function-pointer switch, its call sites). Transactional like
+    /// [`Runtime::commit`].
     pub fn commit_refs(&mut self, m: &mut Machine, var_addr: u64) -> Result<CommitReport, RtError> {
-        let start = Instant::now();
-        let &vi = self
-            .var_by_addr
-            .get(&var_addr)
-            .ok_or(RtError::UnknownVariable(var_addr))?;
-        let mut report = CommitReport::default();
-        if self.vars[vi].fn_ptr {
-            self.commit_fnptr_var(m, var_addr, &mut report)?;
-        } else {
-            for fi in 0..self.fns.len() {
-                if self.references_var(fi, var_addr) {
-                    self.commit_fn_idx(m, fi, &mut report)?;
-                }
-            }
+        if !self.var_by_addr.contains_key(&var_addr) {
+            return Err(RtError::UnknownVariable(var_addr));
         }
-        self.patch_time += start.elapsed();
-        Ok(report)
+        self.timed(m, TxnOp::CommitRefs(var_addr))
     }
 
-    /// `multiverse_revert_refs(&var)`.
+    /// `multiverse_revert_refs(&var)`. Transactional like
+    /// [`Runtime::commit`].
     pub fn revert_refs(&mut self, m: &mut Machine, var_addr: u64) -> Result<CommitReport, RtError> {
-        let start = Instant::now();
-        let &vi = self
-            .var_by_addr
-            .get(&var_addr)
-            .ok_or(RtError::UnknownVariable(var_addr))?;
-        let mut report = CommitReport::default();
-        if self.vars[vi].fn_ptr {
-            report.sites_touched += self.revert_fnptr_var(m, var_addr)?;
-        } else {
-            for fi in 0..self.fns.len() {
-                if self.references_var(fi, var_addr) {
-                    report.sites_touched += self.revert_fn_idx(m, fi)?;
-                }
-            }
+        if !self.var_by_addr.contains_key(&var_addr) {
+            return Err(RtError::UnknownVariable(var_addr));
         }
-        self.patch_time += start.elapsed();
-        Ok(report)
+        self.timed(m, TxnOp::RevertRefs(var_addr))
     }
 
     /// `multiverse_commit_func(&fn)`: commit a single function by its
-    /// generic entry address.
+    /// generic entry address. Transactional like [`Runtime::commit`].
     pub fn commit_func(&mut self, m: &mut Machine, fn_addr: u64) -> Result<CommitReport, RtError> {
-        let start = Instant::now();
-        let &fi = self
-            .fn_by_addr
-            .get(&fn_addr)
-            .ok_or(RtError::UnknownFunction(fn_addr))?;
-        let mut report = CommitReport::default();
-        self.commit_fn_idx(m, fi, &mut report)?;
-        self.patch_time += start.elapsed();
-        Ok(report)
+        if !self.fn_by_addr.contains_key(&fn_addr) {
+            return Err(RtError::UnknownFunction(fn_addr));
+        }
+        self.timed(m, TxnOp::CommitFunc(fn_addr))
     }
 
-    /// `multiverse_revert_func(&fn)`.
+    /// `multiverse_revert_func(&fn)`. Transactional like
+    /// [`Runtime::commit`].
     pub fn revert_func(&mut self, m: &mut Machine, fn_addr: u64) -> Result<CommitReport, RtError> {
-        let start = Instant::now();
-        let &fi = self
-            .fn_by_addr
-            .get(&fn_addr)
-            .ok_or(RtError::UnknownFunction(fn_addr))?;
-        let mut report = CommitReport::default();
-        report.sites_touched += self.revert_fn_idx(m, fi)?;
-        self.patch_time += start.elapsed();
-        Ok(report)
+        if !self.fn_by_addr.contains_key(&fn_addr) {
+            return Err(RtError::UnknownFunction(fn_addr));
+        }
+        self.timed(m, TxnOp::RevertFunc(fn_addr))
     }
 
-    fn references_var(&self, fi: usize, var_addr: u64) -> bool {
+    pub(crate) fn references_var(&self, fi: usize, var_addr: u64) -> bool {
         self.fns[fi]
             .desc
             .variants

@@ -25,6 +25,14 @@ pub struct PatchStats {
     /// Functions that fell back to the generic body because no variant's
     /// guards admitted the current configuration (Fig. 3 d).
     pub generic_fallbacks: u64,
+    /// Undo-log entries recorded by journaled apply phases.
+    pub journal_entries: u64,
+    /// Bytes covered by journal entries.
+    pub journal_bytes: u64,
+    /// Apply phases that failed and were rolled back successfully.
+    pub rollbacks: u64,
+    /// Transactions re-attempted after a transient fault.
+    pub retries: u64,
 }
 
 impl PatchStats {
@@ -40,6 +48,10 @@ impl PatchStats {
             icache_flushes: self.icache_flushes - earlier.icache_flushes,
             committed_variants: self.committed_variants - earlier.committed_variants,
             generic_fallbacks: self.generic_fallbacks - earlier.generic_fallbacks,
+            journal_entries: self.journal_entries - earlier.journal_entries,
+            journal_bytes: self.journal_bytes - earlier.journal_bytes,
+            rollbacks: self.rollbacks - earlier.rollbacks,
+            retries: self.retries - earlier.retries,
         }
     }
 }

@@ -1,0 +1,654 @@
+//! The two-phase transactional executor behind every commit/revert.
+//!
+//! Each public [`Runtime`] operation is compiled into a list of
+//! [`Action`]s (*plan*), every action is checked read-only against the
+//! current image (*validate*), and only then are the writes performed
+//! under the [`crate::journal::Journal`] undo log (*apply*). A validate
+//! failure writes nothing; an apply failure rolls the journal back and
+//! restores the runtime's bookkeeping snapshot, so the operation either
+//! fully succeeds or leaves the process image byte-identical — the
+//! failure is reported as [`RtError::Commit`] naming the phase and, when
+//! known, the function being processed.
+//!
+//! Transient apply faults (a protection fault on a mapped text page, a
+//! lost icache flush) may additionally be retried under the bounded
+//! [`RetryPolicy`], since after rollback the image is clean and a new
+//! plan/validate/apply cycle is safe.
+
+use crate::error::{CommitPhase, RtError};
+use crate::journal::Span;
+use crate::patch::encode_call;
+use crate::runtime::{CommitReport, FnBinding, PatchStrategy, Runtime, SiteBinding};
+use mvasm::CALL_SITE_LEN;
+use mvobj::descriptor::NOT_INLINABLE;
+use mvvm::Machine;
+use std::time::Duration;
+
+/// Bounded retry for transient apply-phase faults.
+///
+/// After a rollback the image is byte-identical to its pre-commit state,
+/// so re-running the whole plan/validate/apply cycle is safe. Only
+/// errors for which [`RtError::is_transient`] holds are retried; hard
+/// errors (bad descriptors, tampered sites, unknown addresses) surface
+/// immediately. The default policy performs no retries, so atomicity
+/// tests observe every injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Base sleep between attempts; attempt *n* waits `backoff * n`
+    /// (linear backoff). [`Duration::ZERO`] skips sleeping entirely.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::from_micros(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy retrying up to `max_retries` times with no sleep —
+    /// convenient under the deterministic VM, where faults heal
+    /// instantly rather than with time.
+    pub fn retries(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// The operation a public API call maps to.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum TxnOp {
+    /// `multiverse_commit()`.
+    CommitAll,
+    /// `multiverse_revert()`.
+    RevertAll,
+    /// `multiverse_commit_refs(&var)`.
+    CommitRefs(u64),
+    /// `multiverse_revert_refs(&var)`.
+    RevertRefs(u64),
+    /// `multiverse_commit_func(&fn)`.
+    CommitFunc(u64),
+    /// `multiverse_revert_func(&fn)`.
+    RevertFunc(u64),
+}
+
+/// One planned unit of work. Planning resolves variant selection up
+/// front, so validate and apply agree on what will happen.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    /// Install variant `vi` of function `fi` (sites + entry jump).
+    Install { fi: usize, vi: usize },
+    /// Restore function `fi` to its generic body. `fallback` marks the
+    /// Fig. 3 d case (no variant admitted the configuration) as opposed
+    /// to an explicit revert.
+    RevertFn { fi: usize, fallback: bool },
+    /// Re-bind the call sites of the function-pointer switch at
+    /// `var_addr` to its current target.
+    BindFnPtr { var_addr: u64 },
+    /// Restore the call sites of the function-pointer switch.
+    RevertFnPtr { var_addr: u64 },
+}
+
+impl Action {
+    /// Generic entry of the function this action concerns, for error
+    /// attribution.
+    fn function(&self, rt: &Runtime) -> Option<u64> {
+        match *self {
+            Action::Install { fi, .. } | Action::RevertFn { fi, .. } => {
+                Some(rt.fns[fi].desc.generic)
+            }
+            Action::BindFnPtr { .. } | Action::RevertFnPtr { .. } => None,
+        }
+    }
+}
+
+/// Bookkeeping snapshot taken before an apply phase; restored together
+/// with the journal rollback so `Runtime` state matches the restored
+/// image.
+struct StateSnapshot {
+    site_bindings: Vec<SiteBinding>,
+    /// Prologue copies are inline [`Span`]s (an entry jump is 5 bytes):
+    /// taking the snapshot is on the happy path of every commit and must
+    /// not allocate per function.
+    fn_states: Vec<(FnBinding, Option<Span>)>,
+}
+
+/// Health of one multiversed function, as reported by
+/// [`Runtime::validate`].
+#[derive(Clone, Debug)]
+pub struct FnHealth {
+    /// Generic entry address.
+    pub generic: u64,
+    /// Current binding.
+    pub binding: FnBinding,
+    /// Entry address of the variant the current configuration selects
+    /// (`None`: generic fallback, or the function has no variants).
+    pub selected: Option<u64>,
+    /// Why a commit of this function would fail, if it would.
+    pub issue: Option<String>,
+}
+
+/// Health of one recorded call site, as reported by
+/// [`Runtime::validate`].
+#[derive(Clone, Debug)]
+pub struct SiteHealth {
+    /// Call-site address.
+    pub site: u64,
+    /// Recorded callee (generic entry or function-pointer switch).
+    pub callee: u64,
+    /// `true` if the site is currently rewritten (patched or inlined).
+    pub patched: bool,
+    /// Why patching this site would fail, if it would.
+    pub issue: Option<String>,
+}
+
+/// Result of a [`Runtime::validate`] dry run: everything the validate
+/// phase of a full `commit` would check, with nothing written.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// Per-function health, in descriptor order.
+    pub functions: Vec<FnHealth>,
+    /// Per-site health, in descriptor order.
+    pub sites: Vec<SiteHealth>,
+}
+
+impl ValidationReport {
+    /// `true` if no function and no site reported an issue — a full
+    /// `commit` would pass its validate phase.
+    pub fn healthy(&self) -> bool {
+        self.functions.iter().all(|f| f.issue.is_none())
+            && self.sites.iter().all(|s| s.issue.is_none())
+    }
+
+    /// Number of functions/sites with issues.
+    pub fn issues(&self) -> usize {
+        self.functions.iter().filter(|f| f.issue.is_some()).count()
+            + self.sites.iter().filter(|s| s.issue.is_some()).count()
+    }
+}
+
+impl Runtime {
+    /// All text writes of the runtime funnel through here. Inside a
+    /// transaction the write is journaled *before* it is attempted and
+    /// the icache flush is verified afterwards (a lost flush means stale
+    /// code keeps executing — surfaced as [`RtError::IcacheStale`]).
+    /// Outside a transaction (legacy path) it is a plain patch.
+    pub(crate) fn write_text(
+        &mut self,
+        m: &mut Machine,
+        addr: u64,
+        bytes: &[u8],
+    ) -> Result<(), RtError> {
+        if self.txn.is_none() {
+            crate::patch::patch_bytes(m, addr, bytes, &mut self.stats)?;
+            return Ok(());
+        }
+        let mut old = [0u8; crate::journal::MAX_SPAN];
+        let old = &mut old[..bytes.len()];
+        m.mem.read(addr, old)?;
+        let txn = self.txn.as_mut().expect("transaction active");
+        txn.record(addr, old, bytes);
+        self.stats.journal_entries += 1;
+        self.stats.journal_bytes += bytes.len() as u64;
+        let epoch_before = m.mem.flush_epoch();
+        crate::patch::patch_bytes(m, addr, bytes, &mut self.stats)?;
+        if m.mem.flush_epoch() == epoch_before {
+            return Err(RtError::IcacheStale { addr });
+        }
+        Ok(())
+    }
+
+    /// Phase 0 — planning. Reads switches and resolves variant selection,
+    /// producing the action list. Address-resolution failures
+    /// (`UnknownVariable`, `UnknownFunction`) surface raw — they are API
+    /// misuse, not transaction failures — while selection failures are
+    /// already validate-phase errors.
+    fn plan_ops(&self, m: &Machine, op: TxnOp) -> Result<Vec<Action>, RtError> {
+        let mut actions = Vec::new();
+        match op {
+            TxnOp::CommitAll => {
+                for fi in 0..self.fns.len() {
+                    self.plan_commit_fn(m, fi, &mut actions)?;
+                }
+                for v in &self.vars {
+                    if v.fn_ptr && self.sites_of.contains_key(&v.addr) {
+                        actions.push(Action::BindFnPtr { var_addr: v.addr });
+                    }
+                }
+            }
+            TxnOp::RevertAll => {
+                for fi in 0..self.fns.len() {
+                    actions.push(Action::RevertFn {
+                        fi,
+                        fallback: false,
+                    });
+                }
+                for v in &self.vars {
+                    if v.fn_ptr && self.sites_of.contains_key(&v.addr) {
+                        actions.push(Action::RevertFnPtr { var_addr: v.addr });
+                    }
+                }
+            }
+            TxnOp::CommitRefs(var_addr) => {
+                let &vi = self
+                    .var_by_addr
+                    .get(&var_addr)
+                    .ok_or(RtError::UnknownVariable(var_addr))?;
+                if self.vars[vi].fn_ptr {
+                    actions.push(Action::BindFnPtr { var_addr });
+                } else {
+                    for fi in 0..self.fns.len() {
+                        if self.references_var(fi, var_addr) {
+                            self.plan_commit_fn(m, fi, &mut actions)?;
+                        }
+                    }
+                }
+            }
+            TxnOp::RevertRefs(var_addr) => {
+                let &vi = self
+                    .var_by_addr
+                    .get(&var_addr)
+                    .ok_or(RtError::UnknownVariable(var_addr))?;
+                if self.vars[vi].fn_ptr {
+                    actions.push(Action::RevertFnPtr { var_addr });
+                } else {
+                    for fi in 0..self.fns.len() {
+                        if self.references_var(fi, var_addr) {
+                            actions.push(Action::RevertFn {
+                                fi,
+                                fallback: false,
+                            });
+                        }
+                    }
+                }
+            }
+            TxnOp::CommitFunc(fn_addr) => {
+                let &fi = self
+                    .fn_by_addr
+                    .get(&fn_addr)
+                    .ok_or(RtError::UnknownFunction(fn_addr))?;
+                self.plan_commit_fn(m, fi, &mut actions)?;
+            }
+            TxnOp::RevertFunc(fn_addr) => {
+                let &fi = self
+                    .fn_by_addr
+                    .get(&fn_addr)
+                    .ok_or(RtError::UnknownFunction(fn_addr))?;
+                actions.push(Action::RevertFn {
+                    fi,
+                    fallback: false,
+                });
+            }
+        }
+        Ok(actions)
+    }
+
+    /// Plans the commit of one function: selects the variant the current
+    /// configuration admits, or a revert-to-generic fallback (Fig. 3 d).
+    fn plan_commit_fn(
+        &self,
+        m: &Machine,
+        fi: usize,
+        actions: &mut Vec<Action>,
+    ) -> Result<(), RtError> {
+        if self.fns[fi].desc.variants.is_empty() {
+            return Ok(());
+        }
+        match self.select_variant(m, fi) {
+            Ok(Some(vi)) => actions.push(Action::Install { fi, vi }),
+            Ok(None) => actions.push(Action::RevertFn { fi, fallback: true }),
+            Err(e) => {
+                return Err(RtError::Commit {
+                    phase: CommitPhase::Validate,
+                    function: Some(self.fns[fi].desc.generic),
+                    source: Box::new(e),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 1 — validation. Re-checks, read-only, everything the apply
+    /// phase will rely on: call-site bytes, page protections, body
+    /// readability, descriptor constraints. Failures come back as
+    /// [`RtError::Commit`] with [`CommitPhase::Validate`]; nothing has
+    /// been written.
+    fn validate_actions(&self, m: &Machine, actions: &[Action]) -> Result<(), RtError> {
+        for a in actions {
+            let checked = match *a {
+                Action::Install { fi, vi } => self.validate_install(m, fi, vi),
+                Action::RevertFn { fi, .. } => self.validate_revert_fn(m, fi),
+                Action::BindFnPtr { var_addr } => self.validate_bind_fnptr(m, var_addr),
+                Action::RevertFnPtr { var_addr } => self.validate_revert_fnptr(m, var_addr),
+            };
+            checked.map_err(|e| RtError::Commit {
+                phase: CommitPhase::Validate,
+                function: a.function(self),
+                source: Box::new(e),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// A call site must still hold what the bookkeeping says it holds,
+    /// on an executable page, before we overwrite it (§4's "check if
+    /// they point to the expected call target", extended to all binding
+    /// states). The check compares raw bytes against what the runtime
+    /// knows it wrote (or found at attach), which is both stricter and
+    /// cheaper than re-decoding the instruction.
+    fn check_site_patchable(&self, m: &Machine, si: usize) -> Result<(), RtError> {
+        let s = &self.sites[si];
+        let mut current = [0u8; crate::journal::MAX_SPAN];
+        let current = &mut current[..s.len];
+        m.mem.read(s.desc.site, current)?;
+        let ok = match s.binding {
+            // Untouched: must still hold the exact attach-time bytes
+            // (covers direct and indirect originals alike).
+            SiteBinding::Original => current == &s.original[..],
+            // Rewritten: must hold exactly the call we encoded.
+            SiteBinding::Call(target) => {
+                let mut expected = encode_call(s.desc.site, target);
+                expected.extend(mvasm::nop_fill(s.len - CALL_SITE_LEN));
+                current == &expected[..]
+            }
+            // Inlined bodies are arbitrary bytes; readability (above) is
+            // the only byte-level invariant.
+            SiteBinding::Inlined(_) => true,
+        };
+        if !ok {
+            return Err(RtError::SiteVerifyFailed {
+                site: s.desc.site,
+                what: "site bytes changed behind the runtime's back".into(),
+            });
+        }
+        self.check_exec(m, s.desc.site)
+    }
+
+    /// The page holding `addr` must be mapped executable text.
+    fn check_exec(&self, m: &Machine, addr: u64) -> Result<(), RtError> {
+        match m.mem.prot_of(addr) {
+            Some(p) if p.exec => Ok(()),
+            Some(_) => Err(RtError::SiteVerifyFailed {
+                site: addr,
+                what: "page is mapped but not executable".into(),
+            }),
+            None => Err(RtError::Mem(mvvm::MemError {
+                addr,
+                access: mvvm::mem::Access::Read,
+                mapped: false,
+            })),
+        }
+    }
+
+    fn validate_install(&self, m: &Machine, fi: usize, vi: usize) -> Result<(), RtError> {
+        let f = &self.fns[fi];
+        let v = &f.desc.variants[vi];
+        // Completeness patching needs room for the entry jump.
+        if f.desc.generic_size < CALL_SITE_LEN as u32 {
+            return Err(RtError::GenericTooSmall {
+                function: f.desc.generic,
+                size: f.desc.generic_size,
+            });
+        }
+        // Entry prologue must be readable, executable text.
+        m.mem.read_vec(f.desc.generic, CALL_SITE_LEN)?;
+        self.check_exec(m, f.desc.generic)?;
+        // The variant body must be readable if it may be inlined.
+        if self.inline_enabled && v.inline_len != NOT_INLINABLE {
+            m.mem.read_vec(v.addr, v.inline_len as usize)?;
+        }
+        if self.strategy == PatchStrategy::CallSites {
+            if let Some(idxs) = self.sites_of.get(&f.desc.generic) {
+                for &si in idxs {
+                    self.check_site_patchable(m, si)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_revert_fn(&self, m: &Machine, fi: usize) -> Result<(), RtError> {
+        let f = &self.fns[fi];
+        if let Some(idxs) = self.sites_of.get(&f.desc.generic) {
+            for &si in idxs {
+                if self.sites[si].binding != SiteBinding::Original {
+                    m.mem
+                        .read_vec(self.sites[si].desc.site, self.sites[si].len)?;
+                    self.check_exec(m, self.sites[si].desc.site)?;
+                }
+            }
+        }
+        if f.saved_prologue.is_some() {
+            m.mem.read_vec(f.desc.generic, CALL_SITE_LEN)?;
+            self.check_exec(m, f.desc.generic)?;
+        }
+        Ok(())
+    }
+
+    fn validate_bind_fnptr(&self, m: &Machine, var_addr: u64) -> Result<(), RtError> {
+        let target = m.mem.read_uint(var_addr, 8)?;
+        if target == 0 {
+            return Err(RtError::BadFnPtrTarget { var_addr, target });
+        }
+        if let Some(&fi) = self.fn_by_addr.get(&target) {
+            let il = self.fns[fi].desc.generic_inline_len;
+            if self.inline_enabled && il != NOT_INLINABLE {
+                m.mem.read_vec(target, il as usize)?;
+            }
+        }
+        if let Some(idxs) = self.sites_of.get(&var_addr) {
+            for &si in idxs {
+                self.check_site_patchable(m, si)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_revert_fnptr(&self, m: &Machine, var_addr: u64) -> Result<(), RtError> {
+        if let Some(idxs) = self.sites_of.get(&var_addr) {
+            for &si in idxs {
+                if self.sites[si].binding != SiteBinding::Original {
+                    m.mem
+                        .read_vec(self.sites[si].desc.site, self.sites[si].len)?;
+                    self.check_exec(m, self.sites[si].desc.site)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        StateSnapshot {
+            site_bindings: self.sites.iter().map(|s| s.binding).collect(),
+            fn_states: self
+                .fns
+                .iter()
+                .map(|f| {
+                    let p = f.saved_prologue.as_deref().map(Span::from_slice);
+                    (f.binding, p)
+                })
+                .collect(),
+        }
+    }
+
+    fn restore_state(&mut self, snap: StateSnapshot) {
+        for (s, b) in self.sites.iter_mut().zip(snap.site_bindings) {
+            s.binding = b;
+        }
+        for (f, (b, p)) in self.fns.iter_mut().zip(snap.fn_states) {
+            f.binding = b;
+            f.saved_prologue = p.map(|s| s.to_vec());
+        }
+    }
+
+    /// Phase 2 — apply. Executes the actions with every text write
+    /// journaled; on failure the journal is rolled back and the
+    /// bookkeeping snapshot restored, so an `Err` with
+    /// [`CommitPhase::Apply`] guarantees a byte-identical image. Only a
+    /// rollback that itself fails ([`CommitPhase::Rollback`]) can leave
+    /// the image torn.
+    fn apply_actions(
+        &mut self,
+        m: &mut Machine,
+        actions: &[Action],
+    ) -> Result<CommitReport, RtError> {
+        let snapshot = self.snapshot_state();
+        let mut journal = std::mem::take(&mut self.spare_journal);
+        journal.clear();
+        self.txn = Some(journal);
+        let mut report = CommitReport::default();
+        let failure = self.execute_actions(m, actions, &mut report).err();
+        let journal = self.txn.take().expect("transaction active");
+        let outcome = match failure {
+            None => Ok(report),
+            Some((function, cause)) => match journal.rollback(m, &mut self.stats) {
+                Ok(()) => {
+                    self.restore_state(snapshot);
+                    self.stats.rollbacks += 1;
+                    Err(RtError::Commit {
+                        phase: CommitPhase::Apply,
+                        function,
+                        source: Box::new(cause),
+                    })
+                }
+                Err(rb) => Err(RtError::Commit {
+                    phase: CommitPhase::Rollback,
+                    function,
+                    source: Box::new(rb),
+                }),
+            },
+        };
+        self.spare_journal = journal;
+        outcome
+    }
+
+    /// Runs the planned actions, attributing any failure to the function
+    /// being processed.
+    #[allow(clippy::type_complexity)]
+    fn execute_actions(
+        &mut self,
+        m: &mut Machine,
+        actions: &[Action],
+        report: &mut CommitReport,
+    ) -> Result<(), (Option<u64>, RtError)> {
+        for a in actions {
+            let function = a.function(self);
+            match *a {
+                Action::Install { fi, vi } => {
+                    let sites = self.install_variant(m, fi, vi).map_err(|e| (function, e))?;
+                    report.sites_touched += sites;
+                    report.variants_committed += 1;
+                }
+                Action::RevertFn { fi, fallback } => {
+                    let sites = self.revert_fn_idx(m, fi).map_err(|e| (function, e))?;
+                    report.sites_touched += sites;
+                    if fallback {
+                        report.generic_fallbacks += 1;
+                        self.stats.generic_fallbacks += 1;
+                    }
+                }
+                Action::BindFnPtr { var_addr } => {
+                    self.commit_fnptr_var(m, var_addr, report)
+                        .map_err(|e| (function, e))?;
+                }
+                Action::RevertFnPtr { var_addr } => {
+                    let sites = self
+                        .revert_fnptr_var(m, var_addr)
+                        .map_err(|e| (function, e))?;
+                    report.sites_touched += sites;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The transaction driver: plan → validate → apply, retried under
+    /// [`Runtime::retry`] for transient faults. With
+    /// [`Runtime::journal`] off the plan is still validated, but applied
+    /// without the undo log — a mid-apply fault surfaces raw and tears
+    /// the image. That mode exists for the journal-overhead ablation in
+    /// the patch-cost benchmark.
+    pub(crate) fn run_txn(&mut self, m: &mut Machine, op: TxnOp) -> Result<CommitReport, RtError> {
+        let mut attempt = 0u32;
+        loop {
+            // Re-plan every attempt: switches may have changed, and the
+            // rollback restored the pre-commit image.
+            let result = self.plan_ops(m, op).and_then(|actions| {
+                self.validate_actions(m, &actions)?;
+                if self.journal {
+                    self.apply_actions(m, &actions)
+                } else {
+                    let mut report = CommitReport::default();
+                    match self.execute_actions(m, &actions, &mut report) {
+                        Ok(()) => Ok(report),
+                        Err((_, e)) => Err(e),
+                    }
+                }
+            });
+            match result {
+                // Only journaled apply failures are transient (the image
+                // was rolled back); unjournaled errors surface raw and
+                // never classify as retryable.
+                Err(e) if attempt < self.retry.max_retries && e.is_transient() => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    if !self.retry.backoff.is_zero() {
+                        std::thread::sleep(self.retry.backoff.saturating_mul(attempt));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Dry-run validation: everything a full [`Runtime::commit`] would
+    /// check in its validate phase, with nothing written. Powers the
+    /// `mvcc verify` health report.
+    pub fn validate(&self, m: &Machine) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        for (fi, f) in self.fns.iter().enumerate() {
+            let mut health = FnHealth {
+                generic: f.desc.generic,
+                binding: f.binding,
+                selected: None,
+                issue: None,
+            };
+            if !f.desc.variants.is_empty() {
+                match self.select_variant(m, fi) {
+                    Ok(Some(vi)) => {
+                        health.selected = Some(f.desc.variants[vi].addr);
+                        health.issue = self
+                            .validate_install(m, fi, vi)
+                            .err()
+                            .map(|e| e.to_string());
+                    }
+                    Ok(None) => {
+                        health.issue = self.validate_revert_fn(m, fi).err().map(|e| e.to_string());
+                    }
+                    Err(e) => health.issue = Some(e.to_string()),
+                }
+            }
+            report.functions.push(health);
+        }
+        for (si, s) in self.sites.iter().enumerate() {
+            let issue = self
+                .check_site_patchable(m, si)
+                .err()
+                .map(|e| e.to_string());
+            report.sites.push(SiteHealth {
+                site: s.desc.site,
+                callee: s.desc.callee,
+                patched: s.binding != SiteBinding::Original,
+                issue,
+            });
+        }
+        report
+    }
+}

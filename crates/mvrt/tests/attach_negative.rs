@@ -1,12 +1,16 @@
-//! Negative tests of runtime attachment: malformed descriptor sections
-//! and descriptor/text mismatches must be rejected up front, not cause
-//! wild patches later.
+//! Negative tests of the runtime: malformed descriptor sections and
+//! descriptor/text mismatches must be rejected at attach, and injected
+//! patching faults ([`mvvm::FaultPlan`]) must leave committed state
+//! either fully applied or byte-identically rolled back.
 
-use mvasm::{Assembler, Insn};
-use mvobj::descriptor::{emit_callsite, CallsiteDescSym};
-use mvobj::{link, Layout, Object, SectionKind};
-use mvrt::{RtError, Runtime};
-use mvvm::{CostModel, Machine, MachineConfig};
+use mvasm::{Assembler, Insn, Reg};
+use mvobj::descriptor::{
+    emit_callsite, emit_function, emit_variable, CallsiteDescSym, FnDescSym, GuardSym, VarDescSym,
+    VariantDescSym, NOT_INLINABLE,
+};
+use mvobj::{link, Executable, Layout, Object, SectionKind};
+use mvrt::{CommitPhase, RetryPolicy, RtError, Runtime};
+use mvvm::{CostModel, FaultPlan, Machine, MachineConfig};
 
 fn base_object() -> Object {
     let mut o = Object::new("t");
@@ -107,4 +111,230 @@ fn empty_descriptor_sections_attach_cleanly() {
     assert_eq!(rt.num_variables(), 0);
     assert_eq!(rt.num_functions(), 0);
     assert_eq!(rt.num_callsites(), 0);
+}
+
+// --- transactional fault-injection tests ------------------------------
+
+/// A minimal multiversed program: switch `A`, function `mv` with an
+/// A=0 / A=1 variant pair, and a recorded call site in `caller`. A full
+/// commit performs several text writes (call site + entry jump per
+/// function), giving injected faults mid-commit positions to hit.
+fn mv_fixture() -> (Machine, Executable, Runtime) {
+    let mut o = Object::new("t");
+    o.define_bss("A", 4);
+    let mut a = Assembler::new();
+    a.emit(Insn::Halt);
+    o.add_code("main", &a.finish().unwrap());
+
+    let mut a = Assembler::new();
+    a.load_sym(Reg::R0, "A", 0, mvasm::Width::W32, true);
+    a.ret();
+    let g = a.finish().unwrap();
+    let g_size = g.bytes.len() as u32;
+    o.add_code("mv", &g);
+    for (sym, val) in [("mv.A=0", 0i64), ("mv.A=1", 1i64)] {
+        let mut a = Assembler::new();
+        a.mov_ri(Reg::R0, val);
+        a.ret();
+        let v = a.finish().unwrap();
+        let size = v.bytes.len() as u32;
+        o.add_code(sym, &v);
+        let _ = size;
+    }
+    let mut a = Assembler::new();
+    let off = a.len() as u32;
+    a.call_sym("mv", true);
+    a.ret();
+    o.add_code("caller", &a.finish().unwrap());
+    emit_callsite(
+        &mut o,
+        &CallsiteDescSym {
+            callee: "mv".into(),
+            caller: "caller".into(),
+            offset: off,
+        },
+    );
+    emit_variable(
+        &mut o,
+        &VarDescSym {
+            symbol: "A".into(),
+            width: 4,
+            signed: true,
+            fn_ptr: false,
+            name_sym: None,
+        },
+    );
+    emit_function(
+        &mut o,
+        &FnDescSym {
+            symbol: "mv".into(),
+            generic_size: g_size,
+            generic_inline_len: NOT_INLINABLE,
+            name_sym: None,
+            variants: vec![
+                VariantDescSym {
+                    symbol: "mv.A=0".into(),
+                    body_size: 11,
+                    inline_len: NOT_INLINABLE,
+                    guards: vec![GuardSym {
+                        var_symbol: "A".into(),
+                        low: 0,
+                        high: 0,
+                    }],
+                },
+                VariantDescSym {
+                    symbol: "mv.A=1".into(),
+                    body_size: 11,
+                    inline_len: NOT_INLINABLE,
+                    guards: vec![GuardSym {
+                        var_symbol: "A".into(),
+                        low: 1,
+                        high: 1,
+                    }],
+                },
+            ],
+        },
+    );
+    let exe = link(&[o], &Layout::default()).unwrap();
+    let mut m = Machine::new(CostModel::default(), MachineConfig::default());
+    m.load(&exe);
+    let rt = Runtime::attach(&m, &exe).unwrap();
+    (m, exe, rt)
+}
+
+fn text_snapshot(m: &Machine, exe: &Executable) -> Vec<u8> {
+    let (taddr, tsize) = exe.section(mvobj::SEC_TEXT);
+    m.mem.read_vec(taddr, tsize as usize).unwrap()
+}
+
+#[test]
+fn apply_fault_rolls_back_to_exact_bytes() {
+    let (mut m, exe, mut rt) = mv_fixture();
+    let pristine = text_snapshot(&m, &exe);
+    let mv = exe.symbol("mv").unwrap();
+
+    // Fail the 2nd text write of the apply phase (the entry jump, after
+    // the call site was already rewritten).
+    m.inject_fault(FaultPlan::fail_nth_write(2));
+    let err = rt.commit(&mut m).unwrap_err();
+    assert_eq!(err.commit_phase(), Some(CommitPhase::Apply));
+    assert!(
+        matches!(err.root_cause(), RtError::Mem(e) if e.mapped),
+        "{err:?}"
+    );
+    assert!(err.is_transient());
+
+    // Atomicity: the first write was undone, bindings are untouched.
+    assert_eq!(text_snapshot(&m, &exe), pristine);
+    assert_eq!(rt.binding_of(mv), Some(mvrt::FnBinding::Generic));
+    assert_eq!(rt.stats.rollbacks, 1);
+    assert!(rt.stats.journal_entries >= 2);
+
+    // The one-shot fault healed: the same commit now succeeds.
+    let report = rt.commit(&mut m).unwrap();
+    assert_eq!(report.variants_committed, 1);
+    assert_ne!(text_snapshot(&m, &exe), pristine);
+}
+
+#[test]
+fn transient_fault_retries_and_converges() {
+    let (mut m, exe, mut rt) = mv_fixture();
+    rt.retry = RetryPolicy::retries(3);
+    let mv = exe.symbol("mv").unwrap();
+
+    // Fail once, then heal (one-shot): the bounded retry must converge
+    // without the caller seeing an error.
+    m.inject_fault(FaultPlan::fail_nth_write(1));
+    let report = rt.commit(&mut m).unwrap();
+    assert_eq!(report.variants_committed, 1);
+    assert_eq!(rt.stats.retries, 1);
+    assert_eq!(rt.stats.rollbacks, 1);
+    assert_eq!(
+        rt.binding_of(mv),
+        Some(mvrt::FnBinding::Variant(exe.symbol("mv.A=0").unwrap()))
+    );
+}
+
+#[test]
+fn sticky_flush_fault_exhausts_the_retry_budget() {
+    // A sticky lost-flush fault defeats every retry, but each attempt's
+    // rollback still restores the bytes — the caller gets a clean Apply
+    // failure and a pristine image after the budget is spent.
+    let (mut m, exe, mut rt) = mv_fixture();
+    rt.retry = RetryPolicy::retries(2);
+    let pristine = text_snapshot(&m, &exe);
+
+    m.inject_fault(FaultPlan::drop_nth_flush(1).sticky());
+    let err = rt.commit(&mut m).unwrap_err();
+    assert_eq!(err.commit_phase(), Some(CommitPhase::Apply));
+    assert!(
+        matches!(err.root_cause(), RtError::IcacheStale { .. }),
+        "{err:?}"
+    );
+    assert_eq!(rt.stats.retries, 2, "budget spent");
+    assert_eq!(rt.stats.rollbacks, 3, "every attempt rolled back");
+    assert_eq!(text_snapshot(&m, &exe), pristine);
+}
+
+#[test]
+fn sticky_write_fault_makes_rollback_itself_fail() {
+    // If text writes fail *persistently*, the rollback's restores fail
+    // too. That is the one case the transaction cannot hide: it reports
+    // CommitPhase::Rollback (image may be torn) and never retries.
+    let (mut m, _exe, mut rt) = mv_fixture();
+    rt.retry = RetryPolicy::retries(2);
+
+    m.inject_fault(FaultPlan::fail_nth_write(1).sticky());
+    let err = rt.commit(&mut m).unwrap_err();
+    assert_eq!(err.commit_phase(), Some(CommitPhase::Rollback));
+    assert!(!err.is_transient(), "torn state must not be retried");
+    assert_eq!(rt.stats.retries, 0);
+    // The chain names the entry whose restore failed.
+    match &err {
+        RtError::Commit { source, .. } => {
+            assert!(
+                matches!(**source, RtError::RollbackFailed { .. }),
+                "{err:?}"
+            )
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn dropped_icache_flush_is_detected_and_rolled_back() {
+    let (mut m, exe, mut rt) = mv_fixture();
+    let pristine = text_snapshot(&m, &exe);
+
+    m.inject_fault(FaultPlan::drop_nth_flush(1));
+    let err = rt.commit(&mut m).unwrap_err();
+    assert_eq!(err.commit_phase(), Some(CommitPhase::Apply));
+    assert!(
+        matches!(err.root_cause(), RtError::IcacheStale { .. }),
+        "{err:?}"
+    );
+    assert!(err.is_transient());
+    assert_eq!(text_snapshot(&m, &exe), pristine);
+
+    // With a retry budget the lost flush is survivable.
+    let (mut m, _exe, mut rt) = mv_fixture();
+    rt.retry = RetryPolicy::retries(1);
+    m.inject_fault(FaultPlan::drop_nth_flush(1));
+    let report = rt.commit(&mut m).unwrap();
+    assert_eq!(report.variants_committed, 1);
+    assert_eq!(rt.stats.retries, 1);
+}
+
+#[test]
+fn unjournaled_commit_reports_the_raw_error() {
+    // The legacy path (journal off) must keep its old failure shape: the
+    // raw error, no Commit wrapper — and no rollback.
+    let (mut m, _exe, mut rt) = mv_fixture();
+    rt.journal = false;
+    m.inject_fault(FaultPlan::fail_nth_write(1));
+    let err = rt.commit(&mut m).unwrap_err();
+    assert!(err.commit_phase().is_none(), "{err:?}");
+    assert!(matches!(err, RtError::Mem(_)), "{err:?}");
+    assert_eq!(rt.stats.rollbacks, 0);
+    assert_eq!(rt.stats.journal_entries, 0);
 }

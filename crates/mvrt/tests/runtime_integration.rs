@@ -512,7 +512,13 @@ fn tampered_site_fails_verification() {
     fx.m.mem.mprotect(caller, 5, mvobj::Prot::RX).unwrap();
     set_a(&mut fx, 0);
     let err = fx.rt.commit(&mut fx.m).unwrap_err();
-    assert!(matches!(err, RtError::SiteVerifyFailed { .. }), "{err:?}");
+    // Tampering is caught by the read-only validate phase: the error names
+    // the phase and the underlying mismatch, and nothing was written.
+    assert_eq!(err.commit_phase(), Some(mvrt::CommitPhase::Validate));
+    assert!(
+        matches!(err.root_cause(), RtError::SiteVerifyFailed { .. }),
+        "{err:?}"
+    );
 }
 
 #[test]

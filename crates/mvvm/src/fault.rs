@@ -1,0 +1,165 @@
+//! Deterministic fault injection for the patching path.
+//!
+//! The runtime's transactional commit (mvrt) claims atomicity: a failed
+//! `mprotect`, a faulting text write, or a dropped icache flush at *any*
+//! point during patching must leave the guest image byte-identical to its
+//! pre-commit state. Claims like that are only testable if the faults can
+//! be made to happen on demand, at a precise point in the operation
+//! sequence. A [`FaultPlan`] installed on [`crate::Memory`] does exactly
+//! that: it counts matching operations and fails the *n*-th one.
+//!
+//! Two modes:
+//!
+//! * [`FaultMode::OneShot`] — exactly the *n*-th matching operation
+//!   fails; the plan then "heals" and everything later succeeds. This is
+//!   the transient-fault model retry loops are tested against.
+//! * [`FaultMode::Sticky`] — the *n*-th and every later matching
+//!   operation fail. This models a persistently bad page and exercises
+//!   the rollback-itself-fails (poisoned) path.
+//!
+//! Injected faults are reported as protection faults (`MemError` with
+//! `mapped: true`) so callers cannot distinguish them from a real
+//! transient W^X violation — which is the point.
+
+/// The memory operation class a [`FaultPlan`] targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultOp {
+    /// A [`crate::Memory::mprotect`] call (any protection change).
+    Mprotect,
+    /// A checked [`crate::Memory::write`] touching a text page (a page
+    /// that was ever mapped or mprotected executable). Plain data stores
+    /// by guest code never consume the counter.
+    TextWrite,
+    /// A [`crate::Memory::flush_icache`] call. "Failing" a flush means
+    /// silently dropping it — the page's code version is not bumped, so
+    /// stale decoded instructions keep executing.
+    IcacheFlush,
+}
+
+/// Whether a plan fires once and heals, or keeps firing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FaultMode {
+    /// Exactly the n-th matching operation fails; later ones succeed.
+    #[default]
+    OneShot,
+    /// The n-th and all subsequent matching operations fail.
+    Sticky,
+}
+
+/// A deterministic fault schedule: fail the `nth` (1-based) operation of
+/// kind `op`.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    op: FaultOp,
+    nth: u64,
+    mode: FaultMode,
+    seen: u64,
+    fired: u64,
+}
+
+impl FaultPlan {
+    /// A plan that fails the `n`-th (1-based) matching operation of `op`.
+    pub fn new(op: FaultOp, n: u64) -> FaultPlan {
+        assert!(n >= 1, "fault schedules are 1-based");
+        FaultPlan {
+            op,
+            nth: n,
+            mode: FaultMode::OneShot,
+            seen: 0,
+            fired: 0,
+        }
+    }
+
+    /// Fails the `n`-th protection change.
+    pub fn fail_nth_mprotect(n: u64) -> FaultPlan {
+        FaultPlan::new(FaultOp::Mprotect, n)
+    }
+
+    /// Fails the `n`-th checked write into a text page.
+    pub fn fail_nth_write(n: u64) -> FaultPlan {
+        FaultPlan::new(FaultOp::TextWrite, n)
+    }
+
+    /// Silently drops the `n`-th icache flush.
+    pub fn drop_nth_flush(n: u64) -> FaultPlan {
+        FaultPlan::new(FaultOp::IcacheFlush, n)
+    }
+
+    /// Converts the plan to [`FaultMode::Sticky`].
+    pub fn sticky(mut self) -> FaultPlan {
+        self.mode = FaultMode::Sticky;
+        self
+    }
+
+    /// The targeted operation class.
+    pub fn op(&self) -> FaultOp {
+        self.op
+    }
+
+    /// The 1-based index of the first operation that fails.
+    pub fn nth(&self) -> u64 {
+        self.nth
+    }
+
+    /// The firing mode.
+    pub fn mode(&self) -> FaultMode {
+        self.mode
+    }
+
+    /// How many matching operations have been observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// How many operations this plan has actually failed.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Counts a matching operation and reports whether it must fail.
+    pub(crate) fn trips(&mut self, op: FaultOp) -> bool {
+        if op != self.op {
+            return false;
+        }
+        self.seen += 1;
+        let hit = match self.mode {
+            FaultMode::OneShot => self.seen == self.nth,
+            FaultMode::Sticky => self.seen >= self.nth,
+        };
+        if hit {
+            self.fired += 1;
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_fires_exactly_once() {
+        let mut p = FaultPlan::fail_nth_mprotect(3);
+        let hits: Vec<bool> = (0..6).map(|_| p.trips(FaultOp::Mprotect)).collect();
+        assert_eq!(hits, vec![false, false, true, false, false, false]);
+        assert_eq!(p.seen(), 6);
+        assert_eq!(p.fired(), 1);
+    }
+
+    #[test]
+    fn sticky_fires_from_nth_on() {
+        let mut p = FaultPlan::fail_nth_write(2).sticky();
+        let hits: Vec<bool> = (0..4).map(|_| p.trips(FaultOp::TextWrite)).collect();
+        assert_eq!(hits, vec![false, true, true, true]);
+        assert_eq!(p.fired(), 3);
+    }
+
+    #[test]
+    fn other_ops_do_not_consume_the_counter() {
+        let mut p = FaultPlan::drop_nth_flush(1);
+        assert!(!p.trips(FaultOp::Mprotect));
+        assert!(!p.trips(FaultOp::TextWrite));
+        assert_eq!(p.seen(), 0);
+        assert!(p.trips(FaultOp::IcacheFlush));
+    }
+}

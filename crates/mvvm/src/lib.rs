@@ -30,6 +30,7 @@
 
 pub mod cost;
 pub mod cpu;
+pub mod fault;
 pub mod machine;
 pub mod mem;
 pub mod pred;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod trace;
 
 pub use cost::CostModel;
+pub use fault::{FaultMode, FaultOp, FaultPlan};
 pub use machine::{Fault, Machine, MachineConfig, MachineMode, Platform};
 pub use mem::{MemError, Memory, PAGE_SIZE};
 pub use stats::Stats;

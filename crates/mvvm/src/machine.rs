@@ -216,6 +216,17 @@ impl Machine {
         self.pred.flush();
     }
 
+    /// Installs a deterministic fault schedule on guest memory (see
+    /// [`crate::fault`]). Replaces any existing plan.
+    pub fn inject_fault(&mut self, plan: crate::fault::FaultPlan) {
+        self.mem.set_fault_plan(plan);
+    }
+
+    /// Removes the fault schedule, returning it with its counters.
+    pub fn clear_fault(&mut self) -> Option<crate::fault::FaultPlan> {
+        self.mem.clear_fault_plan()
+    }
+
     /// Starts recording the last `cap` retired instructions.
     pub fn enable_trace(&mut self, cap: usize) {
         self.trace = Some(crate::trace::Trace::new(cap));

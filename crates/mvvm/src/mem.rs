@@ -1,5 +1,6 @@
 //! Paged guest memory with R/W/X protection and icache versioning.
 
+use crate::fault::{FaultOp, FaultPlan};
 use mvobj::{Executable, Prot};
 use std::collections::HashMap;
 use std::fmt;
@@ -56,6 +57,11 @@ struct Page {
     /// instructions visible — exactly the hazard the paper's run-time
     /// library avoids by flushing after patching (§4).
     code_version: u64,
+    /// Set once the page has ever been mapped or mprotected executable,
+    /// never cleared. Distinguishes patching-path writes (which fault
+    /// plans target) from ordinary guest data stores even while the
+    /// W^X dance has the page temporarily RW.
+    text: bool,
 }
 
 impl Page {
@@ -64,6 +70,7 @@ impl Page {
             bytes: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
             prot,
             code_version: 0,
+            text: prot.exec,
         }
     }
 }
@@ -72,6 +79,10 @@ impl Page {
 #[derive(Default)]
 pub struct Memory {
     pages: HashMap<u64, Page>,
+    fault: Option<FaultPlan>,
+    /// Bumped by every icache flush that takes effect (see
+    /// [`Memory::flush_epoch`]).
+    flush_epoch: u64,
 }
 
 impl Memory {
@@ -93,8 +104,44 @@ impl Memory {
         let first = Self::page_no(addr);
         let last = Self::page_no(addr + len - 1);
         for p in first..=last {
-            self.pages.entry(p).or_insert_with(|| Page::new(prot)).prot = prot;
+            let page = self.pages.entry(p).or_insert_with(|| Page::new(prot));
+            page.prot = prot;
+            page.text |= prot.exec;
         }
+    }
+
+    /// Installs a deterministic fault schedule (see [`crate::fault`]).
+    /// Replaces any existing plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Removes the fault schedule, returning it (with its counters) so
+    /// tests can assert how far it got.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    fn fault_trips(&mut self, op: FaultOp) -> bool {
+        match &mut self.fault {
+            Some(plan) => plan.trips(op),
+            None => false,
+        }
+    }
+
+    /// Whether any page in `[addr, addr+len)` is (or ever was) text.
+    fn touches_text(&self, addr: u64, len: usize) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let first = Self::page_no(addr);
+        let last = Self::page_no(addr + len as u64 - 1);
+        (first..=last).any(|p| self.pages.get(&p).is_some_and(|pg| pg.text))
     }
 
     /// Loads all segments of a linked executable.
@@ -125,8 +172,19 @@ impl Memory {
                 });
             }
         }
+        if self.fault_trips(FaultOp::Mprotect) {
+            // Injected transient protection-change failure (indistinguishable
+            // from a real one: the range is mapped, nothing was changed).
+            return Err(MemError {
+                addr,
+                access: Access::Write,
+                mapped: true,
+            });
+        }
         for p in first..=last {
-            self.pages.get_mut(&p).expect("checked above").prot = prot;
+            let page = self.pages.get_mut(&p).expect("checked above");
+            page.prot = prot;
+            page.text |= prot.exec;
         }
         Ok(last - first + 1)
     }
@@ -137,10 +195,18 @@ impl Memory {
     }
 
     /// Invalidates cached decoded instructions for `[addr, addr+len)`.
+    ///
+    /// An installed [`FaultPlan`] targeting flushes makes this silently
+    /// drop the request — versions are not bumped and stale decoded
+    /// instructions keep executing, the classic missing-flush hazard.
     pub fn flush_icache(&mut self, addr: u64, len: u64) {
         if len == 0 {
             return;
         }
+        if self.fault_trips(FaultOp::IcacheFlush) {
+            return;
+        }
+        self.flush_epoch += 1;
         let first = Self::page_no(addr);
         let last = Self::page_no(addr + len - 1);
         for p in first..=last {
@@ -148,6 +214,14 @@ impl Memory {
                 page.code_version += 1;
             }
         }
+    }
+
+    /// Monotonic count of icache flushes that took effect. A caller who
+    /// requested a flush and sees the epoch unchanged knows the flush
+    /// was lost (e.g. dropped by a [`FaultPlan`]) and that stale decoded
+    /// instructions may keep executing.
+    pub fn flush_epoch(&self) -> u64 {
+        self.flush_epoch
     }
 
     /// Code version of the page containing `addr` (0 for unmapped).
@@ -230,8 +304,20 @@ impl Memory {
     }
 
     /// Writes `data` at `addr` (data access, respects protection).
+    ///
+    /// A [`FaultPlan`] targeting text writes can fail the call even
+    /// though protection allows it — modelling a transient fault in the
+    /// middle of a patching sequence. Only writes touching a text page
+    /// consume the plan's counter; guest data stores are never affected.
     pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
         self.access(addr, data.len(), Access::Write, |p| p.write)?;
+        if self.touches_text(addr, data.len()) && self.fault_trips(FaultOp::TextWrite) {
+            return Err(MemError {
+                addr,
+                access: Access::Write,
+                mapped: true,
+            });
+        }
         self.copy_in(addr, data);
         Ok(())
     }

@@ -1,10 +1,11 @@
 //! Fault-model tests: NX enforcement, unmapped execution, stack
 //! exhaustion and bad jumps must all surface as structured faults, never
-//! as silent misbehaviour.
+//! as silent misbehaviour — plus the deterministic fault-injection layer
+//! ([`FaultPlan`]) that makes patching-time hazards reproducible.
 
 use mvasm::{Assembler, Insn, Reg};
-use mvobj::{link, Layout, Object};
-use mvvm::{CostModel, Fault, Machine, MachineConfig};
+use mvobj::{link, Layout, Object, Prot};
+use mvvm::{CostModel, Fault, FaultPlan, Machine, MachineConfig};
 
 fn boot(build: impl FnOnce(&mut Object)) -> (Machine, mvobj::Executable) {
     let mut o = Object::new("t");
@@ -83,6 +84,96 @@ fn zero_bytes_are_never_valid_instructions() {
         }
         other => panic!("expected decode fault, got {other:?}"),
     }
+}
+
+/// The full W^X patch dance over `addr`: unlock, write, relock, flush.
+fn patch(m: &mut Machine, addr: u64, bytes: &[u8]) -> Result<(), mvvm::MemError> {
+    m.mem.mprotect(addr, bytes.len() as u64, Prot::RW)?;
+    m.mem.write(addr, bytes)?;
+    m.mem.mprotect(addr, bytes.len() as u64, Prot::RX)?;
+    m.mem.flush_icache(addr, bytes.len() as u64);
+    Ok(())
+}
+
+#[test]
+fn dropped_icache_flush_executes_stale_code() {
+    // Warm the decode cache, patch the function with the flush dropped:
+    // the OLD code keeps executing. A later (healed) flush makes the new
+    // bytes visible — the missing-flush hazard, fully observable.
+    let (mut m, exe) = boot(|o| {
+        let mut a = Assembler::new();
+        a.mov_ri(Reg::R0, 1);
+        a.ret();
+        o.add_code("f", &a.finish().unwrap());
+        let mut a = Assembler::new();
+        a.emit(Insn::Halt);
+        o.add_code("main", &a.finish().unwrap());
+    });
+    let f = exe.symbol("f").unwrap();
+    assert_eq!(m.call(f, &[]).unwrap(), 1); // decode cache now warm
+
+    let mut a = Assembler::new();
+    a.mov_ri(Reg::R0, 2);
+    a.ret();
+    let new_body = a.finish().unwrap().bytes;
+
+    m.inject_fault(FaultPlan::drop_nth_flush(1));
+    patch(&mut m, f, &new_body).unwrap();
+    assert_eq!(
+        m.call(f, &[]).unwrap(),
+        1,
+        "stale decoded instructions must keep executing after a lost flush"
+    );
+    // Memory holds the new bytes all along — only the icache is stale.
+    assert_eq!(m.mem.read_vec(f, new_body.len()).unwrap(), new_body);
+    let plan = m.clear_fault().unwrap();
+    assert_eq!(plan.fired(), 1);
+
+    m.mem.flush_icache(f, new_body.len() as u64);
+    assert_eq!(m.call(f, &[]).unwrap(), 2, "flush makes the patch visible");
+}
+
+#[test]
+fn injected_write_fault_hits_text_but_not_data() {
+    let (mut m, exe) = boot(|o| {
+        let mut a = Assembler::new();
+        a.emit(Insn::Halt);
+        o.add_code("main", &a.finish().unwrap());
+        o.define_data("blob", &[0u8; 8]);
+    });
+    let main = exe.symbol("main").unwrap();
+    let blob = exe.symbol("blob").unwrap();
+
+    // Fail the 2nd *text* write. Data stores must not consume the counter,
+    // even though they are writes too.
+    m.inject_fault(FaultPlan::fail_nth_write(2));
+    m.mem.mprotect(main, 1, Prot::RW).unwrap();
+    m.mem.write(main, &[mvasm::encode(&Insn::Halt)[0]]).unwrap(); // text write #1
+    m.mem.write(blob, &[1, 2, 3]).unwrap(); // data write: not counted
+    let err = m.mem.write(main, &[0x90]).unwrap_err(); // text write #2: faults
+    assert!(err.mapped, "injected fault mimics a protection fault");
+    // One-shot: the fault heals, the retried write goes through.
+    m.mem.write(main, &[mvasm::encode(&Insn::Halt)[0]]).unwrap();
+    m.mem.mprotect(main, 1, Prot::RX).unwrap();
+    assert_eq!(m.clear_fault().unwrap().fired(), 1);
+}
+
+#[test]
+fn injected_mprotect_fault_interrupts_the_unlock() {
+    let (mut m, exe) = boot(|o| {
+        let mut a = Assembler::new();
+        a.emit(Insn::Halt);
+        o.add_code("main", &a.finish().unwrap());
+    });
+    let main = exe.symbol("main").unwrap();
+    m.inject_fault(FaultPlan::fail_nth_mprotect(1));
+    let err = m.mem.mprotect(main, 1, Prot::RW).unwrap_err();
+    assert!(err.mapped);
+    // The page protection is unchanged: text is still not writable.
+    assert!(m.mem.write(main, &[0x90]).is_err());
+    // Sticky plans keep failing; one-shot heals (this one was one-shot).
+    m.mem.mprotect(main, 1, Prot::RW).unwrap();
+    m.mem.mprotect(main, 1, Prot::RX).unwrap();
 }
 
 #[test]

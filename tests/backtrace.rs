@@ -79,8 +79,5 @@ fn bp_chain_symbolizes_through_committed_variants() {
         names.iter().any(|n| n.starts_with("middle")),
         "middle frame present: {names:?}"
     );
-    assert!(
-        names.contains(&"outer"),
-        "outer frame present: {names:?}"
-    );
+    assert!(names.contains(&"outer"), "outer frame present: {names:?}");
 }

@@ -76,13 +76,19 @@ fn non_contiguous_merge_uses_point_guards() {
         .keys()
         .find(|n| n.starts_with("needs_sort.sched=") && n.contains('+'))
         .expect("merged non-box variant exists");
-    assert!(merged.ends_with("+1"), "{merged}: covers one extra assignment");
+    assert!(
+        merged.ends_with("+1"),
+        "{merged}: covers one extra assignment"
+    );
 
     let mut w = program.boot();
     for value in [0i64, 7] {
         w.set("sched", value).unwrap();
         let r = w.commit().unwrap();
-        assert_eq!(r.generic_fallbacks, 0, "sched={value} selects the merged body");
+        assert_eq!(
+            r.generic_fallbacks, 0,
+            "sched={value} selects the merged body"
+        );
         assert_eq!(w.call("needs_sort", &[]).unwrap(), 0);
     }
     w.set("sched", 3).unwrap();

@@ -143,6 +143,99 @@ fn apply(world: &mut World, model: &mut Model, op: Op) {
     }
 }
 
+/// The fault-schedule dimension: for **every** position of every fault
+/// op in a multi-function commit, an injected fault must surface as
+/// `Err` with the text segment byte-identical to its pre-commit state —
+/// and once the (one-shot) fault heals, the identical commit succeeds.
+#[test]
+fn fault_schedule_sweep_preserves_atomicity() {
+    use multiverse::mvrt::CommitPhase;
+    use multiverse::mvvm::{FaultOp, FaultPlan};
+
+    // Like SRC, but with callers so the commit also patches recorded
+    // call sites — more positions for the schedule to hit.
+    const SWEEP_SRC: &str = r#"
+        multiverse(0, 1, 2) i32 a_;
+        multiverse(0, 1) i32 b_;
+
+        multiverse i64 f1(void) { return a_ * 10 + 1; }
+        multiverse i64 f2(void) { return b_ * 100 + 2; }
+        multiverse i64 f3(void) { return a_ * 1000 + b_ * 10000; }
+
+        i64 g1(void) { return f1(); }
+        i64 g2(void) { return f2(); }
+        i64 g3(void) { return f1() + f3(); }
+
+        i64 main(void) { return 0; }
+    "#;
+    let program = Program::build(&[("t.c", SWEEP_SRC)]).unwrap();
+    let (taddr, tsize) = program.exe().section(multiverse::mvobj::SEC_TEXT);
+    let text = |world: &World| world.machine.mem.read_vec(taddr, tsize as usize).unwrap();
+    let boot_configured = || {
+        let mut world = program.boot();
+        world.set("a_", 1).unwrap();
+        world.set("b_", 1).unwrap();
+        world
+    };
+
+    // Probe: count the ops one clean full commit performs.
+    let mut probe = boot_configured();
+    probe.commit().unwrap();
+    let d = probe.rt.as_ref().unwrap().stats;
+    let schedule = [
+        (FaultOp::TextWrite, d.journal_entries), // every text write journals
+        (FaultOp::Mprotect, d.mprotects),
+        (FaultOp::IcacheFlush, d.icache_flushes),
+    ];
+    assert!(
+        d.journal_entries >= 4,
+        "need a multi-write commit to sweep meaningfully ({} writes)",
+        d.journal_entries
+    );
+
+    for (op, count) in schedule {
+        for n in 1..=count {
+            let mut world = boot_configured();
+            let pristine = text(&world);
+
+            world.machine.inject_fault(FaultPlan::new(op, n));
+            let err = world
+                .commit()
+                .expect_err(&format!("{op:?} fault at position {n} must surface"));
+            let rt_err = match &err {
+                multiverse::BuildError::Rt(e) => e,
+                other => panic!("unexpected error {other:?}"),
+            };
+            assert_eq!(
+                rt_err.commit_phase(),
+                Some(CommitPhase::Apply),
+                "{op:?}@{n}: {rt_err:?}"
+            );
+            assert!(rt_err.is_transient(), "{op:?}@{n}: {rt_err:?}");
+            assert_eq!(
+                text(&world),
+                pristine,
+                "{op:?} fault at position {n} tore the text segment"
+            );
+            let rt = world.rt.as_ref().unwrap();
+            assert_eq!(rt.stats.rollbacks, 1, "{op:?}@{n}");
+
+            // The functions still behave generically (nothing committed).
+            assert_eq!(world.call("f1", &[]).unwrap() as i64, 11);
+            assert_eq!(world.call("f2", &[]).unwrap() as i64, 102);
+
+            // One-shot fault has fired; the identical commit now succeeds
+            // and the committed image behaves identically.
+            let report = world.commit().unwrap();
+            assert_eq!(report.variants_committed, 3, "{op:?}@{n}");
+            assert_ne!(text(&world), pristine);
+            assert_eq!(world.call("f1", &[]).unwrap() as i64, 11);
+            assert_eq!(world.call("f2", &[]).unwrap() as i64, 102);
+            assert_eq!(world.call("f3", &[]).unwrap() as i64, 11000);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 

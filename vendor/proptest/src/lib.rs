@@ -1,0 +1,608 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Same surface syntax (`proptest!`, `prop_oneof!`, `Strategy`,
+//! `prop_map`, `prop_recursive`, `collection::vec`, `any::<T>()`,
+//! `prop_assert*!`), but a much simpler engine: every test case is
+//! generated from a deterministic per-case RNG and there is **no
+//! shrinking** — a failure reports the case index, which regenerates
+//! the same inputs on every run. That trade-off keeps the harness
+//! dependency-free so the workspace builds in an offline container.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! Deterministic case RNG and the error type `prop_assert*` returns.
+
+    /// Error raised by a failing property (via `prop_assert!` etc.).
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The input was rejected (unused by this shim, kept for parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a falsification error.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Creates a rejection error.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// SplitMix64 generator; one instance per test case, seeded from the
+    /// case index so failures are reproducible by case number alone.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        x: u64,
+    }
+
+    impl TestRng {
+        /// The deterministic generator for case `case` of a property.
+        pub fn for_case(case: u32) -> TestRng {
+            TestRng {
+                x: (case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+            }
+        }
+
+        /// Next 64 raw random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.x = self.x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform-ish value in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Configuration for a `proptest!` block; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Unused by the shim (parity with upstream).
+    pub max_shrink_iters: u32,
+    /// Unused by the shim (parity with upstream).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value from the deterministic case RNG.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        strategy::Map { inner: self, f }
+    }
+
+    /// Builds a bounded-depth recursive strategy: `recurse` receives a
+    /// strategy for the shallower levels and returns the composite one.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            cur = strategy::Union::new(vec![(2, leaf.clone()), (3, deeper)]).boxed();
+        }
+        cur
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted [`Strategy`].
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod arbitrary {
+    //! The `Arbitrary` trait behind `any::<T>()`.
+
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Marker strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+impl<T: arbitrary::Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<u8>()`, `any::<bool>()`, ...
+pub fn any<T: arbitrary::Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub mod strategy {
+    //! Combinator strategy types (`Map`, `Union`) and range/tuple impls.
+
+    use super::test_runner::TestRng;
+    use super::{BoxedStrategy, Strategy};
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice among same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Union<T> {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.below(total.max(1));
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            self.arms[self.arms.len() - 1].1.generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    sample_inclusive(rng.next_u64(), self.start, self.end - 1)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    sample_inclusive(rng.next_u64(), *self.start(), *self.end())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    fn sample_inclusive<T>(bits: u64, lo: T, hi: T) -> T
+    where
+        T: Copy + TryInto<i128> + TryFrom<i128>,
+        <T as TryInto<i128>>::Error: std::fmt::Debug,
+        <T as TryFrom<i128>>::Error: std::fmt::Debug,
+    {
+        let lo_w: i128 = lo.try_into().unwrap();
+        let hi_w: i128 = hi.try_into().unwrap();
+        let span = hi_w - lo_w + 1;
+        T::try_from(lo_w + (bits as i128).rem_euclid(span)).unwrap()
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($( self.$idx.generate(rng), )+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::test_runner::TestRng;
+    use super::Strategy;
+
+    /// An inclusive length range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(strategy, 1..24)` — a vector with length drawn from the range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::Union;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted or unweighted choice among strategies with a common value
+/// type. `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)), )+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)), )+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) so the harness can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?} == {:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?} == {:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(*lhs != *rhs, "assertion failed: `{:?} != {:?}`", lhs, rhs);
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(case);
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}\n\
+                             (cases regenerate deterministically from the case index)",
+                            stringify!($name), case, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Declares deterministic property tests. Accepts an optional leading
+/// `#![proptest_config(...)]` followed by `fn name(arg in strategy, ...)`
+/// items, exactly like upstream proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(i8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+        }
+    }
+
+    fn arb_tree() -> BoxedStrategy<Tree> {
+        any::<i8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Ranges stay in bounds; tuples and maps compose.
+        #[test]
+        fn ranges_and_tuples(
+            a in 0u8..16,
+            b in 1u8..=15,
+            (x, y) in (0i64..5, -8i64..8),
+            v in crate::collection::vec(any::<u8>(), 0..32),
+        ) {
+            prop_assert!(a < 16);
+            prop_assert!((1..=15).contains(&b));
+            prop_assert!((0..5).contains(&x), "x={}", x);
+            prop_assert!((-8..8).contains(&y));
+            prop_assert!(v.len() < 32);
+        }
+
+        /// Recursion depth is bounded by the declared depth.
+        #[test]
+        fn recursive_depth_bounded(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 3, "depth {} tree {:?}", depth(&t), t);
+        }
+
+        /// Weighted oneof only produces listed alternatives.
+        #[test]
+        fn oneof_weighted(v in prop_oneof![3 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = crate::collection::vec(any::<u8>(), 4..8);
+        let mut r1 = crate::test_runner::TestRng::for_case(5);
+        let mut r2 = crate::test_runner::TestRng::for_case(5);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_names_the_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+            #[allow(unused)]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 200);
+            }
+        }
+        always_fails();
+    }
+}

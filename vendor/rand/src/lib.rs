@@ -1,0 +1,178 @@
+//! Offline shim for the subset of `rand` 0.8 this workspace uses.
+//!
+//! Provides a deterministic 64-bit PRNG (xoshiro256** seeded via
+//! SplitMix64, the same construction `rand`'s `StdRng` documentation
+//! permits — the exact stream is unspecified upstream, only determinism
+//! per seed is promised, which this shim honors).
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges usable with [`Rng::gen_range`]. The impls are blanket over
+/// `T: UniformInt` (like upstream's single generic impl) so that type
+/// inference can flow from the range's element type to the result type.
+pub trait SampleRange<T> {
+    /// Bounds as an inclusive `(low, high)` pair.
+    fn bounds(&self) -> (T, T);
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(&self) -> (T, T) {
+        assert!(self.start < self.end, "empty range");
+        (self.start, self.end.dec())
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (T, T) {
+        assert!(self.start() <= self.end(), "empty range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// The user-facing generator interface (subset).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniformly samples from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds();
+        T::sample_inclusive(self.next_u64(), lo, hi)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Integer types uniformly sampleable from raw bits.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Maps `bits` into `[lo, hi]` (inclusive), close enough to uniform
+    /// for workload generation.
+    fn sample_inclusive(bits: u64, lo: Self, hi: Self) -> Self;
+    /// `self - 1` (callers guarantee no underflow).
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_inclusive(bits: u64, lo: $t, hi: $t) -> $t {
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + ((bits as u128 % span) as $t)
+            }
+            fn dec(self) -> $t {
+                self - 1
+            }
+        }
+    )*};
+}
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_inclusive(bits: u64, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128) - (lo as i128) + 1;
+                (lo as i128 + (bits as i128).rem_euclid(span)) as $t
+            }
+            fn dec(self) -> $t {
+                self - 1
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn next(&mut self) -> u64 {
+            let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            r
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into the full state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(8..=16);
+            assert!((8..=16).contains(&v));
+            let w: usize = r.gen_range(0..16);
+            assert!(w < 16);
+            let s: i64 = r.gen_range(-6i64..6);
+            assert!((-6..6).contains(&s));
+        }
+    }
+
+    #[test]
+    fn full_domain_sampling_does_not_overflow() {
+        let mut r = StdRng::seed_from_u64(2);
+        let _: u64 = r.gen_range(0..=u64::MAX);
+        let _: i64 = r.gen_range(i64::MIN..=i64::MAX);
+    }
+}
