@@ -55,6 +55,26 @@ fn bench(c: &mut Criterion) {
     }
     println!();
 
+    println!("## tracing overhead on the commit path (commit+revert, batched)");
+    for n_sites in [16usize, 128, 1161] {
+        let (baseline, recording, disabled) = mv_bench::tracing_overhead(n_sites);
+        let rec = recording.as_secs_f64() / baseline.as_secs_f64() - 1.0;
+        let dis = disabled.as_secs_f64() / baseline.as_secs_f64() - 1.0;
+        println!(
+            "{n_sites:>5} sites: baseline {baseline:>10.2?}  recording {recording:>10.2?} ({:+.1}%)  disabled {disabled:>10.2?} ({:+.1}%)",
+            rec * 100.0,
+            dis * 100.0
+        );
+    }
+    println!();
+
+    println!("## §6.1 — per-phase commit latency from the trace ring (50 rounds, 1161 sites)");
+    print!(
+        "{}",
+        mv_bench::render_latency_table(&mv_bench::commit_latency_percentiles(1161, 50))
+    );
+    println!();
+
     let mut g = c.benchmark_group("patch_cost");
     // Journal on (default) vs. off (validated but unjournaled apply):
     // the undo log's happy-path overhead, reported as its own column.

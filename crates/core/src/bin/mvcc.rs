@@ -16,7 +16,21 @@
 //!                                   dry-run the commit validate phase and
 //!                                   print a per-function / per-site health
 //!                                   report (nothing is patched unless
-//!                                   --commit is given first)
+//!                                   --commit is given first; with --commit
+//!                                   the per-phase commit timing is printed)
+//! mvcc trace  <file.c>… [--set VAR=V]… [--commit] [--call F]
+//!             [--out PATH] [--format chrome|jsonl|text]
+//!                                   record the runtime's structured events
+//!                                   while committing (and optionally
+//!                                   calling F), then export them — chrome
+//!                                   format opens in chrome://tracing or
+//!                                   Perfetto
+//! mvcc stats  <file.c>… [--set VAR=V]… [--call F] [--per-fn] [--commit]
+//!                                   execute main (or F) under the
+//!                                   per-function profiler; with --commit,
+//!                                   run generic and committed images and
+//!                                   print a per-function comparison (the
+//!                                   §6.2 branch-reduction report)
 //!
 //! common flags:
 //!   --dynamic            build without multiverse (binding B)
@@ -38,13 +52,16 @@ struct Args {
     func: Option<String>,
     output: Option<String>,
     run: bool,
+    out: Option<String>,
+    format: Option<String>,
+    per_fn: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let cmd = it
         .next()
-        .ok_or("missing command (build|compile|link|dump|disasm|run|verify)")?;
+        .ok_or("missing command (build|compile|link|dump|disasm|run|verify|trace|stats)")?;
     let mut args = Args {
         cmd,
         files: Vec::new(),
@@ -55,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
         func: None,
         output: None,
         run: false,
+        out: None,
+        format: None,
+        per_fn: false,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -85,6 +105,9 @@ fn parse_args() -> Result<Args, String> {
             "--fn" => args.func = Some(it.next().ok_or("--fn needs a name")?),
             "-o" => args.output = Some(it.next().ok_or("-o needs a path")?),
             "--run" => args.run = true,
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--format" => args.format = Some(it.next().ok_or("--format needs a name")?),
+            "--per-fn" => args.per_fn = true,
             f if !f.starts_with('-') => args.files.push(f.to_string()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -254,6 +277,17 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
             "commit: {} variants bound, {} generic fallbacks, {} sites",
             report.variants_committed, report.generic_fallbacks, report.sites_touched
         );
+        if let Some(rt) = &world.rt {
+            let t = rt.last_timing;
+            println!(
+                "timing: {:.1} µs total (plan {:.1} µs, validate {:.1} µs, apply {:.1} µs) over {} sites",
+                t.elapsed.as_secs_f64() * 1e6,
+                t.plan.as_secs_f64() * 1e6,
+                t.validate.as_secs_f64() * 1e6,
+                t.apply.as_secs_f64() * 1e6,
+                t.sites
+            );
+        }
     }
     let Some(rt) = &world.rt else {
         println!("(no multiverse descriptors in this build — nothing to verify)");
@@ -315,6 +349,159 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    use multiverse::mvtrace::{build_spans, ChromeSink, JsonlSink, TextSink, TraceSink};
+    let p = build(args)?;
+    let mut world = p.boot();
+    {
+        let Some(rt) = world.rt.as_mut() else {
+            return Err("no multiverse descriptors in this build — nothing to trace".into());
+        };
+        rt.enable_tracing(65536);
+    }
+    for (k, v) in &args.sets {
+        world.set(k, *v).map_err(|e| e.to_string())?;
+        eprintln!("set {k} = {v}");
+    }
+    if args.commit {
+        let report = world.commit().map_err(|e| e.to_string())?;
+        eprintln!(
+            "commit: {} variants bound, {} generic fallbacks, {} sites",
+            report.variants_committed, report.generic_fallbacks, report.sites_touched
+        );
+    }
+    if let Some(f) = &args.call {
+        let r = world.call(f, &[]).map_err(|e| e.to_string())?;
+        eprintln!("call {f} -> {r}");
+    }
+    let events = world.rt.as_mut().expect("runtime present").take_trace();
+    if events.is_empty() {
+        eprintln!("warning: no events recorded (pass --commit to trace a commit)");
+    }
+    let forest = build_spans(&events);
+    eprintln!(
+        "trace: {} events, {} commit span(s)",
+        events.len(),
+        forest.commits.len()
+    );
+    let format = args.format.as_deref().unwrap_or("chrome");
+    let sink: Box<dyn TraceSink> = match format {
+        "chrome" => Box::new(ChromeSink),
+        "jsonl" => Box::new(JsonlSink),
+        "text" => Box::new(TextSink),
+        other => return Err(format!("unknown --format `{other}` (chrome|jsonl|text)")),
+    };
+    match &args.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            sink.export(&events, &mut f).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path} ({format})");
+        }
+        None => {
+            let mut out = std::io::stdout();
+            sink.export(&events, &mut out).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let p = build(args)?;
+    // One fresh world per run so the generic and committed measurements
+    // start from identical data-segment state.
+    let run = |commit: bool| -> Result<(multiverse::mvvm::Profiler, u64), String> {
+        let mut world = p.boot();
+        for (k, v) in &args.sets {
+            world.set(k, *v).map_err(|e| e.to_string())?;
+        }
+        if commit {
+            world.commit().map_err(|e| e.to_string())?;
+        }
+        world.machine.enable_profile(p.exe());
+        let result = match &args.call {
+            Some(f) => world.call(f, &[]).map_err(|e| e.to_string())?,
+            None => {
+                let entry = p.exe().entry;
+                world.machine.call(entry, &[]).map_err(|e| e.to_string())?
+            }
+        };
+        let prof = world.machine.take_profile().expect("profiler installed");
+        Ok((prof, result))
+    };
+    if args.commit {
+        let (generic, r0) = run(false)?;
+        let (committed, r1) = run(true)?;
+        if r0 != r1 {
+            eprintln!("warning: generic returned {r0}, committed returned {r1}");
+        }
+        println!(
+            "{:<24} {:>12} {:>12} {:>9} {:>9} {:>8} {:>8}",
+            "function", "cyc(gen)", "cyc(com)", "br(gen)", "br(com)", "mp(gen)", "mp(com)"
+        );
+        // Union of names, ordered by generic cycles descending, then the
+        // committed-only rows (variant bodies) by committed cycles.
+        let mut names: Vec<String> = generic.report().iter().map(|r| r.name.clone()).collect();
+        for r in committed.report() {
+            if !names.contains(&r.name) {
+                names.push(r.name.clone());
+            }
+        }
+        let empty = multiverse::mvvm::FnCounters::default();
+        let mut tot_g = empty;
+        let mut tot_c = empty;
+        for name in &names {
+            let g = generic.counters_of(name).unwrap_or(empty);
+            let c = committed.counters_of(name).unwrap_or(empty);
+            tot_g.cycles += g.cycles;
+            tot_c.cycles += c.cycles;
+            tot_g.stats += g.stats;
+            tot_c.stats += c.stats;
+            println!(
+                "{:<24} {:>12} {:>12} {:>9} {:>9} {:>8} {:>8}",
+                name,
+                g.cycles,
+                c.cycles,
+                g.stats.branches,
+                c.stats.branches,
+                g.stats.mispredicts,
+                c.stats.mispredicts
+            );
+        }
+        let pct = |a: u64, b: u64| -> String {
+            if a == 0 {
+                return "-".into();
+            }
+            format!("{:+.1}%", (b as f64 - a as f64) / a as f64 * 100.0)
+        };
+        println!(
+            "{:<24} {:>12} {:>12} {:>9} {:>9} {:>8} {:>8}",
+            "total",
+            tot_g.cycles,
+            tot_c.cycles,
+            tot_g.stats.branches,
+            tot_c.stats.branches,
+            tot_g.stats.mispredicts,
+            tot_c.stats.mispredicts
+        );
+        println!(
+            "delta: cycles {}, branches {}, mispredicts {}",
+            pct(tot_g.cycles, tot_c.cycles),
+            pct(tot_g.stats.branches, tot_c.stats.branches),
+            pct(tot_g.stats.mispredicts, tot_c.stats.mispredicts)
+        );
+    } else {
+        let (prof, result) = run(false)?;
+        if args.per_fn {
+            print!("{}", prof.render());
+        } else {
+            let total: u64 = prof.report().iter().map(|r| r.counters.cycles).sum();
+            println!("result: {result} ({total} profiled cycles)");
+            print!("{}", prof.render());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_compile(args: &Args) -> Result<(), String> {
     if args.files.len() != 1 {
         return Err("compile takes exactly one source file".into());
@@ -368,7 +555,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("mvcc: {e}");
-            eprintln!("usage: mvcc build|dump|disasm|run|verify <file.c>… [flags]");
+            eprintln!("usage: mvcc build|dump|disasm|run|verify|trace|stats <file.c>… [flags]");
             return ExitCode::FAILURE;
         }
     };
@@ -380,6 +567,8 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(&args),
         "run" => cmd_run(&args),
         "verify" => cmd_verify(&args),
+        "trace" => cmd_trace(&args),
+        "stats" => cmd_stats(&args),
         other => Err(format!("unknown command `{other}`")),
     };
     match r {

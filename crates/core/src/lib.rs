@@ -70,4 +70,5 @@ pub use mvasm;
 pub use mvc;
 pub use mvobj;
 pub use mvrt;
+pub use mvtrace;
 pub use mvvm;

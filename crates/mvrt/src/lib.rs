@@ -60,5 +60,9 @@ pub mod txn;
 pub use error::{CommitPhase, RtError};
 pub use journal::{Journal, JournalEntry};
 pub use runtime::{CommitReport, FnBinding, PatchStrategy, Runtime};
-pub use stats::PatchStats;
+pub use stats::{PatchStats, PatchTiming};
 pub use txn::{FnHealth, RetryPolicy, SiteHealth, ValidationReport};
+
+// Re-exported so downstream code can consume traces (sinks, span
+// reconstruction) without naming the crate separately.
+pub use mvtrace;

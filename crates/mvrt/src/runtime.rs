@@ -10,13 +10,14 @@
 use crate::error::RtError;
 use crate::journal::Journal;
 use crate::patch::{encode_call, encode_jmp, inline_image, insn_at, verify_call};
-use crate::stats::PatchStats;
+use crate::stats::{PatchStats, PatchTiming};
 use crate::txn::{RetryPolicy, TxnOp};
 use mvasm::{Insn, CALL_SITE_LEN};
 use mvobj::descriptor::{
     parse_callsites, parse_functions, parse_variables, CallsiteDesc, FnDesc, VarDesc, NOT_INLINABLE,
 };
 use mvobj::{Executable, SEC_MV_CALLSITES, SEC_MV_FUNCTIONS, SEC_MV_VARIABLES};
+use mvtrace::{EventKind, TraceRing};
 use mvvm::Machine;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -122,6 +123,13 @@ pub struct Runtime {
     pub journal: bool,
     /// Bounded retry for transient apply-phase faults (default: off).
     pub retry: RetryPolicy,
+    /// Structured-event ring, installed by [`Runtime::enable_tracing`]
+    /// (default: off — the hot path then pays one branch per would-be
+    /// event and nothing else).
+    pub tracer: Option<TraceRing>,
+    /// Timing of the most recent commit/revert operation, with the
+    /// per-phase breakdown accumulated across its attempts.
+    pub last_timing: PatchTiming,
 }
 
 impl Runtime {
@@ -221,7 +229,46 @@ impl Runtime {
             inline_enabled: true,
             journal: true,
             retry: RetryPolicy::default(),
+            tracer: None,
+            last_timing: PatchTiming::default(),
         })
+    }
+
+    /// Installs a bounded event ring (capacity clamped to
+    /// [`mvtrace::MAX_RING_CAP`]) and globally enables tracing. Every
+    /// subsequent commit/revert emits its span events into the ring.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        mvtrace::set_enabled(true);
+        self.tracer = Some(TraceRing::new(cap));
+    }
+
+    /// Uninstalls the ring and returns everything it buffered (oldest
+    /// first). Returns an empty vec if tracing was never enabled. The
+    /// global enabled flag is left on: other runtimes in the process may
+    /// still be tracing.
+    pub fn take_trace(&mut self) -> Vec<mvtrace::Event> {
+        self.tracer.take().map(|r| r.snapshot()).unwrap_or_default()
+    }
+
+    /// Copies the buffered events out without uninstalling the ring.
+    pub fn trace_snapshot(&self) -> Vec<mvtrace::Event> {
+        self.tracer
+            .as_ref()
+            .map(|r| r.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Records one event if tracing is on. The closure only runs (and
+    /// the event is only constructed) when a ring is installed *and* the
+    /// global flag is set, so with tracing off this inlines to a single
+    /// predictable branch on `self.tracer`.
+    #[inline]
+    pub(crate) fn emit(&mut self, kind: impl FnOnce() -> EventKind) {
+        if let Some(ring) = self.tracer.as_mut() {
+            if mvtrace::enabled() {
+                ring.record(kind());
+            }
+        }
     }
 
     /// Number of known configuration switches.
@@ -341,6 +388,10 @@ impl Runtime {
         self.write_text(m, site, &bytes)?;
         self.stats.sites_patched += 1;
         self.sites[si].binding = new_binding;
+        match new_binding {
+            SiteBinding::Inlined(variant) => self.emit(|| EventKind::Inlined { site, variant }),
+            _ => self.emit(|| EventKind::SitePatched { site, target }),
+        }
         Ok(())
     }
 
@@ -353,6 +404,7 @@ impl Runtime {
         self.write_text(m, site, &original)?;
         self.stats.sites_patched += 1;
         self.sites[si].binding = SiteBinding::Original;
+        self.emit(|| EventKind::SiteRestored { site });
         Ok(())
     }
 
@@ -410,6 +462,10 @@ impl Runtime {
         self.stats.entry_jumps += 1;
         self.fns[fi].binding = FnBinding::Variant(v_addr);
         self.stats.committed_variants += 1;
+        self.emit(|| EventKind::EntryJumpWritten {
+            function: generic,
+            variant: v_addr,
+        });
         Ok(site_idxs.len())
     }
 
@@ -423,6 +479,7 @@ impl Runtime {
             self.write_text(m, generic, &prologue)?;
             self.fns[fi].saved_prologue = None;
             self.stats.prologues_restored += 1;
+            self.emit(|| EventKind::PrologueRestored { function: generic });
         }
         self.fns[fi].binding = FnBinding::Generic;
         Ok(site_idxs.len())
@@ -467,11 +524,17 @@ impl Runtime {
     }
 
     /// Runs `op` as a transaction, charging wall-clock time to
-    /// [`Runtime::patch_time`] whether it succeeds or fails.
+    /// [`Runtime::patch_time`] whether it succeeds or fails, and filling
+    /// in [`Runtime::last_timing`].
     fn timed(&mut self, m: &mut Machine, op: TxnOp) -> Result<CommitReport, RtError> {
         let start = Instant::now();
         let result = self.run_txn(m, op);
-        self.patch_time += start.elapsed();
+        let elapsed = start.elapsed();
+        self.patch_time += elapsed;
+        self.last_timing.elapsed = elapsed;
+        if let Ok(report) = &result {
+            self.last_timing.sites = report.sites_touched as u64;
+        }
         result
     }
 

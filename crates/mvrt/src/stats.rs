@@ -36,31 +36,74 @@ pub struct PatchStats {
 }
 
 impl PatchStats {
-    /// Difference `self - earlier`.
+    /// Difference `self - earlier`, saturating at zero per counter.
+    ///
+    /// Saturating keeps the diff meaningful even when `earlier` was taken
+    /// from a *different* runtime (or after the counters were reset):
+    /// a nonsensical pairing yields zeros instead of a panic or a
+    /// wrapped-around astronomical count.
     pub fn since(&self, earlier: &PatchStats) -> PatchStats {
         PatchStats {
-            sites_patched: self.sites_patched - earlier.sites_patched,
-            sites_inlined: self.sites_inlined - earlier.sites_inlined,
-            entry_jumps: self.entry_jumps - earlier.entry_jumps,
-            prologues_restored: self.prologues_restored - earlier.prologues_restored,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-            mprotects: self.mprotects - earlier.mprotects,
-            icache_flushes: self.icache_flushes - earlier.icache_flushes,
-            committed_variants: self.committed_variants - earlier.committed_variants,
-            generic_fallbacks: self.generic_fallbacks - earlier.generic_fallbacks,
-            journal_entries: self.journal_entries - earlier.journal_entries,
-            journal_bytes: self.journal_bytes - earlier.journal_bytes,
-            rollbacks: self.rollbacks - earlier.rollbacks,
-            retries: self.retries - earlier.retries,
+            sites_patched: self.sites_patched.saturating_sub(earlier.sites_patched),
+            sites_inlined: self.sites_inlined.saturating_sub(earlier.sites_inlined),
+            entry_jumps: self.entry_jumps.saturating_sub(earlier.entry_jumps),
+            prologues_restored: self
+                .prologues_restored
+                .saturating_sub(earlier.prologues_restored),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            mprotects: self.mprotects.saturating_sub(earlier.mprotects),
+            icache_flushes: self.icache_flushes.saturating_sub(earlier.icache_flushes),
+            committed_variants: self
+                .committed_variants
+                .saturating_sub(earlier.committed_variants),
+            generic_fallbacks: self
+                .generic_fallbacks
+                .saturating_sub(earlier.generic_fallbacks),
+            journal_entries: self.journal_entries.saturating_sub(earlier.journal_entries),
+            journal_bytes: self.journal_bytes.saturating_sub(earlier.journal_bytes),
+            rollbacks: self.rollbacks.saturating_sub(earlier.rollbacks),
+            retries: self.retries.saturating_sub(earlier.retries),
         }
     }
 }
 
 /// Timing of one commit/revert operation, measured on the host.
+///
+/// The per-phase durations are accumulated across every attempt of the
+/// operation (a retried transaction re-runs all three phases), so
+/// `plan + validate + apply ≤ elapsed` — the difference is retry
+/// backoff and driver overhead.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PatchTiming {
-    /// Wall-clock time the operation took.
+    /// Wall-clock time the operation took, end to end.
     pub elapsed: Duration,
+    /// Time spent planning (action-list construction, variant selection).
+    pub plan: Duration,
+    /// Time spent in read-only validation.
+    pub validate: Duration,
+    /// Time spent in the journaled write pass (including any rollback).
+    pub apply: Duration,
     /// Call sites visited.
     pub sites: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_saturates_instead_of_panicking() {
+        let newer = PatchStats {
+            sites_patched: 5,
+            ..PatchStats::default()
+        };
+        let older = PatchStats {
+            sites_patched: 2,
+            retries: 7, // "earlier" ahead of "self": mismatched pairing
+            ..PatchStats::default()
+        };
+        let d = newer.since(&older);
+        assert_eq!(d.sites_patched, 3);
+        assert_eq!(d.retries, 0);
+    }
 }

@@ -19,10 +19,12 @@ use crate::error::{CommitPhase, RtError};
 use crate::journal::Span;
 use crate::patch::encode_call;
 use crate::runtime::{CommitReport, FnBinding, PatchStrategy, Runtime, SiteBinding};
+use crate::stats::PatchTiming;
 use mvasm::CALL_SITE_LEN;
 use mvobj::descriptor::NOT_INLINABLE;
-use mvvm::Machine;
-use std::time::Duration;
+use mvtrace::{EventKind, Phase as TracePhase};
+use mvvm::{Machine, MemError};
+use std::time::{Duration, Instant};
 
 /// Bounded retry for transient apply-phase faults.
 ///
@@ -77,6 +79,21 @@ pub(crate) enum TxnOp {
     CommitFunc(u64),
     /// `multiverse_revert_func(&fn)`.
     RevertFunc(u64),
+}
+
+impl TxnOp {
+    /// Stable operation name, as it appears in trace events (the Table 1
+    /// entry point minus the `multiverse_` prefix).
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            TxnOp::CommitAll => "commit",
+            TxnOp::RevertAll => "revert",
+            TxnOp::CommitRefs(_) => "commit_refs",
+            TxnOp::RevertRefs(_) => "revert_refs",
+            TxnOp::CommitFunc(_) => "commit_func",
+            TxnOp::RevertFunc(_) => "revert_func",
+        }
+    }
 }
 
 /// One planned unit of work. Planning resolves variant selection up
@@ -508,22 +525,39 @@ impl Runtime {
         let journal = self.txn.take().expect("transaction active");
         let outcome = match failure {
             None => Ok(report),
-            Some((function, cause)) => match journal.rollback(m, &mut self.stats) {
-                Ok(()) => {
-                    self.restore_state(snapshot);
-                    self.stats.rollbacks += 1;
-                    Err(RtError::Commit {
-                        phase: CommitPhase::Apply,
+            Some((function, cause)) => {
+                // Classify the root cause for the trace before it is
+                // boxed away inside the Commit wrapper.
+                let (fault_addr, fault_what) = match cause.root_cause() {
+                    RtError::Mem(MemError {
+                        addr, mapped: true, ..
+                    }) => (*addr, "protection-fault"),
+                    RtError::IcacheStale { addr } => (*addr, "icache-stale"),
+                    _ => (0, "error"),
+                };
+                self.emit(|| EventKind::FaultObserved {
+                    addr: fault_addr,
+                    what: fault_what,
+                });
+                let entries = journal.len() as u64;
+                match journal.rollback(m, &mut self.stats) {
+                    Ok(()) => {
+                        self.restore_state(snapshot);
+                        self.stats.rollbacks += 1;
+                        self.emit(|| EventKind::Rollback { entries });
+                        Err(RtError::Commit {
+                            phase: CommitPhase::Apply,
+                            function,
+                            source: Box::new(cause),
+                        })
+                    }
+                    Err(rb) => Err(RtError::Commit {
+                        phase: CommitPhase::Rollback,
                         function,
-                        source: Box::new(cause),
-                    })
+                        source: Box::new(rb),
+                    }),
                 }
-                Err(rb) => Err(RtError::Commit {
-                    phase: CommitPhase::Rollback,
-                    function,
-                    source: Box::new(rb),
-                }),
-            },
+            }
         };
         self.spare_journal = journal;
         outcome
@@ -576,22 +610,13 @@ impl Runtime {
     /// the image. That mode exists for the journal-overhead ablation in
     /// the patch-cost benchmark.
     pub(crate) fn run_txn(&mut self, m: &mut Machine, op: TxnOp) -> Result<CommitReport, RtError> {
+        self.last_timing = PatchTiming::default();
+        self.emit(|| EventKind::CommitBegin { op: op.name() });
         let mut attempt = 0u32;
-        loop {
+        let result = loop {
             // Re-plan every attempt: switches may have changed, and the
             // rollback restored the pre-commit image.
-            let result = self.plan_ops(m, op).and_then(|actions| {
-                self.validate_actions(m, &actions)?;
-                if self.journal {
-                    self.apply_actions(m, &actions)
-                } else {
-                    let mut report = CommitReport::default();
-                    match self.execute_actions(m, &actions, &mut report) {
-                        Ok(()) => Ok(report),
-                        Err((_, e)) => Err(e),
-                    }
-                }
-            });
+            let result = self.attempt_txn(m, op);
             match result {
                 // Only journaled apply failures are transient (the image
                 // was rolled back); unjournaled errors surface raw and
@@ -599,13 +624,65 @@ impl Runtime {
                 Err(e) if attempt < self.retry.max_retries && e.is_transient() => {
                     attempt += 1;
                     self.stats.retries += 1;
+                    self.emit(|| EventKind::Retry { attempt });
                     if !self.retry.backoff.is_zero() {
                         std::thread::sleep(self.retry.backoff.saturating_mul(attempt));
                     }
                 }
-                other => return other,
+                other => break other,
             }
-        }
+        };
+        self.emit(|| EventKind::CommitEnd { ok: result.is_ok() });
+        result
+    }
+
+    /// One plan → validate → apply cycle, with each phase timed into
+    /// [`Runtime::last_timing`] (accumulating across attempts) and
+    /// bracketed by trace events.
+    fn attempt_txn(&mut self, m: &mut Machine, op: TxnOp) -> Result<CommitReport, RtError> {
+        self.emit(|| EventKind::PhaseBegin {
+            phase: TracePhase::Plan,
+        });
+        let t = Instant::now();
+        let planned = self.plan_ops(m, op);
+        self.last_timing.plan += t.elapsed();
+        self.emit(|| EventKind::PhaseEnd {
+            phase: TracePhase::Plan,
+            ok: planned.is_ok(),
+        });
+        let actions = planned?;
+
+        self.emit(|| EventKind::PhaseBegin {
+            phase: TracePhase::Validate,
+        });
+        let t = Instant::now();
+        let validated = self.validate_actions(m, &actions);
+        self.last_timing.validate += t.elapsed();
+        self.emit(|| EventKind::PhaseEnd {
+            phase: TracePhase::Validate,
+            ok: validated.is_ok(),
+        });
+        validated?;
+
+        self.emit(|| EventKind::PhaseBegin {
+            phase: TracePhase::Apply,
+        });
+        let t = Instant::now();
+        let applied = if self.journal {
+            self.apply_actions(m, &actions)
+        } else {
+            let mut report = CommitReport::default();
+            match self.execute_actions(m, &actions, &mut report) {
+                Ok(()) => Ok(report),
+                Err((_, e)) => Err(e),
+            }
+        };
+        self.last_timing.apply += t.elapsed();
+        self.emit(|| EventKind::PhaseEnd {
+            phase: TracePhase::Apply,
+            ok: applied.is_ok(),
+        });
+        applied
     }
 
     /// Dry-run validation: everything a full [`Runtime::commit`] would

@@ -1,0 +1,186 @@
+//! The typed event taxonomy.
+//!
+//! Events are deliberately small and `Copy`: every payload is a fixed
+//! set of addresses/counters plus `&'static str` labels, so recording
+//! one is a store into the ring, never an allocation. The taxonomy
+//! mirrors the transactional commit engine: a commit opens a span, each
+//! attempt walks the plan → validate → apply phases, point events mark
+//! individual text patches, and the failure path (fault → rollback →
+//! retry) is first-class rather than inferred.
+
+use std::fmt;
+
+/// A phase of the two-phase (plus planning) transactional commit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Action-list construction and variant selection (read-only).
+    Plan,
+    /// Read-only re-checks of everything apply will rely on.
+    Validate,
+    /// The journaled write pass.
+    Apply,
+}
+
+impl Phase {
+    /// Stable lowercase name, used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Plan => "plan",
+            Phase::Validate => "validate",
+            Phase::Apply => "apply",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A transactional operation started (`op` is the Table 1 entry
+    /// point: `commit`, `revert`, `commit_refs`, …).
+    CommitBegin {
+        /// Name of the public operation.
+        op: &'static str,
+    },
+    /// The operation finished; `ok` is its overall outcome after all
+    /// retry attempts.
+    CommitEnd {
+        /// `true` if the operation succeeded.
+        ok: bool,
+    },
+    /// A phase of the current attempt started.
+    PhaseBegin {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A phase finished. `ok = false` means the phase failed and the
+    /// attempt is over (apply failures additionally carry
+    /// [`EventKind::FaultObserved`]/[`EventKind::Rollback`] before this).
+    PhaseEnd {
+        /// Which phase.
+        phase: Phase,
+        /// Whether the phase succeeded.
+        ok: bool,
+    },
+    /// A call site was rewritten to a direct call.
+    SitePatched {
+        /// Call-site address.
+        site: u64,
+        /// New call target.
+        target: u64,
+    },
+    /// A call site was restored to its original bytes.
+    SiteRestored {
+        /// Call-site address.
+        site: u64,
+    },
+    /// A variant body was inlined over a call site (Fig. 3 c).
+    Inlined {
+        /// Call-site address.
+        site: u64,
+        /// Entry address of the inlined variant body.
+        variant: u64,
+    },
+    /// The completeness entry jump was written over a generic prologue.
+    EntryJumpWritten {
+        /// Generic entry address.
+        function: u64,
+        /// Committed variant the jump targets.
+        variant: u64,
+    },
+    /// A saved generic prologue was written back (revert path).
+    PrologueRestored {
+        /// Generic entry address.
+        function: u64,
+    },
+    /// An apply-phase write faulted. `what` classifies the root cause;
+    /// `addr` is the faulting address when known (0 otherwise).
+    FaultObserved {
+        /// Faulting address, 0 if unknown.
+        addr: u64,
+        /// Root-cause class: `protection-fault`, `icache-stale`, `error`.
+        what: &'static str,
+    },
+    /// The journal was replayed after an apply failure; the image is
+    /// byte-identical to its pre-commit state again.
+    Rollback {
+        /// Undo-log entries restored.
+        entries: u64,
+    },
+    /// A transient failure is being retried; `attempt` is 1-based.
+    Retry {
+        /// Which retry this is (1 = first re-attempt).
+        attempt: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name of the event class, used by every
+    /// exporter and by span reconstruction.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::CommitBegin { .. } => "commit_begin",
+            EventKind::CommitEnd { .. } => "commit_end",
+            EventKind::PhaseBegin { .. } => "phase_begin",
+            EventKind::PhaseEnd { .. } => "phase_end",
+            EventKind::SitePatched { .. } => "site_patched",
+            EventKind::SiteRestored { .. } => "site_restored",
+            EventKind::Inlined { .. } => "inlined",
+            EventKind::EntryJumpWritten { .. } => "entry_jump_written",
+            EventKind::PrologueRestored { .. } => "prologue_restored",
+            EventKind::FaultObserved { .. } => "fault_observed",
+            EventKind::Rollback { .. } => "rollback",
+            EventKind::Retry { .. } => "retry",
+        }
+    }
+
+    /// `true` for the point events that live *inside* a phase span (as
+    /// opposed to the span-boundary events).
+    pub fn is_point(&self) -> bool {
+        !matches!(
+            self,
+            EventKind::CommitBegin { .. }
+                | EventKind::CommitEnd { .. }
+                | EventKind::PhaseBegin { .. }
+                | EventKind::PhaseEnd { .. }
+        )
+    }
+}
+
+/// One recorded event: a process-wide monotonic sequence number, a host
+/// timestamp in nanoseconds since the ring's creation, and the payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (global across all rings in the
+    /// process, so interleaved streams have a total order).
+    pub seq: u64,
+    /// Nanoseconds since the recording ring was created.
+    pub ts_ns: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            EventKind::CommitBegin { op: "commit" }.name(),
+            "commit_begin"
+        );
+        assert_eq!(Phase::Validate.name(), "validate");
+        assert!(EventKind::Rollback { entries: 3 }.is_point());
+        assert!(!EventKind::PhaseEnd {
+            phase: Phase::Apply,
+            ok: true
+        }
+        .is_point());
+    }
+}

@@ -1,0 +1,155 @@
+//! The bounded event ring.
+//!
+//! One ring is owned by one emitter (the runtime that records into it),
+//! so recording is a plain push with drop-oldest overflow — no lock is
+//! ever taken. The only cross-ring coordination point, the sequence
+//! counter, is a process-global lock-free atomic, so two runtimes
+//! tracing in the same process never contend and their interleaved
+//! streams still carry a total order.
+//!
+//! Timestamps are host-monotonic nanoseconds since the ring's creation
+//! (`Instant`-based, so they never go backwards). The guest's own
+//! deterministic clock is the VM's TSC; host timestamps here measure
+//! what the paper measures in §6.1 — wall time of the patching runtime.
+
+use crate::event::{Event, EventKind};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Hard capacity ceiling: a ring never buffers more than this many
+/// events, whatever capacity was requested.
+pub const MAX_RING_CAP: usize = 1 << 16;
+
+/// Process-global sequence counter (lock-free; see module docs).
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A bounded ring of [`Event`]s with drop-oldest overflow.
+#[derive(Debug)]
+pub struct TraceRing {
+    epoch: Instant,
+    buf: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring keeping the last `cap` events. `cap` is clamped
+    /// to `1..=`[`MAX_RING_CAP`]; the clamped value is what bounds the
+    /// ring *and* what was allocated — the two never diverge.
+    pub fn new(cap: usize) -> TraceRing {
+        let cap = cap.clamp(1, MAX_RING_CAP);
+        TraceRing {
+            epoch: Instant::now(),
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, stamping it with the next global sequence
+    /// number and the current host timestamp. Returns the sequence
+    /// number. Oldest events are dropped (and counted) once the ring is
+    /// full.
+    pub fn record(&mut self, kind: EventKind) -> u64 {
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let ts_ns = self.epoch.elapsed().as_nanos() as u64;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(Event { seq, ts_ns, kind });
+        seq
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Copies the buffered events out, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The capacity bound actually in effect (post-clamp).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events dropped to overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drops all buffered events (the drop counter keeps accumulating;
+    /// cleared events are not counted as dropped).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    #[test]
+    fn seq_is_globally_monotonic_across_rings() {
+        let mut a = TraceRing::new(8);
+        let mut b = TraceRing::new(8);
+        let s1 = a.record(EventKind::CommitBegin { op: "commit" });
+        let s2 = b.record(EventKind::CommitBegin { op: "revert" });
+        let s3 = a.record(EventKind::CommitEnd { ok: true });
+        assert!(s1 < s2 && s2 < s3);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut r = TraceRing::new(2);
+        for i in 0..5 {
+            r.record(EventKind::Retry { attempt: i });
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        let attempts: Vec<u32> = r
+            .events()
+            .map(|e| match e.kind {
+                EventKind::Retry { attempt } => attempt,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(attempts, vec![3, 4]);
+        // Sequence numbers stay strictly increasing across the drop.
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn cap_is_clamped_honestly() {
+        let r = TraceRing::new(usize::MAX);
+        assert_eq!(r.capacity(), MAX_RING_CAP);
+        let r = TraceRing::new(0);
+        assert_eq!(r.capacity(), 1);
+    }
+
+    #[test]
+    fn timestamps_never_regress() {
+        let mut r = TraceRing::new(16);
+        for _ in 0..10 {
+            r.record(EventKind::PhaseBegin { phase: Phase::Plan });
+        }
+        let ts: Vec<u64> = r.events().map(|e| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,169 @@
+//! Golden-file tests for the exporters.
+//!
+//! The fixture is a synthetic faulted-then-retried commit stream with
+//! fixed sequence numbers and timestamps, so every exporter's output is
+//! byte-deterministic. Regenerate the expected files after an intended
+//! format change with:
+//!
+//! ```sh
+//! BLESS=1 cargo test -p mvtrace --test golden
+//! ```
+
+use mvtrace::{ChromeSink, Event, EventKind, JsonlSink, Phase, TextSink, TraceSink};
+use std::path::PathBuf;
+
+/// A two-attempt commit (apply faults, rolls back, retries, succeeds)
+/// followed by a clean single-attempt revert — the canonical shapes the
+/// runtime produces.
+fn fixture() -> Vec<Event> {
+    use EventKind::*;
+    let mut t = 0;
+    let mut s = 0;
+    let mut next = |kind| {
+        t += 250;
+        s += 1;
+        Event {
+            seq: s,
+            ts_ns: t,
+            kind,
+        }
+    };
+    vec![
+        next(CommitBegin { op: "commit" }),
+        next(PhaseBegin { phase: Phase::Plan }),
+        next(PhaseEnd {
+            phase: Phase::Plan,
+            ok: true,
+        }),
+        next(PhaseBegin {
+            phase: Phase::Validate,
+        }),
+        next(PhaseEnd {
+            phase: Phase::Validate,
+            ok: true,
+        }),
+        next(PhaseBegin {
+            phase: Phase::Apply,
+        }),
+        next(SitePatched {
+            site: 0x4000,
+            target: 0x5200,
+        }),
+        next(FaultObserved {
+            addr: 0x4005,
+            what: "protection-fault",
+        }),
+        next(Rollback { entries: 1 }),
+        next(PhaseEnd {
+            phase: Phase::Apply,
+            ok: false,
+        }),
+        next(Retry { attempt: 1 }),
+        next(PhaseBegin { phase: Phase::Plan }),
+        next(PhaseEnd {
+            phase: Phase::Plan,
+            ok: true,
+        }),
+        next(PhaseBegin {
+            phase: Phase::Validate,
+        }),
+        next(PhaseEnd {
+            phase: Phase::Validate,
+            ok: true,
+        }),
+        next(PhaseBegin {
+            phase: Phase::Apply,
+        }),
+        next(SitePatched {
+            site: 0x4000,
+            target: 0x5200,
+        }),
+        next(Inlined {
+            site: 0x4040,
+            variant: 0x5200,
+        }),
+        next(EntryJumpWritten {
+            function: 0x4100,
+            variant: 0x5200,
+        }),
+        next(PhaseEnd {
+            phase: Phase::Apply,
+            ok: true,
+        }),
+        next(CommitEnd { ok: true }),
+        next(CommitBegin { op: "revert" }),
+        next(PhaseBegin { phase: Phase::Plan }),
+        next(PhaseEnd {
+            phase: Phase::Plan,
+            ok: true,
+        }),
+        next(PhaseBegin {
+            phase: Phase::Validate,
+        }),
+        next(PhaseEnd {
+            phase: Phase::Validate,
+            ok: true,
+        }),
+        next(PhaseBegin {
+            phase: Phase::Apply,
+        }),
+        next(SiteRestored { site: 0x4000 }),
+        next(PrologueRestored { function: 0x4100 }),
+        next(PhaseEnd {
+            phase: Phase::Apply,
+            ok: true,
+        }),
+        next(CommitEnd { ok: true }),
+    ]
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; run with BLESS=1 if the change is intended"
+    );
+}
+
+#[test]
+fn jsonl_matches_golden() {
+    check_golden("trace.jsonl", &JsonlSink.export_string(&fixture()));
+}
+
+#[test]
+fn chrome_matches_golden() {
+    check_golden("trace.chrome.json", &ChromeSink.export_string(&fixture()));
+}
+
+#[test]
+fn text_matches_golden() {
+    check_golden("trace.txt", &TextSink.export_string(&fixture()));
+}
+
+/// Structural (non-golden) sanity: the Chrome output balances B/E pairs
+/// exactly as the span tree nests them.
+#[test]
+fn chrome_b_e_pairs_balance() {
+    let s = ChromeSink.export_string(&fixture());
+    assert_eq!(
+        s.matches(r#""ph":"B""#).count(),
+        s.matches(r#""ph":"E""#).count()
+    );
+    // 2 commits + 9 phases = 11 opens.
+    assert_eq!(s.matches(r#""ph":"B""#).count(), 11);
+    // 9 point events become instants.
+    assert_eq!(s.matches(r#""ph":"i""#).count(), 9);
+}

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod machine;
 pub mod mem;
 pub mod pred;
+pub mod profile;
 pub mod stats;
 pub mod trace;
 
@@ -41,5 +42,6 @@ pub use cost::CostModel;
 pub use fault::{FaultMode, FaultOp, FaultPlan};
 pub use machine::{Fault, Machine, MachineConfig, MachineMode, Platform};
 pub use mem::{MemError, Memory, PAGE_SIZE};
+pub use profile::{FnCounters, FnProfile, FnRange, Profiler};
 pub use stats::Stats;
 pub use trace::Trace;

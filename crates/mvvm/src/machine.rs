@@ -141,6 +141,7 @@ pub struct Machine {
     /// `pc` at which a `jcc` would macro-fuse with the preceding `cmp`.
     fusable_at: Option<u64>,
     trace: Option<crate::trace::Trace>,
+    profiler: Option<crate::profile::Profiler>,
 }
 
 impl Machine {
@@ -164,6 +165,7 @@ impl Machine {
             decode_cache: HashMap::new(),
             fusable_at: None,
             trace: None,
+            profiler: None,
         }
     }
 
@@ -240,6 +242,23 @@ impl Machine {
     /// The active trace, if tracing is enabled.
     pub fn trace(&self) -> Option<&crate::trace::Trace> {
         self.trace.as_ref()
+    }
+
+    /// Starts per-function profiling, deriving function ranges from the
+    /// symbol table of `exe` (see [`crate::profile`]). Replaces any
+    /// profiler already installed.
+    pub fn enable_profile(&mut self, exe: &Executable) {
+        self.profiler = Some(crate::profile::Profiler::from_executable(exe));
+    }
+
+    /// Stops profiling and returns the collected attribution, if any.
+    pub fn take_profile(&mut self) -> Option<crate::profile::Profiler> {
+        self.profiler.take()
+    }
+
+    /// The active profiler, if profiling is enabled.
+    pub fn profile(&self) -> Option<&crate::profile::Profiler> {
+        self.profiler.as_ref()
     }
 
     /// Best-effort stack backtrace: return addresses collected by walking
@@ -349,6 +368,10 @@ impl Machine {
     /// Executes one instruction.
     pub fn step(&mut self) -> Result<(), Fault> {
         let pc = self.cpu.pc;
+        // Snapshot TSC and counters so the step's deltas can be charged
+        // to the function holding `pc`. Stats is Copy; with no profiler
+        // installed this is a single branch.
+        let prof_snap = self.profiler.as_ref().map(|_| (self.cpu.tsc, self.stats));
         let insn = self.decode_at(pc)?;
         let next = pc + insn.len() as u64;
         self.stats.instructions += 1;
@@ -573,6 +596,13 @@ impl Machine {
         }
 
         self.cpu.pc = new_pc;
+        if let Some((tsc0, stats0)) = prof_snap {
+            let cycles = self.cpu.tsc - tsc0;
+            let delta = self.stats.since(&stats0);
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(pc, cycles, &delta);
+            }
+        }
         Ok(())
     }
 
@@ -730,6 +760,43 @@ mod tests {
         assert!(t > 0);
         assert_eq!(m.call(f, &[0]).unwrap(), 5);
         assert!(m.cycles() > t);
+    }
+
+    #[test]
+    fn profiler_attributes_callee_to_callee() {
+        let mut a = mvasm::Assembler::new();
+        a.call_sym("double_it", false);
+        a.emit(Insn::Halt);
+        a.label("double_it");
+        let off = a.len();
+        a.emit(Insn::AluRR {
+            op: AluOp::Add,
+            dst: Reg::R0,
+            src: Reg::R0,
+        });
+        a.ret();
+        let exe = exe_from(a, |o| {
+            o.define(Symbol::func("double_it", mvobj::SEC_TEXT, off as u64, 5));
+        });
+        let mut m = Machine::boot(&exe);
+        m.enable_profile(&exe);
+        m.cpu.set(Reg::R0, 21);
+        m.run_entry(&exe).unwrap();
+        let p = m.take_profile().unwrap();
+        // The call retires in main; add+ret retire in double_it.
+        let main = p.counters_of("main").unwrap();
+        let callee = p.counters_of("double_it").unwrap();
+        assert_eq!(main.stats.calls, 1);
+        assert_eq!(callee.stats.rets, 1);
+        assert_eq!(callee.stats.instructions, 2);
+        assert!(callee.cycles > 0);
+        // Everything retired is attributed somewhere.
+        let total: u64 = p
+            .report()
+            .iter()
+            .map(|r| r.counters.stats.instructions)
+            .sum();
+        assert_eq!(total, m.stats.instructions);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Per-function execution profiling.
+//!
+//! §6.2 argues multiversing by its microarchitectural effect — fewer
+//! branches and mispredictions *in the functions that were committed*.
+//! Whole-run [`Stats`] cannot attribute that effect; the profiler here
+//! can: it derives address ranges for every text symbol of the loaded
+//! image and, for each retired instruction, charges the step's cycle and
+//! counter deltas to the function whose range holds the instruction's
+//! address. A generic-vs-committed comparison then becomes a
+//! per-function report (`mvcc stats --per-fn --commit`).
+//!
+//! Attribution is by *retirement address*: cycles of a `call` retire in
+//! the caller, the callee's body is charged to the callee. An inlined
+//! variant body (Fig. 3 c) therefore shows up in its *call site's*
+//! function — exactly the migration of work the paper's inlining
+//! optimization performs.
+
+use crate::stats::Stats;
+use mvobj::{Executable, SEC_TEXT};
+
+/// The address range of one text symbol.
+#[derive(Clone, Debug)]
+pub struct FnRange {
+    /// Symbol name.
+    pub name: String,
+    /// First address of the function.
+    pub start: u64,
+    /// One past the last address (the next symbol's start, or the end of
+    /// the text section for the last symbol).
+    pub end: u64,
+}
+
+/// Counters charged to one function (or to the `<other>` bucket).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FnCounters {
+    /// Cycles retired while executing inside the range.
+    pub cycles: u64,
+    /// Event counters accumulated inside the range.
+    pub stats: Stats,
+}
+
+/// One row of [`Profiler::report`].
+#[derive(Clone, Debug)]
+pub struct FnProfile {
+    /// Function name (`<other>` for addresses outside every range).
+    pub name: String,
+    /// The charged counters.
+    pub counters: FnCounters,
+}
+
+/// Attributes per-step cycle and counter deltas to functions by address.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    /// Sorted by `start`, non-overlapping.
+    ranges: Vec<FnRange>,
+    /// Parallel to `ranges`.
+    buckets: Vec<FnCounters>,
+    /// Everything outside the known ranges (injected variants, stack
+    /// thunks, …).
+    other: FnCounters,
+    /// Index of the range the previous step hit — straight-line code
+    /// stays in one function, so this turns the common case into one
+    /// range check instead of a binary search.
+    last: Option<usize>,
+}
+
+impl Profiler {
+    /// Builds ranges from the image's symbol table: every symbol whose
+    /// address lies in the text section becomes a range ending at the
+    /// next symbol (symbol sizes are not in the linked image; adjacency
+    /// recovers them exactly for the contiguous text the linker lays
+    /// out).
+    pub fn from_executable(exe: &Executable) -> Profiler {
+        let (text_start, text_size) = exe.section(SEC_TEXT);
+        let text_end = text_start + text_size;
+        let mut syms: Vec<(&str, u64)> = exe
+            .symbols
+            .iter()
+            .filter(|&(_, &a)| a >= text_start && a < text_end)
+            .map(|(n, &a)| (n.as_str(), a))
+            .collect();
+        syms.sort_by_key(|&(_, a)| a);
+        let ranges: Vec<FnRange> = syms
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, start))| FnRange {
+                name: name.to_string(),
+                start,
+                end: syms.get(i + 1).map_or(text_end, |&(_, a)| a),
+            })
+            .collect();
+        let buckets = vec![FnCounters::default(); ranges.len()];
+        Profiler {
+            ranges,
+            buckets,
+            other: FnCounters::default(),
+            last: None,
+        }
+    }
+
+    /// The derived ranges, sorted by start address.
+    pub fn ranges(&self) -> &[FnRange] {
+        &self.ranges
+    }
+
+    fn bucket_of(&mut self, pc: u64) -> Option<usize> {
+        if let Some(i) = self.last {
+            let r = &self.ranges[i];
+            if pc >= r.start && pc < r.end {
+                return Some(i);
+            }
+        }
+        let i = self
+            .ranges
+            .binary_search_by(|r| {
+                if pc < r.start {
+                    std::cmp::Ordering::Greater
+                } else if pc >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .ok();
+        self.last = i;
+        i
+    }
+
+    /// Charges one retired instruction at `pc` with the step's cycle and
+    /// counter deltas.
+    pub fn record(&mut self, pc: u64, cycles: u64, delta: &Stats) {
+        let c = match self.bucket_of(pc) {
+            Some(i) => &mut self.buckets[i],
+            None => &mut self.other,
+        };
+        c.cycles += cycles;
+        c.stats += *delta;
+    }
+
+    /// Per-function rows with any activity, sorted by cycles descending;
+    /// the `<other>` bucket is appended last when it is non-empty.
+    pub fn report(&self) -> Vec<FnProfile> {
+        let mut rows: Vec<FnProfile> = self
+            .ranges
+            .iter()
+            .zip(&self.buckets)
+            .filter(|(_, c)| c.stats.instructions > 0)
+            .map(|(r, c)| FnProfile {
+                name: r.name.clone(),
+                counters: *c,
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.counters.cycles));
+        if self.other.stats.instructions > 0 {
+            rows.push(FnProfile {
+                name: "<other>".to_string(),
+                counters: self.other,
+            });
+        }
+        rows
+    }
+
+    /// The counters charged to `name`, if that function executed.
+    pub fn counters_of(&self, name: &str) -> Option<FnCounters> {
+        self.ranges
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| self.buckets[i])
+            .filter(|c| c.stats.instructions > 0)
+    }
+
+    /// Renders the report as an aligned table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<24} {:>12} {:>10} {:>9} {:>11} {:>7}",
+            "function", "cycles", "insns", "branches", "mispredicts", "calls"
+        );
+        for row in self.report() {
+            let c = &row.counters;
+            let _ = writeln!(
+                s,
+                "{:<24} {:>12} {:>10} {:>9} {:>11} {:>7}",
+                row.name,
+                c.cycles,
+                c.stats.instructions,
+                c.stats.branches,
+                c.stats.mispredicts,
+                c.stats.calls + c.stats.indirect_calls
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiler_with(ranges: &[(&str, u64, u64)]) -> Profiler {
+        let ranges: Vec<FnRange> = ranges
+            .iter()
+            .map(|&(name, start, end)| FnRange {
+                name: name.to_string(),
+                start,
+                end,
+            })
+            .collect();
+        let buckets = vec![FnCounters::default(); ranges.len()];
+        Profiler {
+            ranges,
+            buckets,
+            other: FnCounters::default(),
+            last: None,
+        }
+    }
+
+    #[test]
+    fn attribution_by_address() {
+        let mut p = profiler_with(&[("a", 0x100, 0x200), ("b", 0x200, 0x300)]);
+        let one = Stats {
+            instructions: 1,
+            ..Stats::default()
+        };
+        p.record(0x100, 5, &one);
+        p.record(0x1FF, 5, &one); // last byte of a
+        p.record(0x200, 7, &one); // first byte of b
+        p.record(0x400, 9, &one); // outside every range
+        let rows = p.report();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "a"); // 10 cycles > b's 7
+        assert_eq!(rows[0].counters.cycles, 10);
+        assert_eq!(rows[1].name, "b");
+        assert_eq!(rows[2].name, "<other>");
+        assert_eq!(rows[2].counters.cycles, 9);
+        assert_eq!(p.counters_of("a").unwrap().stats.instructions, 2);
+        assert!(p.counters_of("never-ran").is_none());
+    }
+
+    #[test]
+    fn last_range_cache_stays_correct() {
+        let mut p = profiler_with(&[("a", 0x100, 0x200), ("b", 0x200, 0x300)]);
+        let one = Stats {
+            instructions: 1,
+            ..Stats::default()
+        };
+        // Ping-pong between ranges: the cache must never misattribute.
+        for _ in 0..10 {
+            p.record(0x150, 1, &one);
+            p.record(0x250, 1, &one);
+        }
+        assert_eq!(p.counters_of("a").unwrap().stats.instructions, 10);
+        assert_eq!(p.counters_of("b").unwrap().stats.instructions, 10);
+    }
+}

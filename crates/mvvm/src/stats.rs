@@ -37,6 +37,25 @@ pub struct Stats {
     pub nops: u64,
 }
 
+impl std::ops::AddAssign for Stats {
+    fn add_assign(&mut self, d: Stats) {
+        self.instructions += d.instructions;
+        self.branches += d.branches;
+        self.branches_taken += d.branches_taken;
+        self.mispredicts += d.mispredicts;
+        self.calls += d.calls;
+        self.indirect_calls += d.indirect_calls;
+        self.rets += d.rets;
+        self.atomics += d.atomics;
+        self.loads += d.loads;
+        self.stores += d.stores;
+        self.guest_traps += d.guest_traps;
+        self.hypercalls += d.hypercalls;
+        self.out_bytes += d.out_bytes;
+        self.nops += d.nops;
+    }
+}
+
 impl Stats {
     /// Difference `self - earlier`, counter-wise. Panics in debug builds if
     /// any counter went backwards.

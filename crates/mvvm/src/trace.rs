@@ -9,6 +9,12 @@
 use mvasm::Insn;
 use std::collections::VecDeque;
 
+/// Hard ceiling on [`Trace`] capacity. A trace entry is an address plus
+/// a decoded instruction; the ring pre-allocates its full capacity, so
+/// the cap bounds memory at a few hundred KiB however large a capacity
+/// the caller asks for.
+pub const MAX_TRACE_CAP: usize = 4096;
+
 /// A bounded ring buffer of retired instructions.
 #[derive(Debug, Default)]
 pub struct Trace {
@@ -18,11 +24,20 @@ pub struct Trace {
 
 impl Trace {
     /// Creates a trace keeping the last `cap` retired instructions.
+    /// `cap` is clamped to `1..=`[`MAX_TRACE_CAP`]; the clamped value is
+    /// both the allocation and the bound the ring enforces (check it
+    /// with [`Trace::capacity`]).
     pub fn new(cap: usize) -> Trace {
+        let cap = cap.clamp(1, MAX_TRACE_CAP);
         Trace {
-            ring: VecDeque::with_capacity(cap.min(4096)),
+            ring: VecDeque::with_capacity(cap),
             cap,
         }
+    }
+
+    /// The capacity bound actually in effect (post-clamp).
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// Records one retired instruction.
@@ -89,6 +104,19 @@ mod tests {
         assert!(t.touched(0x100, 1));
         assert!(t.touched(0xF0, 0x20));
         assert!(!t.touched(0x101, 0x10));
+    }
+
+    #[test]
+    fn cap_is_clamped_honestly() {
+        assert_eq!(Trace::new(usize::MAX).capacity(), MAX_TRACE_CAP);
+        // A zero cap would let the ring grow unbounded (the drop check
+        // compares len == cap exactly); clamping to 1 keeps it bounded.
+        let mut t = Trace::new(0);
+        assert_eq!(t.capacity(), 1);
+        for i in 0..10u64 {
+            t.record(i, Insn::Ret);
+        }
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! End-to-end observability: the runtime's event stream reconstructs
+//! real transactions — including the failure paths the journal and
+//! retry machinery produce — and the exporters emit well-formed output.
+
+use multiverse::mvrt::RetryPolicy;
+use multiverse::mvtrace::{build_spans, ChromeSink, EventKind, JsonlSink, Phase, TraceSink};
+use multiverse::mvvm::{FaultOp, FaultPlan};
+use multiverse::Program;
+
+const SRC: &str = r#"
+    multiverse bool feature;
+    multiverse i64 work(void) {
+        if (feature) { return 10; }
+        return 20;
+    }
+    i64 caller(void) { return work(); }
+    i64 main(void) { return caller(); }
+"#;
+
+#[test]
+fn faulted_then_retried_commit_leaves_a_full_span_tree() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    w.set("feature", 1).unwrap();
+    {
+        let rt = w.rt.as_mut().unwrap();
+        rt.enable_tracing(4096);
+        rt.retry = RetryPolicy::retries(2);
+    }
+    // One-shot fault on the first mprotect: attempt 1 fails in apply,
+    // rolls back, and the bounded retry drives attempt 2 to success.
+    w.machine.inject_fault(FaultPlan::new(FaultOp::Mprotect, 1));
+    w.commit().expect("retry heals the one-shot fault");
+    assert_eq!(w.call("work", &[]).unwrap(), 10);
+
+    let events = w.rt.as_mut().unwrap().take_trace();
+    let forest = build_spans(&events);
+    assert_eq!(forest.orphaned, 0);
+    assert_eq!(forest.commits.len(), 1);
+
+    let c = &forest.commits[0];
+    assert_eq!(c.op, "commit");
+    assert!(c.ok, "the transaction succeeded overall");
+    assert_eq!(c.attempts.len(), 2, "one failed attempt, one clean");
+
+    // Attempt 1: apply failed, the fault and the rollback are recorded
+    // inside that phase, and the attempt is marked as retried.
+    let a1 = &c.attempts[0];
+    assert_eq!(a1.retry, Some(1));
+    assert!(!a1.ok());
+    let apply1 = a1.phase(Phase::Apply).expect("apply ran");
+    assert!(!apply1.ok);
+    let kinds: Vec<&str> = apply1.events.iter().map(|e| e.kind.name()).collect();
+    assert!(kinds.contains(&"fault_observed"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"rollback"), "kinds: {kinds:?}");
+
+    // Attempt 2: all three phases ran and succeeded, and the apply phase
+    // records actual patch work.
+    let a2 = &c.attempts[1];
+    assert_eq!(a2.retry, None);
+    assert!(a2.ok());
+    assert_eq!(a2.phases.len(), 3);
+    let apply2 = a2.phase(Phase::Apply).unwrap();
+    assert!(apply2.ok);
+    assert!(
+        apply2
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SitePatched { .. })),
+        "the retried apply patched the recorded call site"
+    );
+
+    // Every phase duration is contained in the commit's total.
+    for phase in [Phase::Plan, Phase::Validate, Phase::Apply] {
+        for d in c.phase_durations_ns(phase) {
+            assert!(d <= c.duration_ns(), "{phase} fits in the total");
+        }
+    }
+}
+
+#[test]
+fn sequence_numbers_stay_monotonic_across_interleaved_transactions() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    w.set("feature", 1).unwrap();
+    // A deliberately tiny ring: interleaved commit+revert rounds emit
+    // far more events than 16, so drop-oldest truncation is exercised.
+    w.rt.as_mut().unwrap().enable_tracing(16);
+    for _ in 0..5 {
+        w.commit().unwrap();
+        w.revert().unwrap();
+    }
+    let rt = w.rt.as_ref().unwrap();
+    let events = rt.trace_snapshot();
+    assert_eq!(events.len(), 16, "ring is full and bounded");
+    assert!(
+        rt.tracer.as_ref().unwrap().dropped() > 0,
+        "oldest were dropped"
+    );
+    for pair in events.windows(2) {
+        assert!(
+            pair[0].seq < pair[1].seq,
+            "seq strictly increases: {} !< {}",
+            pair[0].seq,
+            pair[1].seq
+        );
+        assert!(pair[0].ts_ns <= pair[1].ts_ns, "time never goes backwards");
+    }
+    // The truncated stream still reconstructs: whatever opens mid-commit
+    // is counted as orphaned rather than misattributed.
+    let forest = build_spans(&events);
+    assert!(forest.commits.len() + usize::from(forest.orphaned > 0) > 0);
+}
+
+#[test]
+fn chrome_export_is_structurally_balanced() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    w.set("feature", 1).unwrap();
+    w.rt.as_mut().unwrap().enable_tracing(4096);
+    w.commit().unwrap();
+    w.revert().unwrap();
+    let events = w.rt.as_mut().unwrap().take_trace();
+
+    let chrome = ChromeSink.export_string(&events);
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with("]}"));
+    let opens = chrome.matches("\"ph\":\"B\"").count();
+    let closes = chrome.matches("\"ph\":\"E\"").count();
+    assert_eq!(opens, closes, "every B has its E");
+    // 2 transactions (commit + revert), each with 3 phases.
+    assert_eq!(opens, 2 + 2 * 3);
+
+    // The JSONL view carries every event as exactly one line.
+    let jsonl = JsonlSink.export_string(&events);
+    assert_eq!(jsonl.lines().count(), events.len());
+    for line in jsonl.lines() {
+        assert!(line.starts_with("{\"seq\":") && line.ends_with('}'));
+    }
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let mut w = program.boot();
+    w.set("feature", 1).unwrap();
+    // No enable_tracing call: the runtime holds no ring, so commits run
+    // exactly as before the observability layer existed.
+    w.commit().unwrap();
+    w.revert().unwrap();
+    let rt = w.rt.as_mut().unwrap();
+    assert!(rt.tracer.is_none());
+    assert!(rt.take_trace().is_empty());
+}
