@@ -68,6 +68,26 @@ fn bench(c: &mut Criterion) {
     }
     println!();
 
+    println!("## page batching vs per-site apply, first commit vs re-commit (1161 sites)");
+    println!(
+        "{:>9}  {:>11} {:>9} {:>7} {:>7} | {:>11} {:>7} {:>12}",
+        "mode", "first", "mprotect", "flush", "pages", "re-commit", "writes", "sites-skip"
+    );
+    for row in mv_bench::fast_path_data(1161) {
+        println!(
+            "{:>9}  {:>11.2?} {:>9} {:>7} {:>7} | {:>11.2?} {:>7} {:>12}",
+            row.mode,
+            row.first_time,
+            row.first.mprotects,
+            row.first.icache_flushes,
+            row.first.pages_touched,
+            row.recommit_time,
+            row.recommit.bytes_written,
+            format!("{}/{}", row.recommit.sites_skipped, row.call_sites),
+        );
+    }
+    println!();
+
     println!("## §6.1 — per-phase commit latency from the trace ring (50 rounds, 1161 sites)");
     print!(
         "{}",

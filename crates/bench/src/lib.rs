@@ -228,6 +228,59 @@ pub fn patch_stats_data(n_sites: usize) -> PatchStatsReport {
     }
 }
 
+/// One mode-column of [`fast_path_data`]: the patching-cost profile of a
+/// first commit and an immediate re-commit under one apply discipline.
+#[derive(Clone, Copy, Debug)]
+pub struct FastPathRow {
+    /// `"batched"` or `"per-site"`.
+    pub mode: &'static str,
+    /// Stats delta of the first (cold) commit.
+    pub first: multiverse::mvrt::PatchStats,
+    /// Host wall time of the first commit.
+    pub first_time: std::time::Duration,
+    /// Stats delta of the immediate re-commit (the delta-planning fast
+    /// path: should plan zero writes).
+    pub recommit: multiverse::mvrt::PatchStats,
+    /// Host wall time of the re-commit.
+    pub recommit_time: std::time::Duration,
+    /// Total recorded call sites in the workload.
+    pub call_sites: u64,
+}
+
+/// E7's new columns: batched vs per-site apply and first-commit vs
+/// re-commit, on the `n_sites` workload. The interesting claims:
+/// batched `mprotects`/`icache_flushes` drop from O(sites) to O(pages),
+/// and the re-commit row performs zero journal entries and zero byte
+/// writes in either mode.
+pub fn fast_path_data(n_sites: usize) -> Vec<FastPathRow> {
+    let src = many_callsites_src(n_sites);
+    let program = Program::build(&[("sites.c", &src)]).expect("build");
+    let mut rows = Vec::new();
+    for (mode, batch) in [("batched", true), ("per-site", false)] {
+        let mut w = program.boot();
+        w.set("feature", 1).unwrap();
+        w.rt.as_mut().expect("runtime").batch_pages = batch;
+        let before = w.rt.as_ref().unwrap().stats;
+        let t0 = std::time::Instant::now();
+        w.commit().expect("commit");
+        let first_time = t0.elapsed();
+        let mid = w.rt.as_ref().unwrap().stats;
+        let t0 = std::time::Instant::now();
+        w.commit().expect("re-commit");
+        let recommit_time = t0.elapsed();
+        let rt = w.rt.as_ref().unwrap();
+        rows.push(FastPathRow {
+            mode,
+            first: mid.since(&before),
+            first_time,
+            recommit: rt.stats.since(&mid),
+            recommit_time,
+            call_sites: rt.num_callsites() as u64,
+        });
+    }
+    rows
+}
+
 /// One row of [`commit_latency_percentiles`]: the latency distribution
 /// of one commit phase (or the whole transaction) in microseconds.
 #[derive(Clone, Copy, Debug)]
@@ -465,6 +518,39 @@ mod tests {
         // Patching ~1161 sites is quick (paper: ≈16 ms for the real
         // kernel; the simulated patch is host-side memory writes).
         assert!(r.commit_time.as_millis() < 2000);
+    }
+
+    /// CI's quick patch-cost gate (see `.github/workflows/ci.yml`): the
+    /// batched commit does O(pages) protection changes, and the
+    /// immediate re-commit is a pure fast path that skips every site.
+    #[test]
+    fn patch_cost_quick() {
+        let rows = fast_path_data(256);
+        let batched = rows[0];
+        let per_site = rows[1];
+        assert_eq!(batched.mode, "batched");
+
+        // Batched apply: at most one RW + one RX per touched page.
+        assert!(batched.first.pages_touched >= 1);
+        assert!(
+            batched.first.mprotects <= 2 * batched.first.pages_touched,
+            "{} mprotects for {} pages",
+            batched.first.mprotects,
+            batched.first.pages_touched
+        );
+        assert!(batched.first.icache_flushes <= batched.first.pages_touched);
+        // …and strictly cheaper than the per-site discipline.
+        assert!(batched.first.mprotects < per_site.first.mprotects);
+        assert!(batched.first.icache_flushes < per_site.first.icache_flushes);
+
+        // Immediate re-commit: delta planning skips every site and
+        // writes nothing, in both modes.
+        for row in &rows {
+            assert_eq!(row.recommit.sites_skipped, row.call_sites, "{}", row.mode);
+            assert_eq!(row.recommit.journal_entries, 0, "{}", row.mode);
+            assert_eq!(row.recommit.bytes_written, 0, "{}", row.mode);
+            assert_eq!(row.recommit.mprotects, 0, "{}", row.mode);
+        }
     }
 
     #[test]

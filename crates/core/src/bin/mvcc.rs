@@ -274,10 +274,19 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     if args.commit {
         let report = world.commit().map_err(|e| e.to_string())?;
         println!(
-            "commit: {} variants bound, {} generic fallbacks, {} sites",
-            report.variants_committed, report.generic_fallbacks, report.sites_touched
+            "commit: {} variants bound, {} generic fallbacks, {} sites, {} unchanged, {} repatched",
+            report.variants_committed,
+            report.generic_fallbacks,
+            report.sites_touched,
+            report.unchanged,
+            report.repatched
         );
         if let Some(rt) = &world.rt {
+            let s = rt.stats;
+            println!(
+                "batching: {} pages touched, {} mprotects, {} flushes, {} sites skipped",
+                s.pages_touched, s.mprotects, s.icache_flushes, s.sites_skipped
+            );
             let t = rt.last_timing;
             println!(
                 "timing: {:.1} µs total (plan {:.1} µs, validate {:.1} µs, apply {:.1} µs) over {} sites",

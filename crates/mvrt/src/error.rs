@@ -14,9 +14,13 @@ use std::fmt;
 /// The phase of a transactional commit in which a failure occurred.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CommitPhase {
-    /// The read-only planning pass: variant selection, call-site byte
-    /// verification, page-protection and descriptor-guard checks. A
-    /// validate failure means **nothing was written**.
+    /// The planning pass: reading switches, resolving variant selection
+    /// and building the action list (including the delta-planning skip
+    /// checks). A plan failure means **nothing was written**.
+    Plan,
+    /// The read-only validation pass: call-site byte verification,
+    /// page-protection and descriptor-guard checks. A validate failure
+    /// means **nothing was written**.
     Validate,
     /// The journaled write pass. An apply failure means the journal was
     /// rolled back and the image is byte-identical to its pre-commit
@@ -31,6 +35,7 @@ pub enum CommitPhase {
 impl fmt::Display for CommitPhase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            CommitPhase::Plan => "plan",
             CommitPhase::Validate => "validate",
             CommitPhase::Apply => "apply",
             CommitPhase::Rollback => "rollback",
@@ -71,6 +76,24 @@ pub enum RtError {
         function: u64,
         /// Its body size.
         size: u32,
+    },
+    /// A `call rel32`/`jmp rel32` target is farther than the ±2 GiB the
+    /// 32-bit displacement field can reach. Surfaced by the encoders
+    /// instead of silently truncating the displacement.
+    DisplacementOutOfRange {
+        /// Address of the instruction being encoded.
+        site: u64,
+        /// The unreachable target.
+        target: u64,
+    },
+    /// A variant body is larger than the call site it was asked to be
+    /// inlined into — a corrupt descriptor body length. Surfaced as an
+    /// error so a transaction rolls back instead of aborting the process.
+    InlineTooLarge {
+        /// Body length in bytes.
+        body: usize,
+        /// Available call-site length in bytes.
+        site_len: usize,
     },
     /// A function-pointer switch holds a value that is not a function
     /// entry the runtime knows how to reach.
@@ -166,6 +189,13 @@ impl fmt::Display for RtError {
             RtError::GenericTooSmall { function, size } => write!(
                 f,
                 "generic body of {function:#x} is {size} bytes, smaller than an entry jump"
+            ),
+            RtError::DisplacementOutOfRange { site, target } => {
+                write!(f, "target {target:#x} is out of rel32 range from {site:#x}")
+            }
+            RtError::InlineTooLarge { body, site_len } => write!(
+                f,
+                "inline body of {body} bytes does not fit a {site_len}-byte call site"
             ),
             RtError::BadFnPtrTarget { var_addr, target } => write!(
                 f,

@@ -47,6 +47,8 @@ pub fn commit_table(
         merged.generic_fallbacks += r.generic_fallbacks;
         merged.fnptr_sites += r.fnptr_sites;
         merged.sites_touched += r.sites_touched;
+        merged.unchanged += r.unchanged;
+        merged.repatched += r.repatched;
     }
     Ok(merged)
 }

@@ -19,9 +19,10 @@
 //! pure overhead.
 
 use crate::error::RtError;
-use crate::patch::patch_bytes;
+use crate::patch::{pages_of, patch_bytes};
 use crate::stats::PatchStats;
-use mvvm::Machine;
+use mvobj::Prot;
+use mvvm::{Machine, PAGE_SIZE};
 
 /// Maximum byte length of one journaled write. Comfortably above the
 /// longest patch the runtime performs (a 9-byte indirect call site).
@@ -133,6 +134,60 @@ impl Journal {
                 addr: e.addr,
                 source: Box::new(src),
             })?;
+        }
+        Ok(())
+    }
+
+    /// Page-batched rollback: one RW window per touched page (the
+    /// recorded entries' pages united with `extra_pages`, typically the
+    /// apply batch's still-open windows), every entry restored newest
+    /// first with plain writes, then one RX relock and one icache flush
+    /// per page — the same O(pages) discipline as the forward batched
+    /// path. `extra_pages` matters for a batch aborted between opening a
+    /// window and writing into it: the window must be relocked even
+    /// though no journal entry names its page.
+    ///
+    /// On failure returns [`RtError::RollbackFailed`] naming the address
+    /// whose step failed; the image may be torn (and some windows may be
+    /// left open), exactly like the unbatched rollback contract.
+    pub fn rollback_batched(
+        &self,
+        m: &mut Machine,
+        extra_pages: &[u64],
+        stats: &mut PatchStats,
+    ) -> Result<(), RtError> {
+        let mut pages: Vec<u64> = Vec::new();
+        for e in &self.entries {
+            for p in pages_of(e.addr, e.old.len()) {
+                if !pages.contains(&p) {
+                    pages.push(p);
+                }
+            }
+        }
+        for &p in extra_pages {
+            if !pages.contains(&p) {
+                pages.push(p);
+            }
+        }
+        let fail = |addr: u64| {
+            move |src: mvvm::MemError| RtError::RollbackFailed {
+                addr,
+                source: Box::new(RtError::Mem(src)),
+            }
+        };
+        for &p in &pages {
+            m.mem.mprotect(p, PAGE_SIZE, Prot::RW).map_err(fail(p))?;
+            stats.mprotects += 1;
+        }
+        for e in self.entries.iter().rev() {
+            m.mem.write(e.addr, &e.old).map_err(fail(e.addr))?;
+            stats.bytes_written += e.old.len() as u64;
+        }
+        for &p in &pages {
+            m.mem.mprotect(p, PAGE_SIZE, Prot::RX).map_err(fail(p))?;
+            stats.mprotects += 1;
+            m.mem.flush_icache(p, PAGE_SIZE);
+            stats.icache_flushes += 1;
         }
         Ok(())
     }

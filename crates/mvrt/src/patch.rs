@@ -9,7 +9,7 @@ use crate::error::RtError;
 use crate::stats::PatchStats;
 use mvasm::{Insn, CALL_SITE_LEN};
 use mvobj::Prot;
-use mvvm::Machine;
+use mvvm::{Machine, PAGE_SIZE};
 
 /// Writes `bytes` into the text segment at `addr` under a transient-RW
 /// window and flushes the icache for the range.
@@ -49,17 +49,27 @@ pub fn call_target(site: u64, rel: i32) -> u64 {
     (site + CALL_SITE_LEN as u64).wrapping_add(rel as i64 as u64)
 }
 
+/// The `rel32` displacement from the end of the 5-byte instruction at
+/// `at` to `target`, checked against the ±2 GiB reach of the field
+/// instead of silently truncating.
+fn rel32(at: u64, target: u64) -> Result<i32, RtError> {
+    let rel = target as i128 - (at as i128 + CALL_SITE_LEN as i128);
+    i32::try_from(rel).map_err(|_| RtError::DisplacementOutOfRange { site: at, target })
+}
+
 /// Encodes a `call rel32` at `site` aimed at `target`.
-pub fn encode_call(site: u64, target: u64) -> Vec<u8> {
-    let rel = target.wrapping_sub(site + CALL_SITE_LEN as u64) as i64;
-    mvasm::encode(&Insn::CallRel { rel: rel as i32 })
+pub fn encode_call(site: u64, target: u64) -> Result<Vec<u8>, RtError> {
+    Ok(mvasm::encode(&Insn::CallRel {
+        rel: rel32(site, target)?,
+    }))
 }
 
 /// Encodes a `jmp rel32` at `at` aimed at `target` (the generic-entry
 /// completeness jump).
-pub fn encode_jmp(at: u64, target: u64) -> Vec<u8> {
-    let rel = target.wrapping_sub(at + CALL_SITE_LEN as u64) as i64;
-    mvasm::encode(&Insn::Jmp { rel: rel as i32 })
+pub fn encode_jmp(at: u64, target: u64) -> Result<Vec<u8>, RtError> {
+    Ok(mvasm::encode(&Insn::Jmp {
+        rel: rel32(at, target)?,
+    }))
 }
 
 /// Verifies that `site` currently holds a `call rel32` to `expected`.
@@ -86,12 +96,37 @@ pub fn verify_call(m: &Machine, site: u64, expected: u64) -> Result<(), RtError>
 /// Builds the byte image for inlining `body` (already stripped of its
 /// final `ret`) into a site of `site_len` bytes, NOP-padding the rest.
 ///
-/// An empty body yields a pure NOP sled — Fig. 3 c's "suitably large nop".
-pub fn inline_image(body: &[u8], site_len: usize) -> Vec<u8> {
-    assert!(body.len() <= site_len);
+/// An empty body yields a pure NOP sled — Fig. 3 c's "suitably large
+/// nop". A body longer than the site (a corrupt descriptor length) is an
+/// [`RtError::InlineTooLarge`] so the transaction can roll back.
+pub fn inline_image(body: &[u8], site_len: usize) -> Result<Vec<u8>, RtError> {
+    if body.len() > site_len {
+        return Err(RtError::InlineTooLarge {
+            body: body.len(),
+            site_len,
+        });
+    }
     let mut v = body.to_vec();
     v.extend(mvasm::nop_fill(site_len - body.len()));
-    v
+    Ok(v)
+}
+
+/// Page base addresses covered by the `len` bytes at `addr`.
+pub fn pages_of(addr: u64, len: usize) -> impl Iterator<Item = u64> {
+    let first = addr & !(PAGE_SIZE - 1);
+    let last = addr.saturating_add(len.saturating_sub(1) as u64) & !(PAGE_SIZE - 1);
+    (first..=last).step_by(PAGE_SIZE as usize)
+}
+
+/// Bookkeeping of one page-batched apply phase: the pages currently
+/// behind a transient RW window, in open order, plus how many journaled
+/// writes landed inside the batch.
+#[derive(Clone, Debug, Default)]
+pub struct PageBatch {
+    /// Page base addresses with an open RW window, in open order.
+    pub open: Vec<u64>,
+    /// Journaled writes performed inside the batch.
+    pub writes: u64,
 }
 
 #[cfg(test)]
@@ -127,12 +162,18 @@ mod tests {
 
     #[test]
     fn verify_call_accepts_and_rejects() {
-        let mut code = encode_call(0, 100); // placeholder, rewritten below
+        let mut code = encode_call(0, 100).unwrap(); // placeholder, rewritten below
         code.extend(mvasm::encode(&Insn::Ret));
         let (mut m, text) = machine_with_text(&code);
         // Point the call at text+5 (the ret) so verification can succeed.
         let mut stats = PatchStats::default();
-        patch_bytes(&mut m, text, &encode_call(text, text + 5), &mut stats).unwrap();
+        patch_bytes(
+            &mut m,
+            text,
+            &encode_call(text, text + 5).unwrap(),
+            &mut stats,
+        )
+        .unwrap();
         verify_call(&m, text, text + 5).unwrap();
         let err = verify_call(&m, text, text + 100).unwrap_err();
         assert!(matches!(err, RtError::SiteVerifyFailed { .. }));
@@ -145,7 +186,7 @@ mod tests {
     fn call_encode_roundtrip() {
         let site = 0x1_0000u64;
         for target in [0x1_0005u64, 0x0_8000, 0x2_0000, site] {
-            let bytes = encode_call(site, target);
+            let bytes = encode_call(site, target).unwrap();
             let (insn, _) = mvasm::decode(&bytes).unwrap();
             let Insn::CallRel { rel } = insn else {
                 panic!()
@@ -155,19 +196,109 @@ mod tests {
     }
 
     #[test]
+    fn encoders_reject_out_of_range_displacements() {
+        // A site high enough that the most negative displacement still
+        // lands on a valid (non-wrapping) address.
+        let site = 4u64 << 30;
+        let next = site + CALL_SITE_LEN as u64;
+        // The extreme reachable targets still encode and round-trip…
+        for target in [
+            next + i32::MAX as u64,
+            next - i32::MIN.unsigned_abs() as u64,
+        ] {
+            let bytes = encode_call(site, target).unwrap();
+            let (Insn::CallRel { rel }, _) = mvasm::decode(&bytes).unwrap() else {
+                panic!()
+            };
+            assert_eq!(call_target(site, rel), target);
+        }
+        // …one byte past either end is rejected instead of wrapping into
+        // a wrong-but-valid rel32 (the old `as i32` truncation bug).
+        for target in [
+            next + i32::MAX as u64 + 1,
+            next - i32::MIN.unsigned_abs() as u64 - 1,
+            site + (4 << 30), // a clean 4 GiB away
+        ] {
+            let err = encode_call(site, target).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RtError::DisplacementOutOfRange { site: s, target: t }
+                        if s == site && t == target
+                ),
+                "{err:?}"
+            );
+            assert!(encode_jmp(site, target).is_err());
+        }
+    }
+
+    #[test]
     fn inline_image_pads_with_nops() {
         let body = mvasm::encode(&Insn::Cli);
-        let img = inline_image(&body, 5);
+        let img = inline_image(&body, 5).unwrap();
         assert_eq!(img.len(), 5);
         let (first, n) = mvasm::decode(&img).unwrap();
         assert_eq!(first, Insn::Cli);
         let (second, _) = mvasm::decode(&img[n..]).unwrap();
         assert!(second.is_nop());
         // Empty body: a single wide NOP.
-        let img = inline_image(&[], 5);
+        let img = inline_image(&[], 5).unwrap();
         let (only, n) = mvasm::decode(&img).unwrap();
         assert_eq!(only, Insn::Nop { len: 5 });
         assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn inline_image_rejects_oversized_bodies() {
+        // A corrupt descriptor body length must surface as an error, not
+        // abort the process via an assert.
+        let body = [0x90u8; 6];
+        let err = inline_image(&body, 5).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RtError::InlineTooLarge {
+                    body: 6,
+                    site_len: 5
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn pages_of_covers_straddles() {
+        assert_eq!(pages_of(0x1000, 5).collect::<Vec<_>>(), vec![0x1000]);
+        assert_eq!(pages_of(0x1ffe, 2).collect::<Vec<_>>(), vec![0x1000]);
+        assert_eq!(
+            pages_of(0x1ffe, 5).collect::<Vec<_>>(),
+            vec![0x1000, 0x2000]
+        );
+        assert_eq!(
+            pages_of(0x1fff, 4098).collect::<Vec<_>>(),
+            vec![0x1000, 0x2000, 0x3000]
+        );
+    }
+
+    #[test]
+    fn patch_bytes_straddling_a_page_boundary_fixes_both_pages() {
+        // A 5-byte call site spanning a page boundary: the RW window,
+        // the RX restore and the icache flush must cover *both* pages.
+        let code = vec![0u8; 2 * PAGE_SIZE as usize];
+        let (mut m, text) = machine_with_text(&code);
+        // 2 bytes before the next page boundary, 3 after it.
+        let site = ((text + PAGE_SIZE) & !(PAGE_SIZE - 1)) - 2;
+        let v0 = (m.mem.code_version(site), m.mem.code_version(site + 4));
+        let mut stats = PatchStats::default();
+        patch_bytes(&mut m, site, &[1, 2, 3, 4, 5], &mut stats).unwrap();
+        assert_eq!(m.mem.read_vec(site, 5).unwrap(), vec![1, 2, 3, 4, 5]);
+        // Both pages relocked…
+        assert!(m.mem.write(site, &[0]).is_err(), "first page writable");
+        assert!(m.mem.write(site + 4, &[0]).is_err(), "second page writable");
+        // …and both pages' decode caches invalidated.
+        let v1 = (m.mem.code_version(site), m.mem.code_version(site + 4));
+        assert!(v1.0 > v0.0 && v1.1 > v0.1, "{v0:?} -> {v1:?}");
+        assert_eq!(stats.mprotects, 2, "one RW and one RX call for the range");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::error::RtError;
 use crate::journal::Journal;
-use crate::patch::{encode_call, encode_jmp, inline_image, insn_at, verify_call};
+use crate::patch::{encode_call, encode_jmp, inline_image, insn_at, verify_call, PageBatch};
 use crate::stats::{PatchStats, PatchTiming};
 use crate::txn::{RetryPolicy, TxnOp};
 use mvasm::{Insn, CALL_SITE_LEN};
@@ -90,6 +90,15 @@ pub struct CommitReport {
     pub fnptr_sites: usize,
     /// Call sites visited in this operation.
     pub sites_touched: usize,
+    /// Functions and function-pointer switches delta planning skipped
+    /// because the image already matched the selected state — the commit
+    /// fast path. Skipped generic fallbacks count here *and* in
+    /// [`CommitReport::generic_fallbacks`].
+    pub unchanged: usize,
+    /// Installs re-applied because the bookkeeping said "already bound"
+    /// but the image bytes did not verify (healing re-install). Each is
+    /// also counted in [`CommitReport::variants_committed`].
+    pub repatched: usize,
 }
 
 /// The attached multiverse runtime for one loaded program.
@@ -121,6 +130,15 @@ pub struct Runtime {
     /// torn. Exists for the journal-overhead ablation in the patch-cost
     /// benchmark.
     pub journal: bool,
+    /// Whether journaled apply phases batch text writes per page
+    /// (default on): one RW window per touched page per transaction,
+    /// all writes inside, then one RX relock and one icache flush per
+    /// page — O(pages) protection changes instead of O(sites). Only the
+    /// journaled path batches; with [`Runtime::journal`] off the legacy
+    /// per-site discipline is used regardless.
+    pub batch_pages: bool,
+    /// RW windows of the page-batched apply phase in flight, if any.
+    pub(crate) batch: Option<PageBatch>,
     /// Bounded retry for transient apply-phase faults (default: off).
     pub retry: RetryPolicy,
     /// Structured-event ring, installed by [`Runtime::enable_tracing`]
@@ -228,6 +246,8 @@ impl Runtime {
             strategy: PatchStrategy::default(),
             inline_enabled: true,
             journal: true,
+            batch_pages: true,
+            batch: None,
             retry: RetryPolicy::default(),
             tracer: None,
             last_timing: PatchTiming::default(),
@@ -377,10 +397,10 @@ impl Runtime {
             Some((body_addr, inline_len)) if (inline_len as usize) <= len => {
                 let body = m.mem.read_vec(body_addr, inline_len as usize)?;
                 self.stats.sites_inlined += 1;
-                (inline_image(&body, len), SiteBinding::Inlined(body_addr))
+                (inline_image(&body, len)?, SiteBinding::Inlined(body_addr))
             }
             _ => {
-                let mut b = encode_call(site, target);
+                let mut b = encode_call(site, target)?;
                 b.extend(mvasm::nop_fill(len - CALL_SITE_LEN));
                 (b, SiteBinding::Call(target))
             }
@@ -444,13 +464,15 @@ impl Runtime {
             self.patch_site_to(m, *si, v_addr, inline)?;
         }
         // Completeness: overwrite the generic entry with `jmp variant`,
-        // saving the prologue the first time.
+        // saving the prologue the first time. The jump is encoded before
+        // the prologue save so an out-of-range variant cannot strand
+        // bookkeeping on the unjournaled path.
+        let jmp = encode_jmp(generic, v_addr)?;
         let first_install = self.fns[fi].saved_prologue.is_none();
         if first_install {
             let saved = m.mem.read_vec(generic, CALL_SITE_LEN)?;
             self.fns[fi].saved_prologue = Some(saved);
         }
-        let jmp = encode_jmp(generic, v_addr);
         if let Err(e) = self.write_text(m, generic, &jmp) {
             // Keep the in-memory state consistent with the image even on
             // the unjournaled path: nothing was written over the entry.

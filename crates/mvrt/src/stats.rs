@@ -25,6 +25,12 @@ pub struct PatchStats {
     /// Functions that fell back to the generic body because no variant's
     /// guards admitted the current configuration (Fig. 3 d).
     pub generic_fallbacks: u64,
+    /// Distinct text pages whose RW window a page-batched apply opened
+    /// (each page also gets exactly one icache flush on close).
+    pub pages_touched: u64,
+    /// Call sites delta planning skipped because they were already in
+    /// the selected state (the commit fast path).
+    pub sites_skipped: u64,
     /// Undo-log entries recorded by journaled apply phases.
     pub journal_entries: u64,
     /// Bytes covered by journal entries.
@@ -59,6 +65,8 @@ impl PatchStats {
             generic_fallbacks: self
                 .generic_fallbacks
                 .saturating_sub(earlier.generic_fallbacks),
+            pages_touched: self.pages_touched.saturating_sub(earlier.pages_touched),
+            sites_skipped: self.sites_skipped.saturating_sub(earlier.sites_skipped),
             journal_entries: self.journal_entries.saturating_sub(earlier.journal_entries),
             journal_bytes: self.journal_bytes.saturating_sub(earlier.journal_bytes),
             rollbacks: self.rollbacks.saturating_sub(earlier.rollbacks),

@@ -17,13 +17,14 @@
 
 use crate::error::{CommitPhase, RtError};
 use crate::journal::Span;
-use crate::patch::encode_call;
+use crate::patch::{encode_call, encode_jmp, pages_of, PageBatch};
 use crate::runtime::{CommitReport, FnBinding, PatchStrategy, Runtime, SiteBinding};
 use crate::stats::PatchTiming;
 use mvasm::CALL_SITE_LEN;
 use mvobj::descriptor::NOT_INLINABLE;
+use mvobj::Prot;
 use mvtrace::{EventKind, Phase as TracePhase};
-use mvvm::{Machine, MemError};
+use mvvm::{Machine, MemError, PAGE_SIZE};
 use std::time::{Duration, Instant};
 
 /// Bounded retry for transient apply-phase faults.
@@ -101,7 +102,10 @@ impl TxnOp {
 #[derive(Clone, Copy, Debug)]
 enum Action {
     /// Install variant `vi` of function `fi` (sites + entry jump).
-    Install { fi: usize, vi: usize },
+    /// `repatch` marks an install where the bookkeeping already said
+    /// "this variant is bound" but the image bytes did not verify, so
+    /// the writes are re-applied to heal it.
+    Install { fi: usize, vi: usize, repatch: bool },
     /// Restore function `fi` to its generic body. `fallback` marks the
     /// Fig. 3 d case (no variant admitted the configuration) as opposed
     /// to an explicit revert.
@@ -124,6 +128,26 @@ impl Action {
             Action::BindFnPtr { .. } | Action::RevertFnPtr { .. } => None,
         }
     }
+}
+
+/// Output of the planning phase: the actions that must run, plus the
+/// delta-planning accounting for everything that did *not* need to —
+/// functions already bound to the selected variant with verified sites,
+/// function-pointer switches already aimed at their target, generic
+/// fallbacks already fully generic. A no-change `commit()` plans an
+/// empty action list and therefore performs zero text writes.
+#[derive(Debug, Default)]
+struct TxnPlan {
+    /// Work that must actually run.
+    actions: Vec<Action>,
+    /// Functions / fn-pointer switches skipped as already current.
+    unchanged: usize,
+    /// Generic fallbacks (Fig. 3 d) skipped as already fully generic.
+    /// These still count into [`CommitReport::generic_fallbacks`], so
+    /// the fallback *signal* survives the fast path.
+    skipped_fallbacks: usize,
+    /// Call sites covered by the skipped work.
+    sites_skipped: u64,
 }
 
 /// Bookkeeping snapshot taken before an apply phase; restored together
@@ -197,6 +221,13 @@ impl Runtime {
     /// the icache flush is verified afterwards (a lost flush means stale
     /// code keeps executing — surfaced as [`RtError::IcacheStale`]).
     /// Outside a transaction (legacy path) it is a plain patch.
+    ///
+    /// With an open [`PageBatch`] the per-write mprotect/flush dance is
+    /// replaced by lazy RW windows: the first write landing on a page
+    /// unlocks it once, subsequent writes go straight in, and
+    /// [`Runtime::close_batch`] relocks and flushes every touched page
+    /// exactly once at the end of the apply phase — O(pages) protection
+    /// changes and flushes instead of O(sites).
     pub(crate) fn write_text(
         &mut self,
         m: &mut Machine,
@@ -214,6 +245,19 @@ impl Runtime {
         txn.record(addr, old, bytes);
         self.stats.journal_entries += 1;
         self.stats.journal_bytes += bytes.len() as u64;
+        if let Some(batch) = self.batch.as_mut() {
+            for page in pages_of(addr, bytes.len()) {
+                if !batch.open.contains(&page) {
+                    m.mem.mprotect(page, PAGE_SIZE, Prot::RW)?;
+                    self.stats.mprotects += 1;
+                    batch.open.push(page);
+                }
+            }
+            m.mem.write(addr, bytes)?;
+            self.stats.bytes_written += bytes.len() as u64;
+            batch.writes += 1;
+            return Ok(());
+        }
         let epoch_before = m.mem.flush_epoch();
         crate::patch::patch_bytes(m, addr, bytes, &mut self.stats)?;
         if m.mem.flush_epoch() == epoch_before {
@@ -222,34 +266,69 @@ impl Runtime {
         Ok(())
     }
 
-    /// Phase 0 — planning. Reads switches and resolves variant selection,
-    /// producing the action list. Address-resolution failures
-    /// (`UnknownVariable`, `UnknownFunction`) surface raw — they are API
-    /// misuse, not transaction failures — while selection failures are
-    /// already validate-phase errors.
-    fn plan_ops(&self, m: &Machine, op: TxnOp) -> Result<Vec<Action>, RtError> {
-        let mut actions = Vec::new();
+    /// Relocks and flushes every page the batch unlocked — once per
+    /// page — then accounts the batch. Flush effectiveness is verified
+    /// per page through the flush epoch, like the per-site path does per
+    /// write. On error the batch is left in place so the caller can hand
+    /// its open windows to the batched rollback.
+    fn close_batch(&mut self, m: &mut Machine) -> Result<(), RtError> {
+        let Some(batch) = self.batch.as_ref() else {
+            return Ok(());
+        };
+        let pages = batch.open.clone();
+        let writes = batch.writes;
+        for &page in &pages {
+            let epoch_before = m.mem.flush_epoch();
+            m.mem.mprotect(page, PAGE_SIZE, Prot::RX)?;
+            self.stats.mprotects += 1;
+            m.mem.flush_icache(page, PAGE_SIZE);
+            self.stats.icache_flushes += 1;
+            if m.mem.flush_epoch() == epoch_before {
+                return Err(RtError::IcacheStale { addr: page });
+            }
+        }
+        self.stats.pages_touched += pages.len() as u64;
+        if !pages.is_empty() {
+            self.emit(|| EventKind::PageBatch {
+                pages: pages.len() as u64,
+                writes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Phase 0 — planning. Reads switches, resolves variant selection and
+    /// consults the runtime bookkeeping to produce the action list:
+    /// anything already in its selected state is *skipped* (delta
+    /// planning) and accounted in the returned [`TxnPlan`].
+    /// Address-resolution failures (`UnknownVariable`,
+    /// `UnknownFunction`) surface raw — they are API misuse, not
+    /// transaction failures — while selection failures are wrapped with
+    /// [`CommitPhase::Plan`].
+    fn plan_ops(&mut self, m: &Machine, op: TxnOp) -> Result<TxnPlan, RtError> {
+        let mut plan = TxnPlan::default();
         match op {
             TxnOp::CommitAll => {
                 for fi in 0..self.fns.len() {
-                    self.plan_commit_fn(m, fi, &mut actions)?;
+                    self.plan_commit_fn(m, fi, &mut plan)?;
                 }
-                for v in &self.vars {
-                    if v.fn_ptr && self.sites_of.contains_key(&v.addr) {
-                        actions.push(Action::BindFnPtr { var_addr: v.addr });
+                for vi in 0..self.vars.len() {
+                    let var_addr = self.vars[vi].addr;
+                    if self.vars[vi].fn_ptr && self.sites_of.contains_key(&var_addr) {
+                        self.plan_bind_fnptr(m, var_addr, &mut plan);
                     }
                 }
             }
             TxnOp::RevertAll => {
                 for fi in 0..self.fns.len() {
-                    actions.push(Action::RevertFn {
+                    plan.actions.push(Action::RevertFn {
                         fi,
                         fallback: false,
                     });
                 }
                 for v in &self.vars {
                     if v.fn_ptr && self.sites_of.contains_key(&v.addr) {
-                        actions.push(Action::RevertFnPtr { var_addr: v.addr });
+                        plan.actions.push(Action::RevertFnPtr { var_addr: v.addr });
                     }
                 }
             }
@@ -259,11 +338,11 @@ impl Runtime {
                     .get(&var_addr)
                     .ok_or(RtError::UnknownVariable(var_addr))?;
                 if self.vars[vi].fn_ptr {
-                    actions.push(Action::BindFnPtr { var_addr });
+                    self.plan_bind_fnptr(m, var_addr, &mut plan);
                 } else {
                     for fi in 0..self.fns.len() {
                         if self.references_var(fi, var_addr) {
-                            self.plan_commit_fn(m, fi, &mut actions)?;
+                            self.plan_commit_fn(m, fi, &mut plan)?;
                         }
                     }
                 }
@@ -274,11 +353,11 @@ impl Runtime {
                     .get(&var_addr)
                     .ok_or(RtError::UnknownVariable(var_addr))?;
                 if self.vars[vi].fn_ptr {
-                    actions.push(Action::RevertFnPtr { var_addr });
+                    plan.actions.push(Action::RevertFnPtr { var_addr });
                 } else {
                     for fi in 0..self.fns.len() {
                         if self.references_var(fi, var_addr) {
-                            actions.push(Action::RevertFn {
+                            plan.actions.push(Action::RevertFn {
                                 fi,
                                 fallback: false,
                             });
@@ -291,45 +370,193 @@ impl Runtime {
                     .fn_by_addr
                     .get(&fn_addr)
                     .ok_or(RtError::UnknownFunction(fn_addr))?;
-                self.plan_commit_fn(m, fi, &mut actions)?;
+                self.plan_commit_fn(m, fi, &mut plan)?;
             }
             TxnOp::RevertFunc(fn_addr) => {
                 let &fi = self
                     .fn_by_addr
                     .get(&fn_addr)
                     .ok_or(RtError::UnknownFunction(fn_addr))?;
-                actions.push(Action::RevertFn {
+                plan.actions.push(Action::RevertFn {
                     fi,
                     fallback: false,
                 });
             }
         }
-        Ok(actions)
+        Ok(plan)
     }
 
     /// Plans the commit of one function: selects the variant the current
     /// configuration admits, or a revert-to-generic fallback (Fig. 3 d).
+    /// Delta planning: if the bookkeeping says the selected state is
+    /// already installed *and* the image bytes verify, no action is
+    /// emitted; bookkeeping-says-installed with mismatching bytes plans a
+    /// healing re-install (`repatch`).
     fn plan_commit_fn(
-        &self,
+        &mut self,
         m: &Machine,
         fi: usize,
-        actions: &mut Vec<Action>,
+        plan: &mut TxnPlan,
     ) -> Result<(), RtError> {
         if self.fns[fi].desc.variants.is_empty() {
             return Ok(());
         }
+        let generic = self.fns[fi].desc.generic;
         match self.select_variant(m, fi) {
-            Ok(Some(vi)) => actions.push(Action::Install { fi, vi }),
-            Ok(None) => actions.push(Action::RevertFn { fi, fallback: true }),
+            Ok(Some(vi)) => {
+                let v_addr = self.fns[fi].desc.variants[vi].addr;
+                if self.fns[fi].binding == FnBinding::Variant(v_addr) {
+                    if self.commit_fn_unchanged(m, fi, vi) {
+                        let sites = match self.strategy {
+                            PatchStrategy::CallSites => self.callsites_of(generic) as u64,
+                            PatchStrategy::EntryOnly => 0,
+                        };
+                        plan.unchanged += 1;
+                        plan.sites_skipped += sites;
+                        self.emit(|| EventKind::ActionSkipped {
+                            function: generic,
+                            sites,
+                        });
+                    } else {
+                        plan.actions.push(Action::Install {
+                            fi,
+                            vi,
+                            repatch: true,
+                        });
+                    }
+                } else {
+                    plan.actions.push(Action::Install {
+                        fi,
+                        vi,
+                        repatch: false,
+                    });
+                }
+            }
+            Ok(None) => {
+                if self.fn_generic_unchanged(fi) {
+                    plan.skipped_fallbacks += 1;
+                    self.emit(|| EventKind::ActionSkipped {
+                        function: generic,
+                        sites: 0,
+                    });
+                } else {
+                    plan.actions.push(Action::RevertFn { fi, fallback: true });
+                }
+            }
             Err(e) => {
                 return Err(RtError::Commit {
-                    phase: CommitPhase::Validate,
-                    function: Some(self.fns[fi].desc.generic),
+                    phase: CommitPhase::Plan,
+                    function: Some(generic),
                     source: Box::new(e),
                 })
             }
         }
         Ok(())
+    }
+
+    /// Plans the re-bind of one function-pointer switch, delta-skipping
+    /// it when every recorded site is already bound to the switch's
+    /// current target and verifies. A null target keeps the action so
+    /// the validate phase reports [`RtError::BadFnPtrTarget`].
+    fn plan_bind_fnptr(&mut self, m: &Machine, var_addr: u64, plan: &mut TxnPlan) {
+        if self.fnptr_unchanged(m, var_addr) {
+            let sites = self.callsites_of(var_addr) as u64;
+            plan.unchanged += 1;
+            plan.sites_skipped += sites;
+            self.emit(|| EventKind::ActionSkipped {
+                function: var_addr,
+                sites,
+            });
+        } else {
+            plan.actions.push(Action::BindFnPtr { var_addr });
+        }
+    }
+
+    /// `true` if function `fi` is verifiably already in the state an
+    /// install of variant `vi` would produce: prologue saved, the entry
+    /// jump bytes in place, and (under call-site patching) every
+    /// recorded site bound the way the install would bind it, with its
+    /// bytes verifying. Any read failure or mismatch conservatively
+    /// reports "changed", so the install runs and surfaces the problem
+    /// through the normal validate/apply machinery.
+    fn commit_fn_unchanged(&self, m: &Machine, fi: usize, vi: usize) -> bool {
+        let f = &self.fns[fi];
+        let v = &f.desc.variants[vi];
+        if f.saved_prologue.is_none() {
+            return false;
+        }
+        let Ok(jmp) = encode_jmp(f.desc.generic, v.addr) else {
+            return false;
+        };
+        match m.mem.read_vec(f.desc.generic, CALL_SITE_LEN) {
+            Ok(cur) if cur == jmp => {}
+            _ => return false,
+        }
+        if self.strategy == PatchStrategy::CallSites {
+            if let Some(idxs) = self.sites_of.get(&f.desc.generic) {
+                for &si in idxs {
+                    let s = &self.sites[si];
+                    let expected = if self.inline_enabled
+                        && v.inline_len != NOT_INLINABLE
+                        && (v.inline_len as usize) <= s.len
+                    {
+                        SiteBinding::Inlined(v.addr)
+                    } else {
+                        SiteBinding::Call(v.addr)
+                    };
+                    if s.binding != expected || self.check_site_patchable(m, si).is_err() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if function `fi` is already fully generic (nothing saved,
+    /// nothing bound, every site untouched) — the generic-fallback
+    /// revert would write nothing.
+    fn fn_generic_unchanged(&self, fi: usize) -> bool {
+        let f = &self.fns[fi];
+        if f.saved_prologue.is_some() || f.binding != FnBinding::Generic {
+            return false;
+        }
+        match self.sites_of.get(&f.desc.generic) {
+            Some(idxs) => idxs
+                .iter()
+                .all(|&si| self.sites[si].binding == SiteBinding::Original),
+            None => true,
+        }
+    }
+
+    /// `true` if every site of the function-pointer switch at `var_addr`
+    /// is already bound the way [`Runtime::commit_fnptr_var`] would bind
+    /// it for the switch's current target, with verifying bytes.
+    fn fnptr_unchanged(&self, m: &Machine, var_addr: u64) -> bool {
+        let Ok(target) = m.mem.read_uint(var_addr, 8) else {
+            return false;
+        };
+        if target == 0 {
+            return false;
+        }
+        let inline = self.fn_by_addr.get(&target).and_then(|&fi| {
+            let il = self.fns[fi].desc.generic_inline_len;
+            (self.inline_enabled && il != NOT_INLINABLE).then_some(il)
+        });
+        let Some(idxs) = self.sites_of.get(&var_addr) else {
+            return true;
+        };
+        for &si in idxs {
+            let s = &self.sites[si];
+            let expected = match inline {
+                Some(il) if (il as usize) <= s.len => SiteBinding::Inlined(target),
+                _ => SiteBinding::Call(target),
+            };
+            if s.binding != expected || self.check_site_patchable(m, si).is_err() {
+                return false;
+            }
+        }
+        true
     }
 
     /// Phase 1 — validation. Re-checks, read-only, everything the apply
@@ -340,7 +567,7 @@ impl Runtime {
     fn validate_actions(&self, m: &Machine, actions: &[Action]) -> Result<(), RtError> {
         for a in actions {
             let checked = match *a {
-                Action::Install { fi, vi } => self.validate_install(m, fi, vi),
+                Action::Install { fi, vi, .. } => self.validate_install(m, fi, vi),
                 Action::RevertFn { fi, .. } => self.validate_revert_fn(m, fi),
                 Action::BindFnPtr { var_addr } => self.validate_bind_fnptr(m, var_addr),
                 Action::RevertFnPtr { var_addr } => self.validate_revert_fnptr(m, var_addr),
@@ -371,7 +598,7 @@ impl Runtime {
             SiteBinding::Original => current == &s.original[..],
             // Rewritten: must hold exactly the call we encoded.
             SiteBinding::Call(target) => {
-                let mut expected = encode_call(s.desc.site, target);
+                let mut expected = encode_call(s.desc.site, target)?;
                 expected.extend(mvasm::nop_fill(s.len - CALL_SITE_LEN));
                 current == &expected[..]
             }
@@ -414,17 +641,25 @@ impl Runtime {
                 size: f.desc.generic_size,
             });
         }
-        // Entry prologue must be readable, executable text.
+        // Entry prologue must be readable, executable text, and the
+        // variant must be within rel32 reach of the entry jump.
         m.mem.read_vec(f.desc.generic, CALL_SITE_LEN)?;
         self.check_exec(m, f.desc.generic)?;
+        encode_jmp(f.desc.generic, v.addr)?;
         // The variant body must be readable if it may be inlined.
-        if self.inline_enabled && v.inline_len != NOT_INLINABLE {
+        let may_inline = self.inline_enabled && v.inline_len != NOT_INLINABLE;
+        if may_inline {
             m.mem.read_vec(v.addr, v.inline_len as usize)?;
         }
         if self.strategy == PatchStrategy::CallSites {
             if let Some(idxs) = self.sites_of.get(&f.desc.generic) {
                 for &si in idxs {
                     self.check_site_patchable(m, si)?;
+                    // Sites that will be rewritten (not inlined) must be
+                    // within rel32 reach of the variant.
+                    if !(may_inline && (v.inline_len as usize) <= self.sites[si].len) {
+                        encode_call(self.sites[si].desc.site, v.addr)?;
+                    }
                 }
             }
         }
@@ -454,15 +689,20 @@ impl Runtime {
         if target == 0 {
             return Err(RtError::BadFnPtrTarget { var_addr, target });
         }
+        let mut inline_len = None;
         if let Some(&fi) = self.fn_by_addr.get(&target) {
             let il = self.fns[fi].desc.generic_inline_len;
             if self.inline_enabled && il != NOT_INLINABLE {
                 m.mem.read_vec(target, il as usize)?;
+                inline_len = Some(il);
             }
         }
         if let Some(idxs) = self.sites_of.get(&var_addr) {
             for &si in idxs {
                 self.check_site_patchable(m, si)?;
+                if inline_len.is_none_or(|il| (il as usize) > self.sites[si].len) {
+                    encode_call(self.sites[si].desc.site, target)?;
+                }
             }
         }
         Ok(())
@@ -520,9 +760,16 @@ impl Runtime {
         let mut journal = std::mem::take(&mut self.spare_journal);
         journal.clear();
         self.txn = Some(journal);
+        if self.batch_pages {
+            self.batch = Some(PageBatch::default());
+        }
         let mut report = CommitReport::default();
-        let failure = self.execute_actions(m, actions, &mut report).err();
+        let mut failure = self.execute_actions(m, actions, &mut report).err();
+        if failure.is_none() {
+            failure = self.close_batch(m).err().map(|e| (None, e));
+        }
         let journal = self.txn.take().expect("transaction active");
+        let batch = self.batch.take();
         let outcome = match failure {
             None => Ok(report),
             Some((function, cause)) => {
@@ -540,7 +787,11 @@ impl Runtime {
                     what: fault_what,
                 });
                 let entries = journal.len() as u64;
-                match journal.rollback(m, &mut self.stats) {
+                let rolled = match &batch {
+                    Some(b) => journal.rollback_batched(m, &b.open, &mut self.stats),
+                    None => journal.rollback(m, &mut self.stats),
+                };
+                match rolled {
                     Ok(()) => {
                         self.restore_state(snapshot);
                         self.stats.rollbacks += 1;
@@ -575,10 +826,13 @@ impl Runtime {
         for a in actions {
             let function = a.function(self);
             match *a {
-                Action::Install { fi, vi } => {
+                Action::Install { fi, vi, repatch } => {
                     let sites = self.install_variant(m, fi, vi).map_err(|e| (function, e))?;
                     report.sites_touched += sites;
                     report.variants_committed += 1;
+                    if repatch {
+                        report.repatched += 1;
+                    }
                 }
                 Action::RevertFn { fi, fallback } => {
                     let sites = self.revert_fn_idx(m, fi).map_err(|e| (function, e))?;
@@ -650,13 +904,13 @@ impl Runtime {
             phase: TracePhase::Plan,
             ok: planned.is_ok(),
         });
-        let actions = planned?;
+        let plan = planned?;
 
         self.emit(|| EventKind::PhaseBegin {
             phase: TracePhase::Validate,
         });
         let t = Instant::now();
-        let validated = self.validate_actions(m, &actions);
+        let validated = self.validate_actions(m, &plan.actions);
         self.last_timing.validate += t.elapsed();
         self.emit(|| EventKind::PhaseEnd {
             phase: TracePhase::Validate,
@@ -669,10 +923,10 @@ impl Runtime {
         });
         let t = Instant::now();
         let applied = if self.journal {
-            self.apply_actions(m, &actions)
+            self.apply_actions(m, &plan.actions)
         } else {
             let mut report = CommitReport::default();
-            match self.execute_actions(m, &actions, &mut report) {
+            match self.execute_actions(m, &plan.actions, &mut report) {
                 Ok(()) => Ok(report),
                 Err((_, e)) => Err(e),
             }
@@ -682,7 +936,16 @@ impl Runtime {
             phase: TracePhase::Apply,
             ok: applied.is_ok(),
         });
-        applied
+        // Fold the delta-planning summary into the successful attempt:
+        // skipped work is reported as unchanged, skipped fallbacks keep
+        // the Fig. 3 d signal alive, and the skipped sites are counted.
+        applied.map(|mut report| {
+            report.unchanged += plan.unchanged + plan.skipped_fallbacks;
+            report.generic_fallbacks += plan.skipped_fallbacks;
+            self.stats.generic_fallbacks += plan.skipped_fallbacks as u64;
+            self.stats.sites_skipped += plan.sites_skipped;
+            report
+        })
     }
 
     /// Dry-run validation: everything a full [`Runtime::commit`] would

@@ -326,6 +326,74 @@ fn dropped_icache_flush_is_detected_and_rolled_back() {
 }
 
 #[test]
+fn selection_error_during_planning_is_labelled_plan() {
+    // A guard referencing a switch with no variable descriptor fails
+    // while *planning* (variant selection), before anything is checked
+    // or written. Historically this was mislabelled CommitPhase::Validate;
+    // it must report CommitPhase::Plan.
+    let mut o = base_object();
+    o.define_bss("A", 4);
+    o.define_bss("B", 4); // linkable, but no variable descriptor
+    let mut a = Assembler::new();
+    a.load_sym(Reg::R0, "A", 0, mvasm::Width::W32, true);
+    a.ret();
+    let g = a.finish().unwrap();
+    let g_size = g.bytes.len() as u32;
+    o.add_code("mv", &g);
+    let mut a = Assembler::new();
+    a.mov_ri(Reg::R0, 1);
+    a.ret();
+    o.add_code("mv.B=1", &a.finish().unwrap());
+    emit_variable(
+        &mut o,
+        &VarDescSym {
+            symbol: "A".into(),
+            width: 4,
+            signed: true,
+            fn_ptr: false,
+            name_sym: None,
+        },
+    );
+    emit_function(
+        &mut o,
+        &FnDescSym {
+            symbol: "mv".into(),
+            generic_size: g_size,
+            generic_inline_len: NOT_INLINABLE,
+            name_sym: None,
+            variants: vec![VariantDescSym {
+                symbol: "mv.B=1".into(),
+                body_size: 11,
+                inline_len: NOT_INLINABLE,
+                guards: vec![GuardSym {
+                    var_symbol: "B".into(),
+                    low: 1,
+                    high: 1,
+                }],
+            }],
+        },
+    );
+    let exe = link(&[o], &Layout::default()).unwrap();
+    let mut m = Machine::new(CostModel::default(), MachineConfig::default());
+    m.load(&exe);
+    let mut rt = Runtime::attach(&m, &exe).unwrap();
+
+    let err = rt.commit(&mut m).unwrap_err();
+    assert_eq!(err.commit_phase(), Some(CommitPhase::Plan), "{err:?}");
+    assert!(
+        matches!(
+            err.root_cause(),
+            RtError::UnknownGuardVariable { var_addr, .. }
+                if *var_addr == exe.symbol("B").unwrap()
+        ),
+        "{err:?}"
+    );
+    // A plan failure writes nothing.
+    assert_eq!(rt.stats.journal_entries, 0);
+    assert_eq!(rt.stats.bytes_written, 0);
+}
+
+#[test]
 fn unjournaled_commit_reports_the_raw_error() {
     // The legacy path (journal off) must keep its old failure shape: the
     // raw error, no Commit wrapper — and no rollback.

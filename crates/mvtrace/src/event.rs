@@ -117,6 +117,24 @@ pub enum EventKind {
         /// Which retry this is (1 = first re-attempt).
         attempt: u32,
     },
+    /// Delta planning found a function (or function-pointer switch)
+    /// already in its selected state, verified it, and planned no action
+    /// for it — the commit fast path.
+    ActionSkipped {
+        /// Generic entry (or pointer-switch address) left untouched.
+        function: u64,
+        /// Call sites covered by the skip.
+        sites: u64,
+    },
+    /// A page-batched apply phase closed its RW windows: every journaled
+    /// write of the transaction went through one window per touched page,
+    /// with one icache flush per page.
+    PageBatch {
+        /// Distinct text pages whose window was opened.
+        pages: u64,
+        /// Journaled writes performed inside the batch.
+        writes: u64,
+    },
 }
 
 impl EventKind {
@@ -136,6 +154,8 @@ impl EventKind {
             EventKind::FaultObserved { .. } => "fault_observed",
             EventKind::Rollback { .. } => "rollback",
             EventKind::Retry { .. } => "retry",
+            EventKind::ActionSkipped { .. } => "action_skipped",
+            EventKind::PageBatch { .. } => "page_batch",
         }
     }
 

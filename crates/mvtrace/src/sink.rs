@@ -57,6 +57,12 @@ fn kind_fields(kind: &EventKind) -> String {
         }
         EventKind::Rollback { entries } => format!(r#","entries":{entries}"#),
         EventKind::Retry { attempt } => format!(r#","attempt":{attempt}"#),
+        EventKind::ActionSkipped { function, sites } => {
+            format!(r#","function":"{function:#x}","sites":{sites}"#)
+        }
+        EventKind::PageBatch { pages, writes } => {
+            format!(r#","pages":{pages},"writes":{writes}"#)
+        }
     }
 }
 
@@ -199,6 +205,12 @@ impl TraceSink for TextSink {
                             }
                             EventKind::Rollback { entries } => {
                                 format!("rolled back {entries} journal entries")
+                            }
+                            EventKind::ActionSkipped { function, sites } => {
+                                format!("{function:#x} unchanged, {sites} sites skipped")
+                            }
+                            EventKind::PageBatch { pages, writes } => {
+                                format!("{writes} writes batched over {pages} pages")
                             }
                             _ => e.kind.name().to_string(),
                         };
