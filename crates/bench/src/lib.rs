@@ -419,6 +419,157 @@ pub fn tracing_overhead(
     (baseline, recording, disabled)
 }
 
+/// Synthesizes the compile-cost workload: `n_funcs` multiversed
+/// functions, each reading `n_switches` switches with `domain`-value
+/// domains — `domain^n_switches` clones per function before merging.
+///
+/// The bodies are built so the merge stage has real work: each function
+/// only distinguishes *whether* a switch is zero, so for `domain > 2`
+/// all non-zero values of a switch collapse into one merged variant
+/// (Fig. 2 at scale).
+pub fn compile_cost_src(n_funcs: usize, n_switches: usize, domain: usize) -> String {
+    use std::fmt::Write as _;
+    let mut src = String::new();
+    for s in 0..n_switches {
+        let dom: Vec<String> = (0..domain as i64).map(|v| v.to_string()).collect();
+        let _ = writeln!(src, "multiverse({}) i32 s{s};", dom.join(", "));
+    }
+    for f in 0..n_funcs {
+        let _ = writeln!(src, "multiverse i64 f{f}(void) {{\n    i64 acc = {f};");
+        for s in 0..n_switches {
+            // Scaled powers of two keep every subset sum distinct, so the
+            // folded bodies never collide and merging yields exactly
+            // 2^n_switches variants per function.
+            let _ = writeln!(src, "    if (s{s}) {{ acc = acc + {}; }}", (f + 1) << s);
+        }
+        let _ = writeln!(src, "    return acc;\n}}");
+    }
+    src.push_str("i64 main(void) { return ");
+    src.push_str(
+        &(0..n_funcs)
+            .map(|f| format!("f{f}()"))
+            .collect::<Vec<_>>()
+            .join(" + "),
+    );
+    src.push_str("; }\n");
+    src
+}
+
+/// One row of [`compile_cost_data`]: a (switch count, domain width)
+/// configuration compiled four ways.
+#[derive(Clone, Debug)]
+pub struct CompileCostRow {
+    /// Human label, e.g. `"4 fns × 3^4 assignments"`.
+    pub config: String,
+    /// Clones materialized in the cold sequential build.
+    pub clones: u64,
+    /// Variants emitted post-merge.
+    pub variants: u64,
+    /// Merge rate of the cold build (fraction of clones eliminated).
+    pub merge_rate: f64,
+    /// Cold sequential (`-j 1`, cache off) wall time.
+    pub seq_cold: std::time::Duration,
+    /// Cold parallel (`-j N`, cache off) wall time.
+    pub par_cold: std::time::Duration,
+    /// Warm (`-j 1`, cache hit for every function) wall time.
+    pub cached: std::time::Duration,
+    /// Clones materialized by the warm build (0 = every function hit).
+    pub cached_clones: u64,
+    /// `true` iff the sequential and parallel objects are byte-identical
+    /// (fingerprint over sections, symbols and relocations).
+    pub identical: bool,
+}
+
+/// §7.1's build-time table, extended with the pipeline's two levers:
+/// thread-parallel clone+fold (`jobs`) and the content-keyed compile
+/// cache. Each `(n_funcs, n_switches, domain)` configuration is
+/// compiled sequentially-cold, parallel-cold, and sequentially-warm,
+/// and the sequential/parallel objects are compared byte-for-byte.
+pub fn compile_cost_data(configs: &[(usize, usize, usize)], jobs: usize) -> Vec<CompileCostRow> {
+    use multiverse::mvc::{pipeline, Options, Pipeline};
+    use std::time::Instant;
+    let mut rows = Vec::new();
+    for &(n_funcs, n_switches, domain) in configs {
+        let src = compile_cost_src(n_funcs, n_switches, domain);
+        let limit = domain.pow(n_switches as u32) * 2;
+        let opts = |jobs: usize, cache: bool| Options {
+            variant_limit: limit,
+            jobs,
+            cache,
+            ..Options::default()
+        };
+
+        let mut seq = Pipeline::new(opts(1, false));
+        let t0 = Instant::now();
+        let (obj_seq, _) = seq.compile_unit(&src, "cost.c").expect("sequential build");
+        let seq_cold = t0.elapsed();
+
+        let mut par = Pipeline::new(opts(jobs, false));
+        let t0 = Instant::now();
+        let (obj_par, _) = par.compile_unit(&src, "cost.c").expect("parallel build");
+        let par_cold = t0.elapsed();
+
+        // Warm run: populate the cache once, then time the replay.
+        pipeline::clear_compile_cache();
+        Pipeline::new(opts(1, true))
+            .compile_unit(&src, "cost.c")
+            .expect("populate cache");
+        let mut warm = Pipeline::new(opts(1, true));
+        let t0 = Instant::now();
+        let (obj_warm, _) = warm.compile_unit(&src, "cost.c").expect("cached build");
+        let cached = t0.elapsed();
+
+        let stats = seq.stats();
+        rows.push(CompileCostRow {
+            config: format!("{n_funcs} fns × {domain}^{n_switches} assignments"),
+            clones: stats.clones,
+            variants: stats.variants,
+            merge_rate: stats.merge_rate(),
+            seq_cold,
+            par_cold,
+            cached,
+            cached_clones: warm.stats().clones,
+            identical: obj_seq.fingerprint() == obj_par.fingerprint()
+                && obj_par.fingerprint() == obj_warm.fingerprint(),
+        });
+    }
+    rows
+}
+
+/// Renders [`compile_cost_data`] rows as an aligned table.
+pub fn render_compile_cost_table(rows: &[CompileCostRow], jobs: usize) -> String {
+    use std::fmt::Write as _;
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<28} {:>7} {:>8} {:>7} {:>10} {:>10} {:>10} {:>6}",
+        "configuration",
+        "clones",
+        "variants",
+        "merge%",
+        "seq (ms)",
+        format!("-j{jobs} (ms)"),
+        "warm (ms)",
+        "ident"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<28} {:>7} {:>8} {:>6.1}% {:>10.3} {:>10.3} {:>10.3} {:>6}",
+            r.config,
+            r.clones,
+            r.variants,
+            r.merge_rate * 100.0,
+            ms(r.seq_cold),
+            ms(r.par_cold),
+            ms(r.cached),
+            if r.identical { "yes" } else { "NO" }
+        );
+    }
+    s
+}
+
 /// E10 — the footnote-1 ablation: dynamic `if` vs. multiverse under warm
 /// and cold branch predictors.
 ///
@@ -551,6 +702,58 @@ mod tests {
             assert_eq!(row.recommit.bytes_written, 0, "{}", row.mode);
             assert_eq!(row.recommit.mprotects, 0, "{}", row.mode);
         }
+    }
+
+    /// CI's quick compile-pipeline gate (see `.github/workflows/ci.yml`):
+    /// parallel output is byte-identical to sequential, the merge stage
+    /// actually shares clones, and the warm build replays every variant
+    /// from the compile cache without re-cloning.
+    #[test]
+    fn compile_cost_quick() {
+        use multiverse::mvc::{pipeline, Options, Pipeline};
+        let src = compile_cost_src(3, 3, 3); // 3 fns × 27 assignments
+        let opts = |jobs: usize, cache: bool| Options {
+            variant_limit: 64,
+            jobs,
+            cache,
+            ..Options::default()
+        };
+
+        // Differential: -j {2,4,8} objects are byte-identical to -j 1.
+        let (seq_obj, seq_warn) = Pipeline::new(opts(1, false))
+            .compile_unit(&src, "cost.c")
+            .expect("sequential");
+        for jobs in [2usize, 4, 8] {
+            let (par_obj, par_warn) = Pipeline::new(opts(jobs, false))
+                .compile_unit(&src, "cost.c")
+                .expect("parallel");
+            assert_eq!(
+                seq_obj.fingerprint(),
+                par_obj.fingerprint(),
+                "-j {jobs} diverged from -j 1"
+            );
+            assert_eq!(seq_warn, par_warn, "-j {jobs} warnings diverged");
+        }
+
+        // The merge stage shares work: `if (s)` bodies collapse all
+        // non-zero values, so 27 clones merge to 2^3 = 8 variants per fn.
+        let mut p = Pipeline::new(opts(1, false));
+        p.compile_unit(&src, "cost.c").expect("build");
+        assert_eq!(p.stats().clones, 3 * 27);
+        assert_eq!(p.stats().variants, 3 * 8);
+
+        // Cache-hit path: a second build replays everything, clones
+        // nothing, and still produces the identical object.
+        pipeline::clear_compile_cache();
+        let mut cold = Pipeline::new(opts(1, true));
+        let (cold_obj, _) = cold.compile_unit(&src, "cost.c").expect("cold");
+        assert_eq!(cold.stats().cache_misses, 3);
+        let mut warm = Pipeline::new(opts(1, true));
+        let (warm_obj, _) = warm.compile_unit(&src, "cost.c").expect("warm");
+        assert_eq!(warm.stats().cache_hits, 3);
+        assert_eq!(warm.stats().clones, 0, "hits must not re-specialize");
+        assert_eq!(warm.stats().cached_variants, 3 * 8);
+        assert_eq!(cold_obj.fingerprint(), warm_obj.fingerprint());
     }
 
     #[test]

@@ -1,7 +1,17 @@
 //! `mvcc` — the multiverse compiler driver.
 //!
 //! ```text
-//! mvcc build  <file.c>…             compile + link, print image summary
+//! mvcc build  <file.c>… [-j N] [--timings] [--stats]
+//!                                   compile + link, print image summary;
+//!                                   -j runs the optimize/codegen pipeline
+//!                                   stages on N threads (0 = all cores,
+//!                                   output byte-identical to -j 1);
+//!                                   --timings/--stats print the staged
+//!                                   pipeline's wall-time / counter report
+//!                                   (--timings additionally records
+//!                                   stage_begin/stage_end/cache_query
+//!                                   events — exported with --out/--format
+//!                                   like `mvcc trace`)
 //! mvcc compile <file.c> -o out.mvo  separate compilation: write one
 //!                                   relocatable MVO object
 //! mvcc link   <file.mvo>… [--run]   link MVO objects (and optionally run
@@ -36,6 +46,8 @@
 //!   --dynamic            build without multiverse (binding B)
 //!   --static VAR=V       fix a switch at compile time (binding A)
 //!   --variant-limit N    override the variant-explosion limit
+//!   -j / --jobs N        pipeline worker threads (default 1, 0 = cores)
+//!   --no-cache           disable the in-process compile cache
 //! ```
 
 use multiverse::mvc::Options;
@@ -55,6 +67,8 @@ struct Args {
     out: Option<String>,
     format: Option<String>,
     per_fn: bool,
+    timings: bool,
+    stats_flag: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -75,6 +89,8 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         format: None,
         per_fn: false,
+        timings: false,
+        stats_flag: false,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -108,6 +124,16 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
             "--format" => args.format = Some(it.next().ok_or("--format needs a name")?),
             "--per-fn" => args.per_fn = true,
+            "-j" | "--jobs" => {
+                args.opts.jobs = it
+                    .next()
+                    .ok_or("-j needs a worker count (0 = all cores)")?
+                    .parse()
+                    .map_err(|_| "bad worker count")?;
+            }
+            "--no-cache" => args.opts.cache = false,
+            "--timings" => args.timings = true,
+            "--stats" => args.stats_flag = true,
             f if !f.starts_with('-') => args.files.push(f.to_string()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -118,12 +144,17 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn build(args: &Args) -> Result<Program, String> {
+fn read_units(args: &Args) -> Result<Vec<(String, String)>, String> {
     let mut units = Vec::new();
     for f in &args.files {
         let src = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
         units.push((f.clone(), src));
     }
+    Ok(units)
+}
+
+fn build(args: &Args) -> Result<Program, String> {
+    let units = read_units(args)?;
     let refs: Vec<(&str, &str)> = units
         .iter()
         .map(|(n, s)| (n.as_str(), s.as_str()))
@@ -136,7 +167,22 @@ fn build(args: &Args) -> Result<Program, String> {
 }
 
 fn cmd_build(args: &Args) -> Result<(), String> {
-    let p = build(args)?;
+    use multiverse::mvtrace::{ChromeSink, JsonlSink, TextSink, TraceSink};
+    let units = read_units(args)?;
+    let refs: Vec<(&str, &str)> = units
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    let mut pipeline = multiverse::mvc::Pipeline::new(args.opts.clone());
+    if args.timings {
+        multiverse::mvtrace::set_enabled(true);
+        pipeline.enable_tracing(65536);
+    }
+    let p = Program::build_with_pipeline(&refs, &mut pipeline, args.opts.multiverse)
+        .map_err(|e| e.to_string())?;
+    for w in p.warnings() {
+        eprintln!("{w}");
+    }
     let exe = p.exe();
     println!("image: {} bytes, entry {:#x}", p.image_size(), exe.entry);
     for sec in [
@@ -151,6 +197,27 @@ fn cmd_build(args: &Args) -> Result<(), String> {
         let (addr, size) = exe.section(sec);
         if size > 0 {
             println!("  {sec:22} {addr:#10x}  {size:>8} B");
+        }
+    }
+    if args.timings || args.stats_flag {
+        print!("{}", pipeline.stats().report());
+    }
+    if args.timings {
+        let events = pipeline.take_trace();
+        match &args.out {
+            Some(path) => {
+                let format = args.format.as_deref().unwrap_or("chrome");
+                let sink: Box<dyn TraceSink> = match format {
+                    "chrome" => Box::new(ChromeSink),
+                    "jsonl" => Box::new(JsonlSink),
+                    "text" => Box::new(TextSink),
+                    other => return Err(format!("unknown --format `{other}` (chrome|jsonl|text)")),
+                };
+                let mut f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                sink.export(&events, &mut f).map_err(|e| e.to_string())?;
+                eprintln!("wrote {path} ({format}, {} events)", events.len());
+            }
+            None => print!("{}", TextSink.export_string(&events)),
         }
     }
     Ok(())

@@ -79,6 +79,23 @@ impl Program {
         })
     }
 
+    /// Compiles `units` through a caller-provided [`mvc::Pipeline`], so
+    /// the caller keeps the per-stage timings, counters and (if enabled)
+    /// the compile-stage trace — the backing of `mvcc build --timings`
+    /// and `--stats`.
+    pub fn build_with_pipeline(
+        units: &[(&str, &str)],
+        pipeline: &mut mvc::Pipeline,
+        multiversed: bool,
+    ) -> Result<Program, BuildError> {
+        let (exe, warnings) = pipeline.build(units)?;
+        Ok(Program {
+            exe,
+            warnings,
+            multiversed,
+        })
+    }
+
     /// The linked executable.
     pub fn exe(&self) -> &Executable {
         &self.exe

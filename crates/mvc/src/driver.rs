@@ -1,21 +1,15 @@
 //! The compiler driver: source → object, and multi-unit source → linked
 //! executable.
+//!
+//! Since the staged-pipeline refactor this module is a thin façade: it
+//! owns [`Options`] and forwards to [`crate::pipeline::Pipeline`], which
+//! runs the lower → mv-expand → optimize → merge → codegen stages with
+//! timing, tracing, parallelism and the compile cache.
 
-use crate::codegen::{gen_function, GenFn};
 use crate::error::{CompileError, Warning};
-use crate::ir::{FuncIr, Inst, IrBin, Operand};
-use crate::lexer::lex;
-use crate::lower::lower_unit;
-use crate::mv::generate_variants;
-use crate::parser::parse;
-use crate::passes::optimize;
-use crate::types::Type;
-use mvobj::descriptor::{
-    emit_callsite, emit_function, emit_variable, CallsiteDescSym, FnDescSym, VarDescSym,
-    VariantDescSym,
-};
-use mvobj::{link, Executable, Layout, Object};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use crate::pipeline::Pipeline;
+use mvobj::{Executable, Object};
+use std::collections::HashMap;
 
 /// Compilation options selecting the paper's binding modes.
 #[derive(Clone, Debug)]
@@ -36,6 +30,13 @@ pub struct Options {
     /// Inline small non-multiverse functions (§7.1: multiversed
     /// functions are never inlined; everything else may be).
     pub inline: bool,
+    /// Worker threads for the optimize/codegen pipeline stages: 1 =
+    /// sequential, 0 = all available cores. Output is byte-identical
+    /// for every value.
+    pub jobs: usize,
+    /// Consult (and populate) the process-wide compile cache keyed by
+    /// (pre-expand body hash, switch-domain signature).
+    pub cache: bool,
 }
 
 impl Default for Options {
@@ -46,6 +47,8 @@ impl Default for Options {
             variant_limit: 64,
             optimize: true,
             inline: true,
+            jobs: 1,
+            cache: true,
         }
     }
 }
@@ -69,240 +72,13 @@ impl Options {
     }
 }
 
-/// Demotes a just-defined symbol to unit-local visibility (`static`).
-fn mark_local(obj: &mut Object, name: &str) {
-    if let Some(sym) = obj.symbols.iter_mut().rev().find(|s| s.name == name) {
-        sym.global = false;
-    }
-}
-
-/// Replaces reads of statically configured globals with constants —
-/// the compile-time binding of Fig. 1 A.
-fn apply_static_config(f: &mut FuncIr, config: &HashMap<String, i64>) {
-    if config.is_empty() {
-        return;
-    }
-    for b in &mut f.blocks {
-        for inst in &mut b.insts {
-            if let Inst::LoadGlobal { dst, global, .. } = inst {
-                if let Some(&v) = config.get(global) {
-                    *inst = Inst::Bin {
-                        op: IrBin::Add,
-                        dst: *dst,
-                        a: Operand::Const(v),
-                        b: Operand::Const(0),
-                    };
-                }
-            }
-        }
-    }
-}
-
 /// Compiles one translation unit to a relocatable object.
 pub fn compile(
     source: &str,
     unit_name: &str,
     opts: &Options,
 ) -> Result<(Object, Vec<Warning>), CompileError> {
-    let unit = parse(&lex(source)?)?;
-    let mut lowered = lower_unit(&unit)?;
-    if opts.inline && opts.optimize {
-        crate::passes::inline::run_unit(&mut lowered.funcs);
-    }
-    let ctx = lowered.ctx;
-    let mut warnings = Vec::new();
-    let mut obj = Object::new(unit_name);
-
-    // Globals: deterministic order.
-    let globals: BTreeMap<&String, _> = ctx.globals.iter().collect();
-    for (name, g) in &globals {
-        if g.attrs.is_extern {
-            continue;
-        }
-        if let Some(target) = &g.init_addr_of {
-            obj.define_data_ptr(name, target);
-        } else if let Some(v) = g.init_const {
-            let bytes = (v as u64).to_le_bytes();
-            obj.define_data(name, &bytes[..g.ty.size() as usize]);
-        } else {
-            obj.define_bss(name, g.size().max(1));
-        }
-        if g.attrs.is_static {
-            // `static` globals are unit-local: two units may define the
-            // same name without a link-time collision.
-            mark_local(&mut obj, name);
-        }
-    }
-
-    // Which functions have their address taken (potential fn-ptr
-    // targets)? They get registration descriptors so the runtime can
-    // inline them at indirect sites.
-    let mut addr_taken: HashSet<String> = HashSet::new();
-    for g in ctx.globals.values() {
-        if let Some(t) = &g.init_addr_of {
-            addr_taken.insert(t.clone());
-        }
-    }
-    for f in &lowered.funcs {
-        for b in &f.blocks {
-            for i in &b.insts {
-                if let Inst::AddrOf { symbol, .. } = i {
-                    if ctx.funcs.contains_key(symbol) {
-                        addr_taken.insert(symbol.clone());
-                    }
-                }
-            }
-        }
-    }
-
-    struct PerFn {
-        gen: GenFn,
-        size: u32,
-        variants: Vec<(String, GenFn, u32, Vec<Vec<mvobj::descriptor::GuardSym>>)>,
-        is_mv: bool,
-    }
-
-    let mut per_fn: Vec<(String, PerFn)> = Vec::new();
-    for f in &lowered.funcs {
-        let mut generic = f.clone();
-        apply_static_config(&mut generic, &opts.static_config);
-
-        // Variant generation runs on the *unoptimized* body (§3: clones
-        // are made after immediate-code generation, before optimization).
-        let mv_result = if opts.multiverse {
-            generate_variants(&generic, &ctx, opts.variant_limit)?
-        } else {
-            None
-        };
-
-        if opts.optimize {
-            optimize(&mut generic);
-        }
-        let gen = gen_function(&generic, &ctx, opts.multiverse)?;
-        let size = gen.blob.bytes.len() as u32;
-
-        let mut variants = Vec::new();
-        let mut is_mv = false;
-        if let Some(r) = mv_result {
-            warnings.extend(r.warnings.clone());
-            is_mv = !r.variants.is_empty();
-            for v in &r.variants {
-                let vgen = gen_function(&v.ir, &ctx, opts.multiverse)?;
-                let vsize = vgen.blob.bytes.len() as u32;
-                variants.push((v.name.clone(), vgen, vsize, v.guard_sets.clone()));
-            }
-        }
-        per_fn.push((
-            f.name.clone(),
-            PerFn {
-                gen,
-                size,
-                variants,
-                is_mv,
-            },
-        ));
-    }
-
-    // Emit code and gather call-site records.
-    let mut all_mv_sites: Vec<(String, u32, String)> = Vec::new(); // (caller, off, callee)
-    let mut all_ptr_sites: Vec<(String, u32, String)> = Vec::new();
-    for (name, pf) in &per_fn {
-        obj.add_code(name, &pf.gen.blob);
-        if ctx.funcs.get(name).is_some_and(|sig| sig.attrs.is_static) {
-            mark_local(&mut obj, name);
-        }
-        for (off, callee) in &pf.gen.mv_callsites {
-            all_mv_sites.push((name.clone(), *off, callee.clone()));
-        }
-        for (off, ptr) in &pf.gen.ptr_callsites {
-            all_ptr_sites.push((name.clone(), *off, ptr.clone()));
-        }
-        for (vname, vgen, _, _) in &pf.variants {
-            obj.add_code(vname, &vgen.blob);
-            for (off, callee) in &vgen.mv_callsites {
-                all_mv_sites.push((vname.clone(), *off, callee.clone()));
-            }
-            for (off, ptr) in &vgen.ptr_callsites {
-                all_ptr_sites.push((vname.clone(), *off, ptr.clone()));
-            }
-        }
-    }
-
-    if opts.multiverse {
-        // Variable descriptors for switches defined in this unit.
-        for (name, g) in &globals {
-            if !g.is_switch() || g.attrs.is_extern {
-                continue;
-            }
-            let name_sym = obj.intern_string(name);
-            emit_variable(
-                &mut obj,
-                &VarDescSym {
-                    symbol: (*name).clone(),
-                    width: g.ty.size() as u32,
-                    signed: g.ty.signed(),
-                    fn_ptr: g.ty == Type::Fnptr,
-                    name_sym: Some(name_sym),
-                },
-            );
-        }
-
-        // Function descriptors: multiversed functions (with variants) and
-        // address-taken pointer targets (registration only).
-        for (name, pf) in &per_fn {
-            if !pf.is_mv && !addr_taken.contains(name) {
-                continue;
-            }
-            let name_sym = obj.intern_string(name);
-            emit_function(
-                &mut obj,
-                &FnDescSym {
-                    symbol: name.clone(),
-                    generic_size: pf.size,
-                    generic_inline_len: pf.gen.inline_len,
-                    name_sym: Some(name_sym),
-                    variants: pf
-                        .variants
-                        .iter()
-                        .flat_map(|(vname, vgen, vsize, guard_sets)| {
-                            // One descriptor entry per guard set; merged
-                            // bodies share the symbol.
-                            guard_sets.iter().map(move |gs| VariantDescSym {
-                                symbol: vname.clone(),
-                                body_size: *vsize,
-                                inline_len: vgen.inline_len,
-                                guards: gs.clone(),
-                            })
-                        })
-                        .collect(),
-                },
-            );
-        }
-
-        // Call-site descriptors.
-        for (caller, off, callee) in &all_mv_sites {
-            emit_callsite(
-                &mut obj,
-                &CallsiteDescSym {
-                    callee: callee.clone(),
-                    caller: caller.clone(),
-                    offset: *off,
-                },
-            );
-        }
-        for (caller, off, ptr) in &all_ptr_sites {
-            emit_callsite(
-                &mut obj,
-                &CallsiteDescSym {
-                    callee: ptr.clone(),
-                    caller: caller.clone(),
-                    offset: *off,
-                },
-            );
-        }
-    }
-
-    Ok((obj, warnings))
+    Pipeline::new(opts.clone()).compile_unit(source, unit_name)
 }
 
 /// Compiles several translation units and links them into an executable.
@@ -310,15 +86,7 @@ pub fn compile_and_link(
     units: &[(&str, &str)],
     opts: &Options,
 ) -> Result<(Executable, Vec<Warning>), CompileError> {
-    let mut objects = Vec::new();
-    let mut warnings = Vec::new();
-    for (name, src) in units {
-        let (o, w) = compile(src, name, opts)?;
-        objects.push(o);
-        warnings.extend(w);
-    }
-    let exe = link(&objects, &Layout::default()).map_err(|e| CompileError::Link(e.to_string()))?;
-    Ok((exe, warnings))
+    Pipeline::new(opts.clone()).build(units)
 }
 
 #[cfg(test)]

@@ -34,6 +34,10 @@ pub enum CompileError {
         variants: usize,
         /// Configured limit.
         limit: usize,
+        /// The offending switches with their domain sizes, in the
+        /// deterministic expansion order — so the error names exactly
+        /// which factors of the cross product to restrict.
+        switches: Vec<(String, usize)>,
     },
     /// Linking the compiled objects failed.
     Link(String),
@@ -51,11 +55,20 @@ impl fmt::Display for CompileError {
                 function,
                 variants,
                 limit,
-            } => write!(
-                f,
-                "function `{function}` would generate {variants} variants (limit {limit}); \
-                 restrict switch domains with `multiverse(v1, v2, …)`"
-            ),
+                switches,
+            } => {
+                let product = switches
+                    .iter()
+                    .map(|(name, n)| format!("`{name}` ({n} values)"))
+                    .collect::<Vec<_>>()
+                    .join(" × ");
+                write!(
+                    f,
+                    "function `{function}` would generate {variants} variants (limit {limit}): \
+                     cross product {product}; restrict switch domains with \
+                     `multiverse(v1, v2, …)` or bind fewer switches with `bind(…)`"
+                )
+            }
             CompileError::Link(msg) => write!(f, "link error: {msg}"),
             CompileError::Asm(msg) => write!(f, "internal assembler error: {msg}"),
         }
@@ -65,7 +78,7 @@ impl fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 /// A non-fatal diagnostic.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Warning {
     /// A configuration switch is written inside a multiversed function —
     /// the write survives, but the variant generated for the enclosing

@@ -50,8 +50,10 @@ pub mod lower;
 pub mod mv;
 pub mod parser;
 pub mod passes;
+pub mod pipeline;
 pub mod token;
 pub mod types;
 
 pub use driver::{compile, compile_and_link, Options};
 pub use error::{CompileError, Warning};
+pub use pipeline::{Pipeline, PipelineStats, StageStats};

@@ -20,7 +20,7 @@ use crate::ir::{FuncIr, Inst, IrBin, Operand};
 use crate::lower::Ctx;
 use crate::passes;
 use mvobj::descriptor::GuardSym;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One specialized variant body with its descriptor guard sets.
 #[derive(Clone, Debug)]
@@ -47,12 +47,56 @@ pub struct MvResult {
     pub warnings: Vec<Warning>,
 }
 
-/// Generates the variants of `f`, or `None` if `f` is not multiversed.
-pub fn generate_variants(
+/// The mv-expand *plan* for one function: everything the expansion stage
+/// decides before any clone is materialized. Splitting planning from
+/// execution lets the pipeline run the (cheap, error-reporting) plan
+/// stage sequentially and farm the clone+fold work out to a thread pool.
+#[derive(Clone, Debug)]
+pub struct ExpandPlan {
+    /// Switch names the function specializes over, in deterministic
+    /// (sorted, bind-filtered) order.
+    pub switches: Vec<String>,
+    /// The value domain of each switch, positionally matching
+    /// `switches`.
+    pub domains: Vec<Vec<i64>>,
+    /// The full cross product of assignments, in domain-major order.
+    pub assignments: Vec<Vec<(String, i64)>>,
+    /// Warnings produced during planning (switch writes, no reads).
+    pub warnings: Vec<Warning>,
+}
+
+impl ExpandPlan {
+    /// A stable textual signature of the specialization domain: switch
+    /// names, their domains, and nothing else. Two functions with equal
+    /// pre-expand bodies and equal domain signatures generate identical
+    /// variant sets (modulo the base name), which is what makes the
+    /// compile cache sound.
+    pub fn domain_signature(&self) -> String {
+        let mut sig = String::new();
+        for (s, dom) in self.switches.iter().zip(&self.domains) {
+            sig.push_str(s);
+            sig.push('=');
+            for v in dom {
+                sig.push_str(&v.to_string());
+                sig.push(',');
+            }
+            sig.push(';');
+        }
+        sig
+    }
+}
+
+/// Plans the expansion of `f`, or `None` if `f` is not multiversed.
+///
+/// This is stage "mv-expand" part one: switch discovery, bind
+/// filtering, the switch-write warning scan, the explosion check (which
+/// names every offending switch and its domain size), and the cross
+/// product itself. No IR is cloned here.
+pub fn plan_expansion(
     f: &FuncIr,
     ctx: &Ctx,
     limit: usize,
-) -> Result<Option<MvResult>, CompileError> {
+) -> Result<Option<ExpandPlan>, CompileError> {
     if !f.attrs.multiverse {
         return Ok(None);
     }
@@ -101,9 +145,10 @@ pub fn generate_variants(
         warnings.push(Warning::NoSwitchesReferenced {
             function: f.name.clone(),
         });
-        return Ok(Some(MvResult {
+        return Ok(Some(ExpandPlan {
             switches,
-            variants: Vec::new(),
+            domains: Vec::new(),
+            assignments: Vec::new(),
             warnings,
         }));
     }
@@ -116,6 +161,11 @@ pub fn generate_variants(
             function: f.name.clone(),
             variants: total,
             limit,
+            switches: switches
+                .iter()
+                .zip(&domains)
+                .map(|(s, d)| (s.clone(), d.len().max(1)))
+                .collect(),
         });
     }
 
@@ -132,32 +182,84 @@ pub fn generate_variants(
         assignments = next;
     }
 
-    // Clone + specialize + optimize.
-    type SpecializedBody = (Vec<(String, i64)>, FuncIr, String);
-    let mut bodies: Vec<SpecializedBody> = Vec::new();
-    for assign in assignments {
-        let mut clone = f.clone();
-        specialize(&mut clone, &assign);
-        passes::optimize(&mut clone);
-        let key = clone.canonical_key();
-        bodies.push((assign, clone, key));
-    }
+    Ok(Some(ExpandPlan {
+        switches,
+        domains,
+        assignments,
+        warnings,
+    }))
+}
 
-    // Merge structurally equal bodies (keep first-seen order).
-    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+/// One specialized, optimized clone plus its canonical merge key. The
+/// per-assignment work unit of the pipeline's optimize stage.
+pub type SpecializedBody = (Vec<(String, i64)>, FuncIr, String);
+
+/// Stage "optimize", one item: clone `f`, bind `assign`'s constants,
+/// run the regular pass pipeline, and compute the canonical key the
+/// merge stage buckets on. Pure (no shared state), hence trivially
+/// parallel across assignments.
+pub fn specialize_clone(f: &FuncIr, assign: Vec<(String, i64)>) -> SpecializedBody {
+    let mut clone = f.clone();
+    specialize(&mut clone, &assign);
+    passes::optimize(&mut clone);
+    let key = clone.canonical_key();
+    (assign, clone, key)
+}
+
+/// 64-bit FNV-1a — the content address of a canonicalized body.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stage "merge": groups structurally identical bodies by content
+/// address. Each body's canonical key is FNV-1a-hashed into buckets;
+/// within a bucket the full key is compared, so hash collisions can
+/// never merge distinct bodies. First-seen group order is preserved,
+/// which keeps variant naming and object layout deterministic. O(n)
+/// expected — replaces the seed's pairwise `find` scan.
+pub fn merge_clones(bodies: &[SpecializedBody]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    // hash → indices into `groups` whose key has that hash.
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
     for (i, (_, _, key)) in bodies.iter().enumerate() {
-        match groups.iter_mut().find(|(k, _)| k == key) {
-            Some((_, idxs)) => idxs.push(i),
-            None => groups.push((key.clone(), vec![i])),
+        let h = fnv1a(key.as_bytes());
+        let bucket = buckets.entry(h).or_default();
+        match bucket
+            .iter()
+            .find(|&&g| bodies[groups[g][0]].2 == *key)
+            .copied()
+        {
+            Some(g) => groups[g].push(i),
+            None => {
+                bucket.push(groups.len());
+                groups.push(vec![i]);
+            }
         }
     }
+    groups
+}
 
-    let mut variants = Vec::new();
-    for (_, idxs) in groups {
+/// Stage "merge" part two: turns merge groups into named, guarded
+/// variants. `base` is the generic function's symbol; passing it
+/// separately keeps the merge result reusable under any name (the
+/// compile cache stores name-independent variants).
+pub fn assemble_variants(
+    base: &str,
+    switches: &[String],
+    bodies: &[SpecializedBody],
+    groups: &[Vec<usize>],
+) -> Vec<VariantInfo> {
+    let mut variants = Vec::with_capacity(groups.len());
+    for idxs in groups {
         let group_assignments: Vec<Vec<(String, i64)>> =
             idxs.iter().map(|&i| bodies[i].0.clone()).collect();
-        let guard_sets = synthesize_guards(&switches, &group_assignments);
-        let name = variant_name(&f.name, &switches, &group_assignments, &guard_sets);
+        let guard_sets = synthesize_guards(switches, &group_assignments);
+        let name = variant_name(base, switches, &group_assignments, &guard_sets);
         let mut ir = bodies[idxs[0]].1.clone();
         ir.name = name.clone();
         variants.push(VariantInfo {
@@ -167,11 +269,42 @@ pub fn generate_variants(
             assignments: group_assignments,
         });
     }
+    variants
+}
 
+/// Generates the variants of `f`, or `None` if `f` is not multiversed.
+///
+/// Sequential reference path: plan → specialize each assignment in
+/// order → merge → assemble. The pipeline's parallel path runs the same
+/// stages with the specialize loop farmed out, and must produce
+/// byte-identical results; the differential test in
+/// `tests/compile_pipeline.rs` holds it to that.
+pub fn generate_variants(
+    f: &FuncIr,
+    ctx: &Ctx,
+    limit: usize,
+) -> Result<Option<MvResult>, CompileError> {
+    let Some(plan) = plan_expansion(f, ctx, limit)? else {
+        return Ok(None);
+    };
+    if plan.switches.is_empty() {
+        return Ok(Some(MvResult {
+            switches: plan.switches,
+            variants: Vec::new(),
+            warnings: plan.warnings,
+        }));
+    }
+    let bodies: Vec<SpecializedBody> = plan
+        .assignments
+        .iter()
+        .map(|a| specialize_clone(f, a.clone()))
+        .collect();
+    let groups = merge_clones(&bodies);
+    let variants = assemble_variants(&f.name, &plan.switches, &bodies, &groups);
     Ok(Some(MvResult {
-        switches,
+        switches: plan.switches,
         variants,
-        warnings,
+        warnings: plan.warnings,
     }))
 }
 

@@ -125,6 +125,41 @@ impl Object {
         self.symbols.iter().filter(move |s| s.kind == kind)
     }
 
+    /// A stable 64-bit content fingerprint (FNV-1a) of the whole object:
+    /// unit name, every section's kind, size and bytes, and every symbol
+    /// and relocation, in emission order.
+    ///
+    /// Emission order is part of the fingerprint on purpose: the
+    /// compiler's parallel pipeline must produce *identical* objects for
+    /// any `-j`, so the differential tests compare fingerprints (and the
+    /// full structures) rather than some order-insensitive digest that
+    /// could mask a scheduling-dependent reordering.
+    pub fn fingerprint(&self) -> u64 {
+        fn feed(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            // Separator so field boundaries cannot alias.
+            h ^= 0xff;
+            h.wrapping_mul(0x0000_0100_0000_01b3)
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = feed(h, self.name.as_bytes());
+        for s in &self.sections {
+            h = feed(h, s.name.as_bytes());
+            h = feed(h, format!("{:?}:{}", s.kind, s.size).as_bytes());
+            h = feed(h, &s.bytes);
+        }
+        for s in &self.symbols {
+            h = feed(h, format!("{s:?}").as_bytes());
+        }
+        for r in &self.relocs {
+            h = feed(h, format!("{r:?}").as_bytes());
+        }
+        h
+    }
+
     /// Appends assembled code to `.text` under a global function symbol,
     /// converting the assembler's fixups into relocations.
     ///
@@ -188,6 +223,25 @@ mod tests {
         let sec = o.section(crate::SEC_RODATA).unwrap();
         assert_eq!(sec.bytes, b"hi\0");
         assert!(o.symbols.iter().any(|s| s.name == sym && !s.global));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_and_order() {
+        let build = |tag: &str| {
+            let mut o = Object::new("tu0");
+            o.append(".text", SectionKind::Text, tag.as_bytes());
+            o.define_bss("g", 8);
+            o.intern_string("name");
+            o
+        };
+        assert_eq!(build("aa").fingerprint(), build("aa").fingerprint());
+        assert_ne!(build("aa").fingerprint(), build("ab").fingerprint());
+        // Symbol order matters: a reordered but equal-content object is
+        // a different (non-deterministic) emission and must not compare
+        // equal.
+        let mut reordered = build("aa");
+        reordered.symbols.swap(0, 1);
+        assert_ne!(build("aa").fingerprint(), reordered.fingerprint());
     }
 
     #[test]

@@ -135,6 +135,31 @@ pub enum EventKind {
         /// Journaled writes performed inside the batch.
         writes: u64,
     },
+    /// A named stage of the compiler's staged pipeline started
+    /// (`lower`, `mv-expand`, `optimize`, `merge`, `codegen`).
+    StageBegin {
+        /// Stage name.
+        stage: &'static str,
+    },
+    /// The compiler pipeline stage finished.
+    StageEnd {
+        /// Stage name.
+        stage: &'static str,
+        /// Units of work the stage processed (functions, clones, bodies —
+        /// whatever the stage iterates over).
+        items: u64,
+    },
+    /// The compile cache resolved one multiversed function: on a hit the
+    /// expand/optimize/merge stages were skipped for its whole variant
+    /// cross product.
+    CacheQuery {
+        /// `true` if the pre-expand body + switch-domain signature was
+        /// already cached.
+        hit: bool,
+        /// Variants reused (hit) or later inserted (miss: 0 at query
+        /// time).
+        variants: u64,
+    },
 }
 
 impl EventKind {
@@ -156,6 +181,9 @@ impl EventKind {
             EventKind::Retry { .. } => "retry",
             EventKind::ActionSkipped { .. } => "action_skipped",
             EventKind::PageBatch { .. } => "page_batch",
+            EventKind::StageBegin { .. } => "stage_begin",
+            EventKind::StageEnd { .. } => "stage_end",
+            EventKind::CacheQuery { .. } => "cache_query",
         }
     }
 
@@ -168,6 +196,8 @@ impl EventKind {
                 | EventKind::CommitEnd { .. }
                 | EventKind::PhaseBegin { .. }
                 | EventKind::PhaseEnd { .. }
+                | EventKind::StageBegin { .. }
+                | EventKind::StageEnd { .. }
         )
     }
 }

@@ -63,6 +63,13 @@ fn kind_fields(kind: &EventKind) -> String {
         EventKind::PageBatch { pages, writes } => {
             format!(r#","pages":{pages},"writes":{writes}"#)
         }
+        EventKind::StageBegin { stage } => format!(r#","stage":"{stage}""#),
+        EventKind::StageEnd { stage, items } => {
+            format!(r#","stage":"{stage}","items":{items}"#)
+        }
+        EventKind::CacheQuery { hit, variants } => {
+            format!(r#","hit":{hit},"variants":{variants}"#)
+        }
     }
 }
 
@@ -111,6 +118,8 @@ impl TraceSink for ChromeSink {
                 EventKind::CommitEnd { .. } => ("E", "", "commit"),
                 EventKind::PhaseBegin { phase } => ("B", phase.name(), "phase"),
                 EventKind::PhaseEnd { phase, .. } => ("E", phase.name(), "phase"),
+                EventKind::StageBegin { stage } => ("B", stage, "compile"),
+                EventKind::StageEnd { stage, .. } => ("E", stage, "compile"),
                 _ => ("i", e.kind.name(), "point"),
             };
             if !first {
@@ -161,6 +170,26 @@ impl TraceSink for TextSink {
                 "({} events truncated by the ring before the first complete commit)",
                 forest.orphaned
             )?;
+        }
+        for s in &forest.stages {
+            writeln!(
+                w,
+                "stage {:<10} {:>12}  {} item{}",
+                s.stage,
+                human_ns(s.duration_ns()),
+                s.items,
+                if s.items == 1 { "" } else { "s" }
+            )?;
+            for e in &s.events {
+                if let EventKind::CacheQuery { hit, variants } = e.kind {
+                    writeln!(
+                        w,
+                        "      cache {} ({variants} variant{})",
+                        if hit { "hit" } else { "miss" },
+                        if variants == 1 { "" } else { "s" }
+                    )?;
+                }
+            }
         }
         for c in &forest.commits {
             writeln!(

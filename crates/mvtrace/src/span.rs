@@ -87,6 +87,29 @@ impl CommitSpan {
     }
 }
 
+/// One compiler pipeline stage (`stage_begin`/`stage_end` pair emitted
+/// by `mvc`'s staged pipeline, outside any commit).
+#[derive(Clone, Debug, Default)]
+pub struct StageSpan {
+    /// Stage name (`lower`, `mv-expand`, `optimize`, `merge`, `codegen`).
+    pub stage: &'static str,
+    /// Timestamp of `stage_begin`.
+    pub begin_ns: u64,
+    /// Timestamp of `stage_end` (== `begin_ns` when truncated).
+    pub end_ns: u64,
+    /// Work items the stage reported on `stage_end`.
+    pub items: u64,
+    /// Point events recorded inside the stage (cache queries, …).
+    pub events: Vec<Event>,
+}
+
+impl StageSpan {
+    /// Wall-clock duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.begin_ns)
+    }
+}
+
 /// Result of [`build_spans`]: the reconstructed commits plus how many
 /// leading events had to be skipped because the ring had already
 /// dropped their enclosing `commit_begin`.
@@ -94,6 +117,9 @@ impl CommitSpan {
 pub struct SpanForest {
     /// Reconstructed commit spans, in stream order.
     pub commits: Vec<CommitSpan>,
+    /// Compiler pipeline stages, in stream order (empty unless the
+    /// stream came from a traced `mvc` pipeline).
+    pub stages: Vec<StageSpan>,
     /// Events skipped before the first `commit_begin`.
     pub orphaned: usize,
 }
@@ -109,6 +135,7 @@ pub fn build_spans(events: &[Event]) -> SpanForest {
     let mut current: Option<CommitSpan> = None;
     let mut attempt = AttemptSpan::default();
     let mut open_phase: Option<PhaseSpan> = None;
+    let mut open_stage: Option<StageSpan> = None;
 
     let close_phase = |attempt: &mut AttemptSpan, phase: &mut Option<PhaseSpan>, ts: u64| {
         if let Some(mut p) = phase.take() {
@@ -124,6 +151,12 @@ pub fn build_spans(events: &[Event]) -> SpanForest {
         let Some(span) = current.as_mut() else {
             match e.kind {
                 EventKind::CommitBegin { op } => {
+                    // A commit interrupts any open stage (should not
+                    // happen from a well-formed pipeline; close it).
+                    if let Some(mut s) = open_stage.take() {
+                        s.end_ns = e.ts_ns;
+                        forest.stages.push(s);
+                    }
                     current = Some(CommitSpan {
                         op,
                         begin_seq: e.seq,
@@ -135,7 +168,35 @@ pub fn build_spans(events: &[Event]) -> SpanForest {
                     attempt = AttemptSpan::default();
                     open_phase = None;
                 }
-                _ => forest.orphaned += 1,
+                EventKind::StageBegin { stage } => {
+                    if let Some(mut s) = open_stage.take() {
+                        s.end_ns = e.ts_ns;
+                        forest.stages.push(s);
+                    }
+                    open_stage = Some(StageSpan {
+                        stage,
+                        begin_ns: e.ts_ns,
+                        end_ns: e.ts_ns,
+                        items: 0,
+                        events: Vec::new(),
+                    });
+                }
+                EventKind::StageEnd { stage, items } => {
+                    if let Some(mut s) = open_stage.take() {
+                        // A mismatched name still closes the open stage
+                        // (truncation tolerance) but keeps its own name.
+                        let _ = stage;
+                        s.end_ns = e.ts_ns;
+                        s.items = items;
+                        forest.stages.push(s);
+                    } else {
+                        forest.orphaned += 1;
+                    }
+                }
+                _ => match open_stage.as_mut() {
+                    Some(s) => s.events.push(e),
+                    None => forest.orphaned += 1,
+                },
             }
             continue;
         };
@@ -205,6 +266,10 @@ pub fn build_spans(events: &[Event]) -> SpanForest {
             },
         }
     }
+    // Stream ended mid-stage.
+    if let Some(s) = open_stage.take() {
+        forest.stages.push(s);
+    }
     // Stream ended mid-commit.
     if let Some(mut span) = current.take() {
         let last_ts = events.last().map_or(span.begin_ns, |e| e.ts_ns);
@@ -224,6 +289,58 @@ mod tests {
 
     fn ev(seq: u64, ts_ns: u64, kind: EventKind) -> Event {
         Event { seq, ts_ns, kind }
+    }
+
+    #[test]
+    fn compile_stages_become_top_level_spans() {
+        use EventKind::*;
+        let events = vec![
+            ev(1, 0, StageBegin { stage: "lower" }),
+            ev(
+                2,
+                50,
+                StageEnd {
+                    stage: "lower",
+                    items: 3,
+                },
+            ),
+            ev(3, 60, StageBegin { stage: "mv-expand" }),
+            ev(
+                4,
+                70,
+                CacheQuery {
+                    hit: true,
+                    variants: 4,
+                },
+            ),
+            ev(
+                5,
+                90,
+                StageEnd {
+                    stage: "mv-expand",
+                    items: 8,
+                },
+            ),
+            ev(6, 100, CommitBegin { op: "commit" }),
+            ev(7, 200, CommitEnd { ok: true }),
+        ];
+        let forest = build_spans(&events);
+        assert_eq!(forest.orphaned, 0);
+        assert_eq!(forest.stages.len(), 2);
+        assert_eq!(forest.stages[0].stage, "lower");
+        assert_eq!(forest.stages[0].duration_ns(), 50);
+        assert_eq!(forest.stages[0].items, 3);
+        assert_eq!(forest.stages[1].events.len(), 1);
+        assert_eq!(forest.commits.len(), 1);
+    }
+
+    #[test]
+    fn truncated_stage_is_closed_at_stream_end() {
+        use EventKind::*;
+        let events = vec![ev(1, 0, StageBegin { stage: "codegen" })];
+        let forest = build_spans(&events);
+        assert_eq!(forest.stages.len(), 1);
+        assert_eq!(forest.stages[0].duration_ns(), 0);
     }
 
     /// The canonical faulted-then-retried commit stream: attempt 1 walks
