@@ -4,7 +4,7 @@
 //! ```text
 //! paper_tables [--fig1] [--fig4-spinlock] [--fig4-pvops] [--fig5]
 //!              [--grep] [--cpython] [--stats] [--btb] [--inline]
-//!              [--quick]
+//!              [--smp] [--quick]
 //! ```
 //!
 //! With no selector, all tables are printed. `--quick` shrinks workload
@@ -147,5 +147,27 @@ fn main() {
                 &b::inline_ablation_data()
             )
         );
+    }
+    if want("--smp") {
+        let (counts, iters, flips): (&[usize], u64, u32) = if quick {
+            (&[2, 4], 64, 4)
+        } else {
+            (&[2, 4, 8], 512, 8)
+        };
+        let rows = b::smp_commit_data(counts, iters, flips);
+        println!(
+            "{}",
+            render_table(
+                &format!("E15 — quiesced commit under SMP lock contention ({iters} iters/worker, {flips} flips)"),
+                &b::smp_commit_series(&rows)
+            )
+        );
+        for r in &rows {
+            assert!(
+                r.consistent,
+                "{} @ {} vCPUs lost an increment",
+                r.strategy, r.vcpus
+            );
+        }
     }
 }

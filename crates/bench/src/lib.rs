@@ -14,16 +14,17 @@
 //! | [`patch_stats_data`] | §6.1/§5 — call sites, patch time, size model |
 //! | [`btb_data`] | footnote 1 / E10 — warm vs. cold predictors |
 //! | [`inline_ablation_data`] | §7.1 / E11 — inlining and patch strategy |
+//! | [`smp_commit_data`] | E15 — quiesced commit under SMP contention |
 //!
 //! All numbers are deterministic VM cycles from the `mvvm` cost model;
 //! the Criterion benches additionally measure host-side throughput (and,
 //! for the native layer, real dispatch latencies).
 
 use multiverse::bench::Series;
-use multiverse::mvrt::PatchStrategy;
+use multiverse::mvrt::{CommitStrategy, PatchStrategy};
 use multiverse::mvvm::{MachineMode, Platform};
 use multiverse::Program;
-use mv_workloads::{cpython, grep, musl, pvops, spinlock, textgen};
+use mv_workloads::{cpython, grep, musl, pvops, smp_contention, spinlock, textgen};
 
 /// Iterations used for cycle-average tables (paper: 100 M; scaled for an
 /// interpreted substrate — averages are exact either way because the
@@ -639,6 +640,111 @@ pub fn inline_ablation_data() -> Vec<Series> {
     rows
 }
 
+/// One (core count × strategy) cell of [`smp_commit_data`]: per-flip
+/// quiesce cost on the E15 contention workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SmpCommitRow {
+    /// Quiesce protocol used for every flip.
+    pub strategy: CommitStrategy,
+    /// Worker vCPUs hammering the lock.
+    pub vcpus: usize,
+    /// Guest cycles of the quiesce window, per flip (max over vCPUs —
+    /// the wall-clock commit latency under the cost model).
+    pub commit_latency: f64,
+    /// Worker stall cycles charged inside the window, per flip.
+    pub stall_cycles: f64,
+    /// Scheduler rounds spent in rendezvous/drain, per flip.
+    pub rounds: f64,
+    /// Breakpoint hits absorbed per flip (0 under stop-machine).
+    pub trap_hits: f64,
+    /// Steady-state cycles per lock/increment iteration on the worst
+    /// vCPU (strategy-independent; the Fig. 1 SMP number re-derived on
+    /// real contention).
+    pub steady_cycles: f64,
+    /// The workload's exactness oracle: `counter == vcpus × iters`.
+    pub consistent: bool,
+}
+
+/// E15 — quiesced-commit cost vs. core count for both [`CommitStrategy`]
+/// protocols, measured on the SMP spinlock-contention workload: workers
+/// hammer the lock while the host flips the binding of the lock
+/// functions (commit ↔ revert) mid-flight.
+pub fn smp_commit_data(vcpu_counts: &[usize], iters: u64, flips: u32) -> Vec<SmpCommitRow> {
+    let mut rows = Vec::new();
+    for &vcpus in vcpu_counts {
+        let steady = smp_contention::steady_state_cycles(vcpus, iters, 0xE15).expect("steady");
+        for strategy in [CommitStrategy::StopMachine, CommitStrategy::Breakpoint] {
+            let r = smp_contention::measure(vcpus, iters, strategy, flips, 0xE15).expect("measure");
+            let per_flip = |v: u64| v as f64 / flips as f64;
+            rows.push(SmpCommitRow {
+                strategy,
+                vcpus,
+                commit_latency: per_flip(r.commit_latency),
+                stall_cycles: per_flip(r.stall_cycles),
+                rounds: per_flip(r.rounds),
+                trap_hits: per_flip(r.trap_hits),
+                steady_cycles: steady,
+                consistent: r.lock_consistent,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders [`smp_commit_data`] rows as table series: one row per
+/// (strategy, metric), one column per core count.
+pub fn smp_commit_series(rows: &[SmpCommitRow]) -> Vec<Series> {
+    let mut out = Vec::new();
+    for strategy in [CommitStrategy::StopMachine, CommitStrategy::Breakpoint] {
+        let mut lat = Series::new(&format!("{strategy}: commit latency (cycles/flip)"));
+        let mut stall = Series::new(&format!("{strategy}: worker stall (cycles/flip)"));
+        for r in rows.iter().filter(|r| r.strategy == strategy) {
+            let col = format!("{} vCPUs", r.vcpus);
+            lat.point(&col, r.commit_latency);
+            stall.point(&col, r.stall_cycles);
+        }
+        out.push(lat);
+        out.push(stall);
+    }
+    let mut steady = Series::new("steady state (cycles/iteration)");
+    for r in rows
+        .iter()
+        .filter(|r| r.strategy == CommitStrategy::StopMachine)
+    {
+        steady.point(&format!("{} vCPUs", r.vcpus), r.steady_cycles);
+    }
+    out.push(steady);
+    out
+}
+
+/// Serializes [`smp_commit_data`] rows as the `BENCH_smp.json` document
+/// CI records for the perf trajectory.
+pub fn smp_commit_json(rows: &[SmpCommitRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::from(
+        "{\n  \"bench\": \"smp_commit\",\n  \"unit\": \"guest cycles\",\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"strategy\": \"{}\", \"vcpus\": {}, \"commit_latency\": {:.1}, \
+             \"stall_cycles\": {:.1}, \"rounds\": {:.1}, \"trap_hits\": {:.2}, \
+             \"steady_cycles\": {:.2}, \"consistent\": {}}}{}",
+            r.strategy,
+            r.vcpus,
+            r.commit_latency,
+            r.stall_cycles,
+            r.rounds,
+            r.trap_hits,
+            r.steady_cycles,
+            r.consistent,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,6 +860,59 @@ mod tests {
         assert_eq!(warm.stats().clones, 0, "hits must not re-specialize");
         assert_eq!(warm.stats().cached_variants, 3 * 8);
         assert_eq!(cold_obj.fingerprint(), warm_obj.fingerprint());
+    }
+
+    /// CI's quick SMP-commit gate (see `.github/workflows/ci.yml`):
+    /// both quiesce protocols stay exact under real contention at 2 and
+    /// 4 cores, stop-machine plants no breakpoints, and the sweep is
+    /// serialized to `BENCH_smp.json` at the workspace root so the perf
+    /// trajectory records every CI run.
+    #[test]
+    fn smp_commit_quick() {
+        let rows = smp_commit_data(&[2, 4], 48, 4);
+        assert_eq!(rows.len(), 4, "2 core counts × 2 strategies");
+        for r in &rows {
+            assert!(
+                r.consistent,
+                "{} @ {} vCPUs lost an increment",
+                r.strategy, r.vcpus
+            );
+            assert!(r.steady_cycles > 0.0);
+            match r.strategy {
+                // The rendezvous IPIs every CPU: the window always costs
+                // at least one full-park round, and the stall grows with
+                // the core count.
+                CommitStrategy::StopMachine => {
+                    assert!(r.commit_latency > 0.0, "rendezvous has a cost");
+                    assert!(r.stall_cycles > 0.0, "parked workers stall");
+                    assert_eq!(r.trap_hits, 0.0, "stop-machine plants no traps");
+                }
+                // Breakpoint-first never stops CPUs that are outside the
+                // patched regions — the cheap path text_poke_bp exists for.
+                CommitStrategy::Breakpoint => {
+                    let twin = rows
+                        .iter()
+                        .find(|t| t.vcpus == r.vcpus && t.strategy == CommitStrategy::StopMachine)
+                        .unwrap();
+                    assert!(
+                        r.stall_cycles < twin.stall_cycles,
+                        "breakpoint-first must stall less than stop-machine"
+                    );
+                }
+            }
+        }
+        let stop: Vec<&SmpCommitRow> = rows
+            .iter()
+            .filter(|r| r.strategy == CommitStrategy::StopMachine)
+            .collect();
+        assert!(
+            stop[1].stall_cycles > stop[0].stall_cycles,
+            "stop-machine stall grows with core count"
+        );
+        let json = smp_commit_json(&rows);
+        assert!(json.contains("\"bench\": \"smp_commit\""));
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_smp.json");
+        std::fs::write(path, &json).expect("write BENCH_smp.json");
     }
 
     #[test]

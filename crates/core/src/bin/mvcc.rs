@@ -20,14 +20,24 @@
 //!                                   guards and call sites
 //! mvcc disasm <file.c>… [--fn NAME] disassemble the text segment (or one
 //!                                   function)
-//! mvcc run    <file.c>… [--call F] [--set VAR=V]… [--commit]
-//!                                   execute main (or F) on the machine
-//! mvcc verify <file.c>… [--set VAR=V]… [--commit]
+//! mvcc run    <file.c>… [--call F] [--set VAR=V]… [--commit] [--smp N]
+//!                                   execute main (or F) on the machine;
+//!                                   --smp N boots an N-vCPU SMP machine,
+//!                                   runs F (or main) on every vCPU and
+//!                                   prints per-vCPU results plus the
+//!                                   machine-wide roll-up (a --commit is
+//!                                   performed as a quiesced concurrent
+//!                                   commit, see --strategy)
+//! mvcc verify <file.c>… [--set VAR=V]… [--commit] [--smp N]
 //!                                   dry-run the commit validate phase and
 //!                                   print a per-function / per-site health
 //!                                   report (nothing is patched unless
 //!                                   --commit is given first; with --commit
-//!                                   the per-phase commit timing is printed)
+//!                                   the per-phase commit timing is printed;
+//!                                   with --smp N the commit runs as a
+//!                                   quiesced concurrent commit against N
+//!                                   vCPUs executing main/F, and the
+//!                                   quiesce report is printed)
 //! mvcc trace  <file.c>… [--set VAR=V]… [--commit] [--call F]
 //!             [--out PATH] [--format chrome|jsonl|text]
 //!                                   record the runtime's structured events
@@ -48,6 +58,9 @@
 //!   --variant-limit N    override the variant-explosion limit
 //!   -j / --jobs N        pipeline worker threads (default 1, 0 = cores)
 //!   --no-cache           disable the in-process compile cache
+//!   --smp N              run/verify on an N-vCPU SMP machine
+//!   --strategy S         concurrent-commit protocol for --smp commits:
+//!                        stop-machine (default) or breakpoint
 //! ```
 
 use multiverse::mvc::Options;
@@ -69,6 +82,8 @@ struct Args {
     per_fn: bool,
     timings: bool,
     stats_flag: bool,
+    smp: usize,
+    strategy: mvrt::CommitStrategy,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -91,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
         per_fn: false,
         timings: false,
         stats_flag: false,
+        smp: 0,
+        strategy: mvrt::CommitStrategy::default(),
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -132,6 +149,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "bad worker count")?;
             }
             "--no-cache" => args.opts.cache = false,
+            "--smp" => {
+                args.smp = it
+                    .next()
+                    .ok_or("--smp needs a vCPU count")?
+                    .parse()
+                    .map_err(|_| "bad vCPU count")?;
+                if args.smp == 0 {
+                    return Err("--smp needs at least 1 vCPU".into());
+                }
+            }
+            "--strategy" => {
+                let s = it.next().ok_or("--strategy needs a protocol name")?;
+                args.strategy = mvrt::CommitStrategy::parse(&s)
+                    .ok_or(format!("unknown strategy `{s}` (stop-machine|breakpoint)"))?;
+            }
             "--timings" => args.timings = true,
             "--stats" => args.stats_flag = true,
             f if !f.starts_with('-') => args.files.push(f.to_string()),
@@ -291,8 +323,86 @@ fn cmd_disasm(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints one quiesce report line (shared by `run --smp` and
+/// `verify --smp`).
+fn print_quiesce(q: &mvrt::QuiesceReport) {
+    println!(
+        "quiesce[{}]: {} rounds, {} parked, {} trap hits, {} shootdowns, {} stall cycles",
+        q.strategy, q.rounds, q.parked, q.trap_hits, q.shootdowns, q.stall_cycles
+    );
+    println!(
+        "commit: {} variants bound, {} generic fallbacks, {} sites, {} unchanged",
+        q.commit.variants_committed,
+        q.commit.generic_fallbacks,
+        q.commit.sites_touched,
+        q.commit.unchanged
+    );
+}
+
+/// Boots an SMP world, spawns `main` (or `--call F`) on every vCPU and
+/// applies the `--set` assignments. Shared by `run --smp` and
+/// `verify --smp`.
+fn boot_smp_workers(args: &Args, p: &Program) -> Result<multiverse::SmpWorld, String> {
+    let mut w = p.boot_smp(args.smp);
+    for (k, v) in &args.sets {
+        w.set(k, *v).map_err(|e| e.to_string())?;
+        println!("set {k} = {v}");
+    }
+    match &args.call {
+        Some(f) => w.spawn_all(f, &[]).map_err(|e| e.to_string())?,
+        None => {
+            let entry = p.exe().entry;
+            for i in 0..args.smp {
+                w.smp.spawn(i, entry, &[]).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    Ok(w)
+}
+
+fn cmd_run_smp(args: &Args, p: &Program) -> Result<(), String> {
+    let mut w = boot_smp_workers(args, p)?;
+    // Let the workers get under way before committing, so a --commit
+    // exercises the concurrent protocol rather than patching an idle
+    // machine.
+    for _ in 0..4 {
+        w.smp.step_round();
+    }
+    if args.commit {
+        let q = w
+            .commit_quiesced(args.strategy)
+            .map_err(|e| e.to_string())?;
+        print_quiesce(&q);
+    }
+    let results = w.run(10_000_000).map_err(|e| e.to_string())?;
+    let out = w.smp.machine.take_output();
+    if !out.is_empty() {
+        println!("--- output ({} bytes) ---", out.len());
+        println!("{}", String::from_utf8_lossy(&out));
+    }
+    for (i, r) in results.iter().enumerate() {
+        println!(
+            "vcpu {i}: result {r} ({} cycles, {} stalled)",
+            w.smp.cycles_of(i),
+            w.smp.stall_cycles(i)
+        );
+    }
+    let stats = w.total_stats();
+    println!(
+        "smp: {} vcpus, {} rounds, {} instructions, {} cycles wall-clock",
+        w.vcpus(),
+        w.smp.rounds(),
+        stats.instructions,
+        w.smp.max_cycles()
+    );
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let p = build(args)?;
+    if args.smp > 0 {
+        return cmd_run_smp(args, &p);
+    }
     let mut world = p.boot();
     for (k, v) in &args.sets {
         world.set(k, *v).map_err(|e| e.to_string())?;
@@ -331,52 +441,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verify(args: &Args) -> Result<(), String> {
-    let p = build(args)?;
-    let mut world = p.boot();
-    for (k, v) in &args.sets {
-        world.set(k, *v).map_err(|e| e.to_string())?;
-        println!("set {k} = {v}");
-    }
-    if args.commit {
-        let report = world.commit().map_err(|e| e.to_string())?;
-        println!(
-            "commit: {} variants bound, {} generic fallbacks, {} sites, {} unchanged, {} repatched",
-            report.variants_committed,
-            report.generic_fallbacks,
-            report.sites_touched,
-            report.unchanged,
-            report.repatched
-        );
-        if let Some(rt) = &world.rt {
-            let s = rt.stats;
-            println!(
-                "batching: {} pages touched, {} mprotects, {} flushes, {} sites skipped",
-                s.pages_touched, s.mprotects, s.icache_flushes, s.sites_skipped
-            );
-            let t = rt.last_timing;
-            println!(
-                "timing: {:.1} µs total (plan {:.1} µs, validate {:.1} µs, apply {:.1} µs) over {} sites",
-                t.elapsed.as_secs_f64() * 1e6,
-                t.plan.as_secs_f64() * 1e6,
-                t.validate.as_secs_f64() * 1e6,
-                t.apply.as_secs_f64() * 1e6,
-                t.sites
-            );
-        }
-    }
-    let Some(rt) = &world.rt else {
-        println!("(no multiverse descriptors in this build — nothing to verify)");
-        return Ok(());
-    };
-    let exe = p.exe();
+/// Runs the validate dry-run against `m` and prints the health report.
+fn print_validation(
+    rt: &mvrt::Runtime,
+    m: &multiverse::mvvm::Machine,
+    exe: &mvobj::Executable,
+) -> Result<(), String> {
     let sym_name = |addr: u64| -> String {
         exe.symbolize(addr)
             .filter(|(_, off)| *off == 0)
             .map(|(n, _)| n.to_string())
             .unwrap_or_else(|| format!("{addr:#x}"))
     };
-    let report = rt.validate(&world.machine);
+    let report = rt.validate(m);
     println!(
         "verify: {} functions, {} call sites",
         report.functions.len(),
@@ -423,6 +500,78 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     } else {
         Err(format!("{} issue(s) found", report.issues()))
     }
+}
+
+/// `verify --smp N`: commit concurrently against N running vCPUs, then
+/// validate the quiesced image.
+fn cmd_verify_smp(args: &Args, p: &Program) -> Result<(), String> {
+    let mut w = boot_smp_workers(args, p)?;
+    if w.rt.is_none() {
+        println!("(no multiverse descriptors in this build — nothing to verify)");
+        return Ok(());
+    }
+    for _ in 0..4 {
+        w.smp.step_round();
+    }
+    if args.commit {
+        let q = w
+            .commit_quiesced(args.strategy)
+            .map_err(|e| e.to_string())?;
+        print_quiesce(&q);
+    }
+    let results = w.run(10_000_000).map_err(|e| e.to_string())?;
+    println!(
+        "smp: {} vcpus finished ({} rounds, {} stall cycles)",
+        results.len(),
+        w.smp.rounds(),
+        w.smp.total_stall_cycles()
+    );
+    let rt = w.rt.as_ref().expect("runtime present");
+    print_validation(rt, &w.smp.machine, p.exe())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let p = build(args)?;
+    if args.smp > 0 {
+        return cmd_verify_smp(args, &p);
+    }
+    let mut world = p.boot();
+    for (k, v) in &args.sets {
+        world.set(k, *v).map_err(|e| e.to_string())?;
+        println!("set {k} = {v}");
+    }
+    if args.commit {
+        let report = world.commit().map_err(|e| e.to_string())?;
+        println!(
+            "commit: {} variants bound, {} generic fallbacks, {} sites, {} unchanged, {} repatched",
+            report.variants_committed,
+            report.generic_fallbacks,
+            report.sites_touched,
+            report.unchanged,
+            report.repatched
+        );
+        if let Some(rt) = &world.rt {
+            let s = rt.stats;
+            println!(
+                "batching: {} pages touched, {} mprotects, {} flushes, {} sites skipped",
+                s.pages_touched, s.mprotects, s.icache_flushes, s.sites_skipped
+            );
+            let t = rt.last_timing;
+            println!(
+                "timing: {:.1} µs total (plan {:.1} µs, validate {:.1} µs, apply {:.1} µs) over {} sites",
+                t.elapsed.as_secs_f64() * 1e6,
+                t.plan.as_secs_f64() * 1e6,
+                t.validate.as_secs_f64() * 1e6,
+                t.apply.as_secs_f64() * 1e6,
+                t.sites
+            );
+        }
+    }
+    let Some(rt) = &world.rt else {
+        println!("(no multiverse descriptors in this build — nothing to verify)");
+        return Ok(());
+    };
+    print_validation(rt, &world.machine, p.exe())
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {

@@ -63,7 +63,7 @@ pub mod bench;
 pub mod native;
 pub mod program;
 
-pub use program::{BuildError, Program, World};
+pub use program::{BuildError, Program, SmpWorld, World};
 
 // Re-export the full tool-chain for advanced use.
 pub use mvasm;

@@ -2,8 +2,8 @@
 
 use mvc::Options;
 use mvobj::Executable;
-use mvrt::{CommitReport, RtError, Runtime};
-use mvvm::{CostModel, Fault, Machine, MachineConfig, Stats};
+use mvrt::{CommitReport, CommitStrategy, QuiesceOp, QuiesceReport, RtError, Runtime};
+use mvvm::{CostModel, Fault, Machine, MachineConfig, SmpMachine, Stats};
 use std::fmt;
 
 /// Errors from building or driving a program.
@@ -128,6 +128,24 @@ impl Program {
         };
         World {
             machine,
+            rt,
+            exe: self.exe.clone(),
+        }
+    }
+
+    /// Boots an [`SmpMachine`] with `n` vCPUs sharing one loaded image
+    /// (multicore mode, private sticky instruction caches) and attaches
+    /// the multiverse runtime to it. Commits against a running SMP
+    /// world must quiesce — see [`SmpWorld::commit_quiesced`].
+    pub fn boot_smp(&self, n: usize) -> SmpWorld {
+        let smp = SmpMachine::boot(&self.exe, n);
+        let rt = if self.multiversed {
+            Runtime::attach(&smp.machine, &self.exe).ok()
+        } else {
+            None
+        };
+        SmpWorld {
+            smp,
             rt,
             exe: self.exe.clone(),
         }
@@ -269,6 +287,119 @@ impl World {
     }
 }
 
+/// A booted SMP program: N vCPUs over one shared image, plus the
+/// attached multiverse runtime for quiesced commits.
+pub struct SmpWorld {
+    /// The SMP machine (vCPUs, scheduler, shared memory).
+    pub smp: SmpMachine,
+    /// The multiverse runtime (absent in dynamic/static builds).
+    pub rt: Option<Runtime>,
+    exe: Executable,
+}
+
+impl SmpWorld {
+    /// Address of a symbol.
+    pub fn sym(&self, name: &str) -> Result<u64, BuildError> {
+        self.exe
+            .symbol(name)
+            .ok_or_else(|| BuildError::NoSymbol(name.to_string()))
+    }
+
+    /// Number of vCPUs.
+    pub fn vcpus(&self) -> usize {
+        self.smp.vcpus()
+    }
+
+    /// Spawns function `name` on vCPU `i` with register arguments.
+    pub fn spawn(&mut self, i: usize, name: &str, args: &[u64]) -> Result<(), BuildError> {
+        let addr = self.sym(name)?;
+        Ok(self.smp.spawn(i, addr, args)?)
+    }
+
+    /// Spawns function `name` on *every* vCPU with the same arguments.
+    pub fn spawn_all(&mut self, name: &str, args: &[u64]) -> Result<(), BuildError> {
+        for i in 0..self.smp.vcpus() {
+            self.spawn(i, name, args)?;
+        }
+        Ok(())
+    }
+
+    /// Runs scheduler rounds until every spawned vCPU finishes; returns
+    /// the per-vCPU results.
+    pub fn run(&mut self, max_rounds: u64) -> Result<Vec<u64>, BuildError> {
+        Ok(self.smp.run_until_done(max_rounds)?)
+    }
+
+    /// Reads a global (switch-aware, like [`World::get`]).
+    pub fn get(&self, name: &str) -> Result<i64, BuildError> {
+        let addr = self.sym(name)?;
+        if let Some(rt) = &self.rt {
+            if let Ok(v) = rt.read_switch(&self.smp.machine, addr) {
+                return Ok(v);
+            }
+        }
+        Ok(self.smp.machine.mem.read_int(addr, 8, false)?)
+    }
+
+    /// Writes a global configuration switch (or plain 8-byte global).
+    /// Writing a switch is always safe concurrently — only *commits*
+    /// rewrite text and need quiescing.
+    pub fn set(&mut self, name: &str, value: i64) -> Result<(), BuildError> {
+        let addr = self.sym(name)?;
+        if let Some(rt) = &self.rt {
+            if rt.write_switch(&mut self.smp.machine, addr, value).is_ok() {
+                return Ok(());
+            }
+        }
+        self.smp.machine.mem.write_int(addr, value as u64, 8)?;
+        Ok(())
+    }
+
+    /// `multiverse_commit()` while the vCPUs are running, quiesced under
+    /// `strategy`.
+    pub fn commit_quiesced(
+        &mut self,
+        strategy: CommitStrategy,
+    ) -> Result<QuiesceReport, BuildError> {
+        let rt = self
+            .rt
+            .as_mut()
+            .ok_or(BuildError::Rt(RtError::UnknownFunction(0)))?;
+        Ok(rt.commit_quiesced(&mut self.smp, strategy)?)
+    }
+
+    /// `multiverse_revert()` under quiesce.
+    pub fn revert_quiesced(
+        &mut self,
+        strategy: CommitStrategy,
+    ) -> Result<QuiesceReport, BuildError> {
+        let rt = self
+            .rt
+            .as_mut()
+            .ok_or(BuildError::Rt(RtError::UnknownFunction(0)))?;
+        Ok(rt.revert_quiesced(&mut self.smp, strategy)?)
+    }
+
+    /// `multiverse_commit_refs(&var)` by switch name, under quiesce.
+    pub fn commit_refs_quiesced(
+        &mut self,
+        var: &str,
+        strategy: CommitStrategy,
+    ) -> Result<QuiesceReport, BuildError> {
+        let addr = self.sym(var)?;
+        let rt = self
+            .rt
+            .as_mut()
+            .ok_or(BuildError::Rt(RtError::UnknownVariable(addr)))?;
+        Ok(rt.run_quiesced(&mut self.smp, QuiesceOp::CommitRefs(addr), strategy)?)
+    }
+
+    /// Machine-wide event-counter roll-up across every vCPU.
+    pub fn total_stats(&self) -> Stats {
+        self.smp.total_stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +465,46 @@ mod tests {
             mv.image_size(),
             dy.image_size()
         );
+    }
+
+    const SMP_SRC: &str = r#"
+        multiverse bool feature;
+        multiverse i64 work(void) {
+            if (feature) { return 10; }
+            return 20;
+        }
+        i64 worker(i64 iters) {
+            i64 acc = 0;
+            while (iters > 0) { acc = acc + work(); iters = iters - 1; }
+            return acc;
+        }
+        i64 main(void) { return worker(4); }
+    "#;
+
+    #[test]
+    fn smp_world_runs_and_commits_quiesced() {
+        for strategy in [CommitStrategy::StopMachine, CommitStrategy::Breakpoint] {
+            let p = Program::build(&[("t", SMP_SRC)]).unwrap();
+            let mut w = p.boot_smp(4);
+            w.spawn_all("worker", &[200]).unwrap();
+            // Let the workers get going, then flip the switch and commit
+            // mid-flight.
+            for _ in 0..3 {
+                w.smp.step_round();
+            }
+            w.set("feature", 1).unwrap();
+            let report = w.commit_quiesced(strategy).unwrap();
+            assert_eq!(report.strategy, strategy);
+            assert!(report.commit.variants_committed >= 1);
+            let results = w.run(1_000_000).unwrap();
+            assert_eq!(results.len(), 4);
+            for r in results {
+                // Every worker sums 200 calls; each call returned 20
+                // before the commit landed and 10 after.
+                assert!((200 * 10..=200 * 20).contains(&r), "sum {r} out of range");
+                assert_eq!(r % 10, 0);
+            }
+        }
     }
 
     #[test]

@@ -181,6 +181,7 @@ pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
             base: reg(byte_at(bytes, 2)?)?,
         },
         OP_MFENCE => Insn::Mfence,
+        OP_TRAP => Insn::Trap,
         OP_SETCC => Insn::Setcc {
             cc: Cond::decode(byte_at(bytes, 1)?).ok_or(DecodeError::BadCond(bytes[1]))?,
             dst: reg(byte_at(bytes, 2)?)?,
@@ -301,6 +302,7 @@ mod tests {
             (arb_reg(), arb_reg()).prop_map(|(val, base)| Insn::XchgLock { val, base }),
             (arb_cond(), arb_reg()).prop_map(|(cc, dst)| Insn::Setcc { cc, dst }),
             Just(Insn::Mfence),
+            Just(Insn::Trap),
             (1u8..=15).prop_map(|len| Insn::Nop { len }),
         ]
     }

@@ -15,6 +15,9 @@ pub const OP_JMP: u8 = 0xE9;
 pub const OP_NOP1: u8 = 0x90;
 /// Opcode byte for the wide NOP (`0x91 len pad…`).
 pub const OP_NOPW: u8 = 0x91;
+/// Opcode byte for the one-byte trap — deliberately x86's `int3`
+/// (`0xCC`), the byte kernels plant first when cross-modifying live text.
+pub const OP_TRAP: u8 = 0xCC;
 
 pub(crate) const OP_MOV_RR: u8 = 0x01;
 pub(crate) const OP_MOV_RI: u8 = 0x02;
@@ -149,6 +152,7 @@ pub fn encode_into(insn: &Insn, out: &mut Vec<u8>) {
             out.extend_from_slice(&[OP_SETCC, cc.encode(), dst.raw()]);
         }
         Insn::Mfence => out.push(OP_MFENCE),
+        Insn::Trap => out.push(OP_TRAP),
         Insn::Nop { len } => {
             assert!(
                 (1..=crate::MAX_NOP_LEN as u8).contains(&len),

@@ -446,6 +446,12 @@ pub enum Insn {
     },
     /// Full memory fence.
     Mfence,
+    /// One-byte trap (the `int3` analog, opcode `0xCC`). Executing it
+    /// faults into whoever drives the machine — the breakpoint-first
+    /// cross-modifying-code protocol plants it over the first byte of a
+    /// function being patched so concurrent vCPUs stall at the entry
+    /// instead of running into half-patched text.
+    Trap,
     /// No operation of the given encoded length (1..=15 bytes).
     Nop {
         /// Encoded instruction length in bytes.
@@ -492,6 +498,7 @@ impl Insn {
             Insn::Out { .. } => 2,
             Insn::XchgLock { .. } => 3,
             Insn::Mfence => 1,
+            Insn::Trap => 1,
             Insn::Nop { len } => *len as usize,
         }
     }
@@ -573,6 +580,7 @@ impl fmt::Display for Insn {
             Insn::Out { src } => write!(f, "out {src}"),
             Insn::XchgLock { val, base } => write!(f, "lock xchg {val}, [{base}]"),
             Insn::Mfence => write!(f, "mfence"),
+            Insn::Trap => write!(f, "trap"),
             Insn::Nop { len } => write!(f, "nop{len}"),
         }
     }

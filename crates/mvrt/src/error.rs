@@ -119,6 +119,15 @@ pub enum RtError {
         /// Why the restore failed.
         source: Box<RtError>,
     },
+    /// A concurrent commit could not quiesce the SMP machine: the
+    /// rendezvous or breakpoint drain did not converge within its round
+    /// budget. Nothing was written; every vCPU was released.
+    Quiesce {
+        /// What did not converge.
+        reason: &'static str,
+        /// Scheduler rounds spent before giving up.
+        rounds: u64,
+    },
     /// A transactional commit/revert operation failed. `source` is the
     /// underlying error; `phase` says how far the transaction got (and
     /// therefore what state the image is in — see [`CommitPhase`]).
@@ -206,6 +215,12 @@ impl fmt::Display for RtError {
             }
             RtError::RollbackFailed { addr, source } => {
                 write!(f, "rollback failed restoring {addr:#x}: {source}")
+            }
+            RtError::Quiesce { reason, rounds } => {
+                write!(
+                    f,
+                    "quiesce did not converge after {rounds} rounds: {reason}"
+                )
             }
             RtError::Commit {
                 phase,

@@ -53,12 +53,14 @@ pub mod error;
 pub mod fnptr;
 pub mod journal;
 pub mod patch;
+pub mod quiesce;
 pub mod runtime;
 pub mod stats;
 pub mod txn;
 
 pub use error::{CommitPhase, RtError};
 pub use journal::{Journal, JournalEntry};
+pub use quiesce::{CommitStrategy, QuiesceOp, QuiesceReport};
 pub use runtime::{CommitReport, FnBinding, PatchStrategy, Runtime};
 pub use stats::{PatchStats, PatchTiming};
 pub use txn::{FnHealth, RetryPolicy, SiteHealth, ValidationReport};

@@ -160,6 +160,48 @@ pub enum EventKind {
         /// time).
         variants: u64,
     },
+    /// A concurrent commit began quiescing the SMP machine.
+    QuiesceBegin {
+        /// Protocol name: `stop-machine` or `breakpoint`.
+        strategy: &'static str,
+        /// vCPUs that must be brought to a safe state.
+        vcpus: u64,
+    },
+    /// The quiesce window closed: the text is consistent again and every
+    /// surviving vCPU has been released.
+    QuiesceEnd {
+        /// `true` if the underlying transaction committed (on `false`
+        /// the journal rolled the image back before release).
+        ok: bool,
+        /// Scheduler rounds spent inside the quiesce window.
+        rounds: u64,
+    },
+    /// One vCPU reached a safepoint and was parked by the rendezvous.
+    VcpuParked {
+        /// Parked vCPU index.
+        vcpu: u64,
+        /// Its program counter at park time.
+        pc: u64,
+    },
+    /// An IPI-style cross-CPU instruction-cache shootdown: every vCPU's
+    /// private decode cache dropped the given text range.
+    IcacheShootdown {
+        /// First invalidated address.
+        start: u64,
+        /// One past the last invalidated address (0 with `start = 0`
+        /// means a full flush).
+        end: u64,
+        /// vCPUs whose caches were invalidated.
+        vcpus: u64,
+    },
+    /// A vCPU fetched a breakpoint byte planted by the breakpoint-first
+    /// protocol and trapped into the commit's handler.
+    TrapHit {
+        /// Trapping vCPU index.
+        vcpu: u64,
+        /// Address of the trap byte.
+        addr: u64,
+    },
 }
 
 impl EventKind {
@@ -184,6 +226,11 @@ impl EventKind {
             EventKind::StageBegin { .. } => "stage_begin",
             EventKind::StageEnd { .. } => "stage_end",
             EventKind::CacheQuery { .. } => "cache_query",
+            EventKind::QuiesceBegin { .. } => "quiesce_begin",
+            EventKind::QuiesceEnd { .. } => "quiesce_end",
+            EventKind::VcpuParked { .. } => "vcpu_parked",
+            EventKind::IcacheShootdown { .. } => "icache_shootdown",
+            EventKind::TrapHit { .. } => "trap_hit",
         }
     }
 

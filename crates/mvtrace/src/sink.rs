@@ -70,6 +70,19 @@ fn kind_fields(kind: &EventKind) -> String {
         EventKind::CacheQuery { hit, variants } => {
             format!(r#","hit":{hit},"variants":{variants}"#)
         }
+        EventKind::QuiesceBegin { strategy, vcpus } => {
+            format!(r#","strategy":"{strategy}","vcpus":{vcpus}"#)
+        }
+        EventKind::QuiesceEnd { ok, rounds } => format!(r#","ok":{ok},"rounds":{rounds}"#),
+        EventKind::VcpuParked { vcpu, pc } => {
+            format!(r#","vcpu":{vcpu},"pc":"{pc:#x}""#)
+        }
+        EventKind::IcacheShootdown { start, end, vcpus } => {
+            format!(r#","start":"{start:#x}","end":"{end:#x}","vcpus":{vcpus}"#)
+        }
+        EventKind::TrapHit { vcpu, addr } => {
+            format!(r#","vcpu":{vcpu},"addr":"{addr:#x}""#)
+        }
     }
 }
 
@@ -240,6 +253,22 @@ impl TraceSink for TextSink {
                             }
                             EventKind::PageBatch { pages, writes } => {
                                 format!("{writes} writes batched over {pages} pages")
+                            }
+                            EventKind::QuiesceBegin { strategy, vcpus } => {
+                                format!("quiescing {vcpus} vcpus ({strategy})")
+                            }
+                            EventKind::QuiesceEnd { ok, rounds } => format!(
+                                "released after {rounds} rounds ({})",
+                                if ok { "committed" } else { "rolled back" }
+                            ),
+                            EventKind::VcpuParked { vcpu, pc } => {
+                                format!("vcpu {vcpu} parked at {pc:#x}")
+                            }
+                            EventKind::IcacheShootdown { start, end, vcpus } => {
+                                format!("icache shootdown {start:#x}..{end:#x} on {vcpus} vcpus")
+                            }
+                            EventKind::TrapHit { vcpu, addr } => {
+                                format!("vcpu {vcpu} hit trap at {addr:#x}")
                             }
                             _ => e.kind.name().to_string(),
                         };

@@ -20,6 +20,12 @@ pub struct Cpu {
     pub halted: bool,
 }
 
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu::new(0)
+    }
+}
+
 impl Cpu {
     /// Creates a reset CPU with the stack pointer at `sp`.
     pub fn new(sp: u64) -> Cpu {

@@ -35,13 +35,15 @@ pub mod machine;
 pub mod mem;
 pub mod pred;
 pub mod profile;
+pub mod smp;
 pub mod stats;
 pub mod trace;
 
 pub use cost::CostModel;
 pub use fault::{FaultMode, FaultOp, FaultPlan};
-pub use machine::{Fault, Machine, MachineConfig, MachineMode, Platform};
+pub use machine::{CpuContext, Fault, Machine, MachineConfig, MachineMode, Platform};
 pub use mem::{MemError, Memory, PAGE_SIZE};
 pub use profile::{FnCounters, FnProfile, FnRange, Profiler};
+pub use smp::{SmpMachine, TrapDisposition, VcpuState};
 pub use stats::Stats;
 pub use trace::Trace;

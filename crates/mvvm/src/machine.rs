@@ -93,6 +93,15 @@ pub enum Fault {
     /// `halt` retired inside [`Machine::call`] (the program ended instead
     /// of returning).
     Halted,
+    /// A one-byte trap instruction ([`mvasm::Insn::Trap`], the `int3`
+    /// analog) was fetched. The faulting CPU has *not* advanced past the
+    /// trap: `pc` still points at the trap byte, so whoever catches the
+    /// fault (the SMP scheduler's registered handler, a debugger) decides
+    /// whether to stall, skip, or re-execute after the byte is restored.
+    Trap {
+        /// Address of the trap byte.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -106,6 +115,7 @@ impl fmt::Display for Fault {
             }
             Fault::Timeout { executed } => write!(f, "fuel exhausted after {executed} insns"),
             Fault::Halted => write!(f, "machine halted during call"),
+            Fault::Trap { addr } => write!(f, "trap (int3) at {addr:#x}"),
         }
     }
 }
@@ -140,8 +150,38 @@ pub struct Machine {
     decode_cache: HashMap<u64, (Insn, u64)>,
     /// `pc` at which a `jcc` would macro-fuse with the preceding `cmp`.
     fusable_at: Option<u64>,
+    /// Sticky-icache mode: cached decodes are served *without* the
+    /// code-version check, so [`Memory::flush_icache`] alone no longer
+    /// invalidates them — only the explicit
+    /// [`Machine::invalidate_decode_range`]/[`Machine::invalidate_decode_all`]
+    /// primitives do. This models a private per-CPU icache that requires
+    /// an IPI shootdown (the SMP machine's `flush_remote`): on a
+    /// multi-vCPU machine a patcher that flushes only its own cache
+    /// observably leaves stale instructions running elsewhere.
+    sticky_icache: bool,
     trace: Option<crate::trace::Trace>,
     profiler: Option<crate::profile::Profiler>,
+}
+
+/// The per-CPU slice of machine state: everything a core owns privately
+/// — architectural registers, branch predictors, event counters, the
+/// decoded-instruction cache (the icache model) and the macro-fusion
+/// latch. [`Machine::swap_context`] exchanges it against the machine's
+/// resident state in O(1), which is how [`crate::smp::SmpMachine`]
+/// multiplexes N virtual CPUs over one interpreter and one shared
+/// [`Memory`].
+#[derive(Default)]
+pub struct CpuContext {
+    /// Architectural register/flag state (including the per-CPU TSC).
+    pub cpu: Cpu,
+    /// Private branch-predictor state (2-bit counters, BTB, RSB).
+    pub pred: Predictors,
+    /// Private event counters; roll up machine-wide with `AddAssign`.
+    pub stats: Stats,
+    /// Private decoded-instruction cache (the icache model).
+    pub decode_cache: HashMap<u64, (Insn, u64)>,
+    /// Pending cmp→jcc macro-fusion point.
+    pub fusable_at: Option<u64>,
 }
 
 impl Machine {
@@ -164,6 +204,7 @@ impl Machine {
             out: Vec::new(),
             decode_cache: HashMap::new(),
             fusable_at: None,
+            sticky_icache: false,
             trace: None,
             profiler: None,
         }
@@ -189,13 +230,30 @@ impl Machine {
 
     /// Switches between unicore and multicore cost behavior at run time
     /// (CPU hot-plug, as in the paper's SMP scenario).
+    ///
+    /// Hot-plug semantics: bringing CPUs on or offline flushes all
+    /// branch-predictor state (counters, BTB, RSB) — on real hardware the
+    /// plugged core arrives cold, and keeping another mode's training
+    /// would let stale indirect-branch targets leak across the plug. The
+    /// decoded-instruction cache is *kept*: hot-plug changes how many
+    /// cores observe the text, not the text itself, and x86 caches are
+    /// coherent across hot-plug. A no-op call (same mode) changes
+    /// nothing.
     pub fn set_mode(&mut self, mode: MachineMode) {
+        if self.config.mode != mode {
+            self.pred.flush();
+        }
         self.config.mode = mode;
     }
 
     /// Execution platform.
     pub fn platform(&self) -> Platform {
         self.config.platform
+    }
+
+    /// The construction-time configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
     }
 
     /// Current cycle count (the TSC).
@@ -216,6 +274,47 @@ impl Machine {
     /// Flushes all branch-predictor state (cold-BTB ablation).
     pub fn flush_predictors(&mut self) {
         self.pred.flush();
+    }
+
+    /// Enables or disables sticky-icache mode (see the field docs on
+    /// [`Machine`]): when sticky, cached decodes survive
+    /// [`Memory::flush_icache`] and only the explicit invalidation
+    /// primitives refresh them — the private-per-CPU-icache model the
+    /// SMP machine runs under.
+    pub fn set_sticky_icache(&mut self, sticky: bool) {
+        self.sticky_icache = sticky;
+    }
+
+    /// `true` if the machine serves cached decodes without version
+    /// checks (sticky-icache mode).
+    pub fn sticky_icache(&self) -> bool {
+        self.sticky_icache
+    }
+
+    /// Drops cached decoded instructions for `[start, end)` — the
+    /// per-CPU half of an icache shootdown. Unlike
+    /// [`Memory::flush_icache`] this acts on *this* CPU's private decode
+    /// cache and works even in sticky mode.
+    pub fn invalidate_decode_range(&mut self, start: u64, end: u64) {
+        self.decode_cache.retain(|&pc, _| pc < start || pc >= end);
+    }
+
+    /// Drops every cached decoded instruction of this CPU.
+    pub fn invalidate_decode_all(&mut self) {
+        self.decode_cache.clear();
+    }
+
+    /// Exchanges the machine's resident per-CPU state (registers,
+    /// predictors, stats, decode cache, fusion latch) with `ctx` in
+    /// O(1). The SMP scheduler swaps a vCPU's context in, steps a
+    /// quantum, and swaps it back out; memory, cost model, output sink,
+    /// trace and profiler stay resident and shared.
+    pub fn swap_context(&mut self, ctx: &mut CpuContext) {
+        std::mem::swap(&mut self.cpu, &mut ctx.cpu);
+        std::mem::swap(&mut self.pred, &mut ctx.pred);
+        std::mem::swap(&mut self.stats, &mut ctx.stats);
+        std::mem::swap(&mut self.decode_cache, &mut ctx.decode_cache);
+        std::mem::swap(&mut self.fusable_at, &mut ctx.fusable_at);
     }
 
     /// Installs a deterministic fault schedule on guest memory (see
@@ -266,8 +365,15 @@ impl Machine {
     /// bp, sp`). Frameless leaves do not appear — as with `-fomit-frame-
     /// pointer` code under a real debugger.
     pub fn backtrace(&self, max_frames: usize) -> Vec<u64> {
+        self.backtrace_from(self.cpu.get(Reg::BP), max_frames)
+    }
+
+    /// [`Machine::backtrace`] starting from an explicit frame pointer —
+    /// lets the SMP scheduler walk the stack of a vCPU whose context is
+    /// currently swapped out.
+    pub fn backtrace_from(&self, bp: u64, max_frames: usize) -> Vec<u64> {
         let mut out = Vec::new();
-        let mut bp = self.cpu.get(Reg::BP);
+        let mut bp = bp;
         for _ in 0..max_frames {
             // Frame layout: [bp] = caller's bp, [bp+8] = return address.
             let Ok(ret) = self.mem.read_uint(bp.wrapping_add(8), 8) else {
@@ -309,7 +415,11 @@ impl Machine {
     fn decode_at(&mut self, pc: u64) -> Result<Insn, Fault> {
         let version = self.mem.code_version(pc);
         if let Some(&(insn, v)) = self.decode_cache.get(&pc) {
-            if v == version {
+            // Sticky mode: the private icache ignores the shared
+            // version counter — only an explicit shootdown
+            // (invalidate_decode_*) evicts, exactly the staleness a
+            // missing cross-CPU IPI leaves behind.
+            if self.sticky_icache || v == version {
                 return Ok(insn);
             }
         }
@@ -373,6 +483,12 @@ impl Machine {
         // installed this is a single branch.
         let prof_snap = self.profiler.as_ref().map(|_| (self.cpu.tsc, self.stats));
         let insn = self.decode_at(pc)?;
+        if matches!(insn, Insn::Trap) {
+            // The trap does not retire: pc stays on the trap byte and no
+            // cycles are charged, so the catcher sees the CPU exactly at
+            // the breakpoint (x86 `int3` semantics, minus the IDT).
+            return Err(Fault::Trap { addr: pc });
+        }
         let next = pc + insn.len() as u64;
         self.stats.instructions += 1;
         if let Some(t) = &mut self.trace {
@@ -589,6 +705,7 @@ impl Machine {
                 self.charge(c);
             }
             Insn::Mfence => self.charge(self.cost.fence),
+            Insn::Trap => unreachable!("trap faults before dispatch"),
             Insn::Nop { .. } => {
                 self.stats.nops += 1;
                 self.charge(self.cost.nop);
@@ -1009,6 +1126,83 @@ mod tests {
             m.run_entry(&exe).unwrap_err(),
             Fault::Timeout { executed: 1000 }
         ));
+    }
+
+    #[test]
+    fn set_mode_hotplug_resets_predictors_keeps_decode_cache() {
+        // Hot-plug semantics: switching UP↔SMP must flush predictor
+        // training (the plugged core arrives cold) but must NOT flush
+        // the decode cache (text is unchanged by hot-plug).
+        let mut a = mvasm::Assembler::new();
+        a.label("f");
+        a.mov_ri(Reg::R0, 1);
+        a.ret();
+        a.label("g");
+        let g_off = a.len();
+        // A 16-iteration loop whose taken back-edge needs training.
+        a.mov_ri(Reg::R1, 0);
+        a.label("loop");
+        a.emit(Insn::AluRI {
+            op: AluOp::Add,
+            dst: Reg::R1,
+            imm: 1,
+        });
+        a.cmp_ri(Reg::R1, 16);
+        a.jcc("loop", Cond::Lt);
+        a.ret();
+        a.emit(Insn::Halt);
+        let exe = exe_from(a, |o| {
+            o.define(Symbol::func("f", mvobj::SEC_TEXT, 0, 11));
+            o.define(Symbol::func("g", mvobj::SEC_TEXT, g_off as u64, 38));
+        });
+        let mut m = Machine::boot(&exe);
+        let f = exe.symbol("f").unwrap();
+        let g = exe.symbol("g").unwrap();
+
+        // Warm the branch predictor and the decode cache.
+        assert_eq!(m.call(f, &[]).unwrap(), 1);
+        m.call(g, &[]).unwrap();
+        let warm = {
+            let before = m.stats.mispredicts;
+            m.call(g, &[]).unwrap();
+            m.stats.mispredicts - before
+        };
+
+        // Patch f *without* flushing, then hot-plug.
+        let patched = mvasm::encode(&Insn::MovRI {
+            dst: Reg::R0,
+            imm: 2,
+        });
+        m.mem.mprotect(f, 16, mvobj::Prot::RW).unwrap();
+        m.mem.write(f, &patched).unwrap();
+        m.mem.mprotect(f, 16, mvobj::Prot::RX).unwrap();
+        m.set_mode(MachineMode::Multicore);
+        assert_eq!(m.mode(), MachineMode::Multicore);
+
+        // Decode cache survived the mode change: without an icache
+        // flush the stale instruction keeps executing.
+        assert_eq!(m.call(f, &[]).unwrap(), 1, "decode cache must be kept");
+        // Predictors were flushed: the loop back-edge needs retraining.
+        let cold = {
+            let before = m.stats.mispredicts;
+            m.call(g, &[]).unwrap();
+            m.stats.mispredicts - before
+        };
+        assert!(
+            cold > warm,
+            "predictors must be cold after hot-plug (cold {cold} !> warm {warm})"
+        );
+
+        // No-op mode change (same mode) flushes nothing.
+        m.call(g, &[]).unwrap();
+        let before = m.stats.mispredicts;
+        m.set_mode(MachineMode::Multicore);
+        m.call(g, &[]).unwrap();
+        assert_eq!(
+            m.stats.mispredicts - before,
+            warm,
+            "same-mode set_mode must not flush training"
+        );
     }
 
     #[test]

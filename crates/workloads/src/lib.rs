@@ -20,6 +20,9 @@
 //! * [`alternative`] — the `alternative`/`alternative_smp` macro family
 //!   (§1.1): boot-time single-instruction patching (the SMAP guards),
 //!   subsumed by multiverse.
+//! * [`smp_contention`] — true SMP spinlock contention with quiesced
+//!   concurrent commits rewriting the lock functions mid-flight (the
+//!   E15 experiment).
 //! * [`textgen`] — deterministic workload-input generation.
 //!
 //! Every module exposes the MVC source, builders for the relevant
@@ -31,5 +34,6 @@ pub mod cpython;
 pub mod grep;
 pub mod musl;
 pub mod pvops;
+pub mod smp_contention;
 pub mod spinlock;
 pub mod textgen;

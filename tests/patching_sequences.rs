@@ -271,3 +271,89 @@ proptest! {
         prop_assert_eq!(pristine, restored);
     }
 }
+
+/// One full SMP contention run with quiesced flips: returns the final
+/// text image, the per-vCPU cycle counters and the shared counter.
+fn smp_flip_run(
+    program: &Program,
+    vcpus: usize,
+    seed: u64,
+    strategy: multiverse::mvrt::CommitStrategy,
+    flips: usize,
+) -> (Vec<u8>, Vec<u64>, i64) {
+    const ITERS: u64 = 64;
+    let (taddr, tsize) = program.exe().section(multiverse::mvobj::SEC_TEXT);
+    let mut w = program.boot_smp(vcpus);
+    w.smp.set_seed(seed);
+    w.set("config_smp", 1).unwrap();
+    w.spawn_all("worker", &[ITERS]).unwrap();
+    let mut committed = false;
+    for _ in 0..flips {
+        for _ in 0..4 {
+            w.smp.step_round();
+        }
+        if committed {
+            w.revert_quiesced(strategy).unwrap();
+        } else {
+            w.commit_quiesced(strategy).unwrap();
+        }
+        committed = !committed;
+    }
+    w.run(10_000_000).unwrap();
+    let text = w.smp.machine.mem.read_vec(taddr, tsize as usize).unwrap();
+    let cycles = (0..vcpus).map(|i| w.smp.cycles_of(i)).collect();
+    (text, cycles, w.get("counter").unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// SMP extension of the model fuzz: at random vCPU counts (2–8),
+    /// random scheduler seeds and random quiesced flip counts, under
+    /// both protocols, the machine must land byte-identical to a
+    /// single-core world applying the same commit/revert sequence, the
+    /// locked counter must stay exact — and the same seed must
+    /// reproduce the same interleaving cycle-for-cycle.
+    #[test]
+    fn smp_quiesced_flips_match_single_core_image(
+        vcpus in 2usize..=8,
+        seed in any::<u64>(),
+        breakpoint in any::<bool>(),
+        flips in 1usize..5,
+    ) {
+        use multiverse::mvrt::CommitStrategy;
+        use mv_workloads::smp_contention;
+
+        let strategy = if breakpoint {
+            CommitStrategy::Breakpoint
+        } else {
+            CommitStrategy::StopMachine
+        };
+        let program = smp_contention::build().unwrap();
+        let (text, cycles, counter) = smp_flip_run(&program, vcpus, seed, strategy, flips);
+        prop_assert_eq!(counter, (vcpus as i64) * 64, "lost a locked increment");
+
+        // Single-core twin: same commit/revert sequence on an idle world.
+        let (taddr, tsize) = program.exe().section(multiverse::mvobj::SEC_TEXT);
+        let mut sw = program.boot();
+        sw.set("config_smp", 1).unwrap();
+        let mut committed = false;
+        for _ in 0..flips {
+            if committed {
+                sw.revert().unwrap();
+            } else {
+                sw.commit().unwrap();
+            }
+            committed = !committed;
+        }
+        let single = sw.machine.mem.read_vec(taddr, tsize as usize).unwrap();
+        prop_assert_eq!(&text, &single, "SMP image diverged from single-core");
+
+        // Determinism: replaying the identical seed reproduces the exact
+        // interleaving (identical per-vCPU cycle counters and image).
+        let (text2, cycles2, counter2) = smp_flip_run(&program, vcpus, seed, strategy, flips);
+        prop_assert_eq!(text, text2);
+        prop_assert_eq!(cycles, cycles2);
+        prop_assert_eq!(counter, counter2);
+    }
+}
