@@ -15,6 +15,7 @@
 //! | [`btb_data`] | footnote 1 / E10 — warm vs. cold predictors |
 //! | [`inline_ablation_data`] | §7.1 / E11 — inlining and patch strategy |
 //! | [`smp_commit_data`] | E15 — quiesced commit under SMP contention |
+//! | [`commit_storm_data`] | mvd control plane — coalesced flip storms |
 //!
 //! All numbers are deterministic VM cycles from the `mvvm` cost model;
 //! the Criterion benches additionally measure host-side throughput (and,
@@ -24,7 +25,7 @@ use multiverse::bench::Series;
 use multiverse::mvrt::{CommitStrategy, PatchStrategy};
 use multiverse::mvvm::{MachineMode, Platform};
 use multiverse::Program;
-use mv_workloads::{cpython, grep, musl, pvops, smp_contention, spinlock, textgen};
+use mv_workloads::{commit_storm, cpython, grep, musl, pvops, smp_contention, spinlock, textgen};
 
 /// Iterations used for cycle-average tables (paper: 100 M; scaled for an
 /// interpreted substrate — averages are exact either way because the
@@ -745,6 +746,106 @@ pub fn smp_commit_json(rows: &[SmpCommitRow]) -> String {
     s
 }
 
+/// One strategy row of [`commit_storm_data`]: the mvd commit daemon vs.
+/// the naive one-commit-per-request baseline on the same flip stream.
+#[derive(Clone, Copy, Debug)]
+pub struct CommitStormRow {
+    /// Quiesce protocol used for every commit.
+    pub strategy: CommitStrategy,
+    /// Worker vCPUs running the switched loop.
+    pub vcpus: usize,
+    /// Flip requests submitted (identical stream for both drivers).
+    pub requests: u64,
+    /// Quiesced commits the daemon actually ran.
+    pub commits: u64,
+    /// Requests merged into an already-queued entry.
+    pub coalesced: u64,
+    /// Baseline commits per daemon commit — the coalescing factor,
+    /// strategy-independent.
+    pub commit_ratio: f64,
+    /// Cycle-throughput ratio over the baseline (meaningful under
+    /// stop-machine; breakpoint windows cost ~0 cycles on idle regions).
+    pub speedup: f64,
+    /// Median per-commit latency, guest cycles.
+    pub p50_cycles: f64,
+    /// 95th-percentile per-commit latency, guest cycles.
+    pub p95_cycles: f64,
+    /// The exactness oracle: every worker returned its iteration count
+    /// under both drivers.
+    pub workers_exact: bool,
+}
+
+fn percentile_cycles(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64
+}
+
+/// mvd commit-storm sweep: the identical randomized flip stream driven
+/// through the commit daemon and through the naive baseline, one row per
+/// quiesce protocol.
+pub fn commit_storm_data(
+    vcpus: usize,
+    iters: u64,
+    requests: u64,
+    burst: u64,
+) -> Vec<CommitStormRow> {
+    let mut rows = Vec::new();
+    for strategy in [CommitStrategy::StopMachine, CommitStrategy::Breakpoint] {
+        let daemon =
+            commit_storm::run_storm(vcpus, iters, requests, burst, strategy, 0x57).expect("storm");
+        let naive = commit_storm::naive_serial(vcpus, iters, requests, burst, strategy, 0x57)
+            .expect("baseline");
+        let mut lat = daemon.latencies.clone();
+        lat.sort_unstable();
+        rows.push(CommitStormRow {
+            strategy,
+            vcpus,
+            requests,
+            commits: daemon.commits,
+            coalesced: daemon.stats.coalesced,
+            commit_ratio: commit_storm::commit_ratio(&daemon, &naive),
+            speedup: commit_storm::speedup(&daemon, &naive),
+            p50_cycles: percentile_cycles(&lat, 0.50),
+            p95_cycles: percentile_cycles(&lat, 0.95),
+            workers_exact: daemon.workers_exact && naive.workers_exact,
+        });
+    }
+    rows
+}
+
+/// Serializes [`commit_storm_data`] rows as the `BENCH_commit_storm.json`
+/// document CI records for the perf trajectory.
+pub fn commit_storm_json(rows: &[CommitStormRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::from(
+        "{\n  \"bench\": \"commit_storm\",\n  \"unit\": \"guest cycles\",\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"strategy\": \"{}\", \"vcpus\": {}, \"requests\": {}, \"commits\": {}, \
+             \"coalesced\": {}, \"commit_ratio\": {:.1}, \"speedup\": {:.1}, \
+             \"p50_cycles\": {:.1}, \"p95_cycles\": {:.1}, \"workers_exact\": {}}}{}",
+            r.strategy,
+            r.vcpus,
+            r.requests,
+            r.commits,
+            r.coalesced,
+            r.commit_ratio,
+            r.speedup,
+            r.p50_cycles,
+            r.p95_cycles,
+            r.workers_exact,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -913,6 +1014,43 @@ mod tests {
         assert!(json.contains("\"bench\": \"smp_commit\""));
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_smp.json");
         std::fs::write(path, &json).expect("write BENCH_smp.json");
+    }
+
+    /// CI's commit-storm gate (see `.github/workflows/ci.yml`): the mvd
+    /// control plane coalesces the burst into an order of magnitude
+    /// fewer commits than the naive driver under both protocols, the
+    /// workers stay exact, and the sweep is serialized to
+    /// `BENCH_commit_storm.json` at the workspace root.
+    #[test]
+    fn commit_storm_quick() {
+        let rows = commit_storm_data(4, 6000, 96, 48);
+        assert_eq!(rows.len(), 2, "one row per strategy");
+        for r in &rows {
+            assert!(r.workers_exact, "{}: a worker lost iterations", r.strategy);
+            assert!(
+                r.commit_ratio >= 10.0,
+                "{}: coalescing factor {:.1}x below the 10x gate",
+                r.strategy,
+                r.commit_ratio
+            );
+            assert!(r.p50_cycles <= r.p95_cycles);
+            // Fault-free run: every request either became a commit or
+            // merged into one.
+            assert_eq!(r.commits + r.coalesced, r.requests);
+        }
+        let stop = rows
+            .iter()
+            .find(|r| r.strategy == CommitStrategy::StopMachine)
+            .unwrap();
+        assert!(
+            stop.speedup >= 10.0,
+            "stop-machine throughput speedup {:.1}x below the 10x gate",
+            stop.speedup
+        );
+        let json = commit_storm_json(&rows);
+        assert!(json.contains("\"bench\": \"commit_storm\""));
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_commit_storm.json");
+        std::fs::write(path, &json).expect("write BENCH_commit_storm.json");
     }
 
     #[test]

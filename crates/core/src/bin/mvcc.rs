@@ -50,7 +50,23 @@
 //!                                   per-function profiler; with --commit,
 //!                                   run generic and committed images and
 //!                                   print a per-function comparison (the
-//!                                   §6.2 branch-reduction report)
+//!                                   §6.2 branch-reduction report) plus the
+//!                                   trace-ring kept/dropped counters
+//! mvcc serve  <file.c>… [--smp N] [--call F] [--strategy S]
+//!                                   boot an SMP world and drive the mvd
+//!                                   commit daemon from stdin, one command
+//!                                   per line: `flip VAR V`, `prio VAR V`,
+//!                                   `commit`, `revert`, `pump [ROUNDS]`,
+//!                                   `stats`, `release VAR`, `quit`
+//! mvcc storm  [<file.c>…] [--smoke] [--smp N] [--requests N] [--burst N]
+//!             [--seed N] [--strategy S]
+//!                                   submit a randomized flip storm for
+//!                                   every switch in the image through the
+//!                                   mvd daemon and print throughput,
+//!                                   latency percentiles and the daemon
+//!                                   counters; --smoke uses a built-in
+//!                                   kernel (no input files) and checks
+//!                                   the workers stayed exact
 //!
 //! common flags:
 //!   --dynamic            build without multiverse (binding B)
@@ -84,6 +100,10 @@ struct Args {
     stats_flag: bool,
     smp: usize,
     strategy: mvrt::CommitStrategy,
+    smoke: bool,
+    requests: u64,
+    burst: u64,
+    seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -108,6 +128,10 @@ fn parse_args() -> Result<Args, String> {
         stats_flag: false,
         smp: 0,
         strategy: mvrt::CommitStrategy::default(),
+        smoke: false,
+        requests: 96,
+        burst: 24,
+        seed: 42,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -166,11 +190,33 @@ fn parse_args() -> Result<Args, String> {
             }
             "--timings" => args.timings = true,
             "--stats" => args.stats_flag = true,
+            "--smoke" => args.smoke = true,
+            "--requests" => {
+                args.requests = it
+                    .next()
+                    .ok_or("--requests needs a count")?
+                    .parse()
+                    .map_err(|_| "bad request count")?;
+            }
+            "--burst" => {
+                args.burst = it
+                    .next()
+                    .ok_or("--burst needs a count")?
+                    .parse()
+                    .map_err(|_| "bad burst size")?;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|_| "bad seed")?;
+            }
             f if !f.starts_with('-') => args.files.push(f.to_string()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.files.is_empty() {
+    if args.files.is_empty() && !(args.cmd == "storm" && args.smoke) {
         return Err("no input files".into());
     }
     Ok(args)
@@ -241,7 +287,7 @@ fn cmd_build(args: &Args) -> Result<(), String> {
                 let format = args.format.as_deref().unwrap_or("chrome");
                 let sink: Box<dyn TraceSink> = match format {
                     "chrome" => Box::new(ChromeSink),
-                    "jsonl" => Box::new(JsonlSink),
+                    "jsonl" => Box::new(JsonlSink::default()),
                     "text" => Box::new(TextSink),
                     other => return Err(format!("unknown --format `{other}` (chrome|jsonl|text)")),
                 };
@@ -339,11 +385,11 @@ fn print_quiesce(q: &mvrt::QuiesceReport) {
     );
 }
 
-/// Boots an SMP world, spawns `main` (or `--call F`) on every vCPU and
-/// applies the `--set` assignments. Shared by `run --smp` and
-/// `verify --smp`.
-fn boot_smp_workers(args: &Args, p: &Program) -> Result<multiverse::SmpWorld, String> {
-    let mut w = p.boot_smp(args.smp);
+/// Boots an SMP world with `smp` vCPUs, spawns `main` (or `--call F`) on
+/// every vCPU and applies the `--set` assignments. Shared by `run --smp`,
+/// `verify --smp` and `serve`.
+fn boot_smp_workers(args: &Args, p: &Program, smp: usize) -> Result<multiverse::SmpWorld, String> {
+    let mut w = p.boot_smp(smp);
     for (k, v) in &args.sets {
         w.set(k, *v).map_err(|e| e.to_string())?;
         println!("set {k} = {v}");
@@ -352,7 +398,7 @@ fn boot_smp_workers(args: &Args, p: &Program) -> Result<multiverse::SmpWorld, St
         Some(f) => w.spawn_all(f, &[]).map_err(|e| e.to_string())?,
         None => {
             let entry = p.exe().entry;
-            for i in 0..args.smp {
+            for i in 0..smp {
                 w.smp.spawn(i, entry, &[]).map_err(|e| e.to_string())?;
             }
         }
@@ -361,7 +407,7 @@ fn boot_smp_workers(args: &Args, p: &Program) -> Result<multiverse::SmpWorld, St
 }
 
 fn cmd_run_smp(args: &Args, p: &Program) -> Result<(), String> {
-    let mut w = boot_smp_workers(args, p)?;
+    let mut w = boot_smp_workers(args, p, args.smp)?;
     // Let the workers get under way before committing, so a --commit
     // exercises the concurrent protocol rather than patching an idle
     // machine.
@@ -505,7 +551,7 @@ fn print_validation(
 /// `verify --smp N`: commit concurrently against N running vCPUs, then
 /// validate the quiesced image.
 fn cmd_verify_smp(args: &Args, p: &Program) -> Result<(), String> {
-    let mut w = boot_smp_workers(args, p)?;
+    let mut w = boot_smp_workers(args, p, args.smp)?;
     if w.rt.is_none() {
         println!("(no multiverse descriptors in this build — nothing to verify)");
         return Ok(());
@@ -599,20 +645,22 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         let r = world.call(f, &[]).map_err(|e| e.to_string())?;
         eprintln!("call {f} -> {r}");
     }
-    let events = world.rt.as_mut().expect("runtime present").take_trace();
+    let rt = world.rt.as_mut().expect("runtime present");
+    let dropped = rt.trace_dropped();
+    let events = rt.take_trace();
     if events.is_empty() {
         eprintln!("warning: no events recorded (pass --commit to trace a commit)");
     }
     let forest = build_spans(&events);
     eprintln!(
-        "trace: {} events, {} commit span(s)",
+        "trace: {} events ({dropped} dropped by the ring), {} commit span(s)",
         events.len(),
         forest.commits.len()
     );
     let format = args.format.as_deref().unwrap_or("chrome");
     let sink: Box<dyn TraceSink> = match format {
         "chrome" => Box::new(ChromeSink),
-        "jsonl" => Box::new(JsonlSink),
+        "jsonl" => Box::new(JsonlSink::with_dropped(dropped)),
         "text" => Box::new(TextSink),
         other => return Err(format!("unknown --format `{other}` (chrome|jsonl|text)")),
     };
@@ -633,13 +681,20 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
 fn cmd_stats(args: &Args) -> Result<(), String> {
     let p = build(args)?;
     // One fresh world per run so the generic and committed measurements
-    // start from identical data-segment state.
-    let run = |commit: bool| -> Result<(multiverse::mvvm::Profiler, u64), String> {
+    // start from identical data-segment state. The committed run records
+    // the runtime's events into a deliberately small ring so the
+    // kept/dropped counters below reflect real ring behavior.
+    const STATS_RING: usize = 64;
+    type StatsRun = (multiverse::mvvm::Profiler, u64, Option<(usize, u64)>);
+    let run = |commit: bool| -> Result<StatsRun, String> {
         let mut world = p.boot();
         for (k, v) in &args.sets {
             world.set(k, *v).map_err(|e| e.to_string())?;
         }
         if commit {
+            if let Some(rt) = world.rt.as_mut() {
+                rt.enable_tracing(STATS_RING);
+            }
             world.commit().map_err(|e| e.to_string())?;
         }
         world.machine.enable_profile(p.exe());
@@ -651,11 +706,16 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             }
         };
         let prof = world.machine.take_profile().expect("profiler installed");
-        Ok((prof, result))
+        let trace = world
+            .rt
+            .as_mut()
+            .filter(|_| commit)
+            .map(|rt| (rt.take_trace().len(), rt.trace_dropped()));
+        Ok((prof, result, trace))
     };
     if args.commit {
-        let (generic, r0) = run(false)?;
-        let (committed, r1) = run(true)?;
+        let (generic, r0, _) = run(false)?;
+        let (committed, r1, trace) = run(true)?;
         if r0 != r1 {
             eprintln!("warning: generic returned {r0}, committed returned {r1}");
         }
@@ -714,8 +774,11 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             pct(tot_g.stats.branches, tot_c.stats.branches),
             pct(tot_g.stats.mispredicts, tot_c.stats.mispredicts)
         );
+        if let Some((kept, dropped)) = trace {
+            println!("trace ring: {kept} events kept, {dropped} dropped (cap {STATS_RING})");
+        }
     } else {
-        let (prof, result) = run(false)?;
+        let (prof, result, _) = run(false)?;
         if args.per_fn {
             print!("{}", prof.render());
         } else {
@@ -723,6 +786,326 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             println!("result: {result} ({total} profiled cycles)");
             print!("{}", prof.render());
         }
+    }
+    Ok(())
+}
+
+/// Built-in kernel for `storm --smoke`: two switched functions and a
+/// worker loop whose return value is its own iteration count.
+const SMOKE_SRC: &str = r#"
+    multiverse bool fast_path;
+    multiverse bool logging;
+    i64 sink;
+
+    multiverse i64 step_fast(void) {
+        if (fast_path) { return 3; }
+        return 5;
+    }
+
+    multiverse i64 step_log(void) {
+        if (logging) { return 7; }
+        return 11;
+    }
+
+    i64 worker(i64 iters) {
+        i64 i = 0;
+        while (i < iters) {
+            sink = step_fast() + step_log();
+            i = i + 1;
+        }
+        return i;
+    }
+
+    i64 main(void) { return worker(8); }
+"#;
+
+/// Iterations given to each smoke worker.
+const SMOKE_ITERS: u64 = 2_000;
+
+/// Renders an `MvdOutcome` for the serve/storm report lines.
+fn outcome_str(o: &mvrt::MvdOutcome) -> String {
+    match o {
+        mvrt::MvdOutcome::Committed(q) => format!("committed ({} rounds)", q.rounds),
+        mvrt::MvdOutcome::Failed(e) => format!("failed: {e}"),
+        mvrt::MvdOutcome::Quarantined => "quarantined (fast-fail)".into(),
+        mvrt::MvdOutcome::Shed => "shed (backpressure)".into(),
+        mvrt::MvdOutcome::Expired => "expired (deadline)".into(),
+        mvrt::MvdOutcome::Rejected => "rejected (queue full)".into(),
+    }
+}
+
+/// Renders an `MvdOp` with the switch's symbol name when available.
+fn op_str(op: &mvrt::MvdOp, exe: &multiverse::mvobj::Executable) -> String {
+    match op {
+        mvrt::MvdOp::Flip { switch, value } => {
+            let name = exe
+                .symbolize(*switch)
+                .filter(|(_, off)| *off == 0)
+                .map(|(n, _)| n.to_string())
+                .unwrap_or_else(|| format!("{switch:#x}"));
+            format!("flip {name}={value}")
+        }
+        mvrt::MvdOp::CommitAll => "commit-all".into(),
+        mvrt::MvdOp::RevertAll => "revert-all".into(),
+    }
+}
+
+/// Prints every pending completion of `daemon`.
+fn print_completions(daemon: &mut mvrt::CommitDaemon, exe: &multiverse::mvobj::Executable) {
+    for c in daemon.take_completions() {
+        println!(
+            "req {:>3} {:<24} -> {}",
+            c.id,
+            op_str(&c.op, exe),
+            outcome_str(&c.outcome)
+        );
+    }
+}
+
+fn print_daemon_stats(daemon: &mvrt::CommitDaemon, exe: &multiverse::mvobj::Executable) {
+    let s = daemon.stats();
+    println!(
+        "daemon: {} submitted, {} admitted, {} coalesced, {} committed, {} failed",
+        s.submitted, s.admitted, s.coalesced, s.committed, s.failed
+    );
+    println!(
+        "        {} shed, {} expired, {} rejected, {} fast-failed, {} attempts",
+        s.shed, s.expired, s.rejected, s.fast_failed, s.attempts
+    );
+    println!(
+        "        {} quarantined, {} degraded, {} healed, epoch {}, pending {}{}",
+        s.quarantined,
+        s.degraded,
+        s.healed,
+        daemon.epoch(),
+        daemon.pending(),
+        if daemon.degraded() { " [degraded]" } else { "" }
+    );
+    for q in daemon.quarantined() {
+        println!(
+            "quarantine: {:<24} {} failures since epoch {}: {}",
+            op_str(&q.op, exe),
+            q.failures,
+            q.since_epoch,
+            q.error
+        );
+    }
+}
+
+/// `mvcc serve`: an interactive (stdin-driven) mvd control plane over a
+/// running SMP world.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use std::io::BufRead;
+    let p = build(args)?;
+    let smp = if args.smp == 0 { 2 } else { args.smp };
+    let mut w = boot_smp_workers(args, &p, smp)?;
+    if w.rt.is_none() {
+        return Err("no multiverse descriptors in this build — nothing to serve".into());
+    }
+    let mut daemon = mvrt::CommitDaemon::new(mvrt::MvdConfig {
+        strategy: args.strategy,
+        ..mvrt::MvdConfig::default()
+    });
+    let exe = p.exe();
+    println!(
+        "serving {} vCPUs, strategy {}; commands: flip VAR V | prio VAR V | commit | revert | pump [N] | stats | release VAR | quit",
+        smp, args.strategy
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let res: Result<(), String> = match words.as_slice() {
+            [] => Ok(()),
+            ["quit"] | ["exit"] => break,
+            [lane @ ("flip" | "prio"), var, v] => {
+                let value: i64 = v.parse().map_err(|_| format!("bad value `{v}`"))?;
+                let lane = if *lane == "prio" {
+                    mvrt::Lane::Priority
+                } else {
+                    mvrt::Lane::Normal
+                };
+                w.submit_flip(&mut daemon, var, value, lane)
+                    .map(|id| println!("queued req {id} ({} pending)", daemon.pending()))
+                    .map_err(|e| e.to_string())
+            }
+            ["commit"] => w
+                .submit_op(&mut daemon, mvrt::MvdOp::CommitAll, mvrt::Lane::Normal)
+                .map(|id| println!("queued req {id} (commit-all)"))
+                .map_err(|e| e.to_string()),
+            ["revert"] => w
+                .submit_op(&mut daemon, mvrt::MvdOp::RevertAll, mvrt::Lane::Normal)
+                .map(|id| println!("queued req {id} (revert-all)"))
+                .map_err(|e| e.to_string()),
+            ["pump", rest @ ..] => {
+                let rounds: u64 = match rest {
+                    [] => 4,
+                    [n] => n.parse().map_err(|_| format!("bad round count `{n}`"))?,
+                    _ => return Err("pump takes at most one argument".into()),
+                };
+                for _ in 0..rounds {
+                    if w.smp.any_live() {
+                        w.smp.step_round();
+                    }
+                }
+                let n = w.drain_daemon(&mut daemon).map_err(|e| e.to_string())?;
+                println!("pumped {rounds} rounds, processed {n} entries");
+                Ok(())
+            }
+            ["stats"] => {
+                print_daemon_stats(&daemon, exe);
+                Ok(())
+            }
+            ["release", var] => {
+                let addr = w.sym(var).map_err(|e| e.to_string())?;
+                match daemon.release(mvrt::MvdOp::Flip {
+                    switch: addr,
+                    value: 0,
+                }) {
+                    Some(q) => {
+                        println!("released {} ({} failures)", op_str(&q.op, exe), q.failures)
+                    }
+                    None => println!("{var} is not quarantined"),
+                }
+                Ok(())
+            }
+            _ => Err(format!("unknown command `{line}`")),
+        };
+        if let Err(e) = res {
+            println!("error: {e}");
+        }
+        print_completions(&mut daemon, exe);
+    }
+    print_daemon_stats(&daemon, exe);
+    Ok(())
+}
+
+/// `mvcc storm`: a randomized flip storm for every switch in the image,
+/// driven through the mvd daemon, with a throughput/latency report.
+fn cmd_storm(args: &Args) -> Result<(), String> {
+    let p = if args.smoke && args.files.is_empty() {
+        Program::build(&[("smoke.c", SMOKE_SRC)]).map_err(|e| e.to_string())?
+    } else {
+        build(args)?
+    };
+    let smp = if args.smp == 0 { 4 } else { args.smp };
+    let mut w = p.boot_smp(smp);
+    w.smp.set_seed(args.seed);
+    if args.smoke && args.files.is_empty() {
+        w.spawn_all("worker", &[SMOKE_ITERS])
+            .map_err(|e| e.to_string())?;
+    } else {
+        match &args.call {
+            Some(f) => w.spawn_all(f, &[]).map_err(|e| e.to_string())?,
+            None => {
+                let entry = p.exe().entry;
+                for i in 0..smp {
+                    w.smp.spawn(i, entry, &[]).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+    }
+    let switches = {
+        let Some(rt) = w.rt.as_mut() else {
+            return Err("no multiverse descriptors in this build — nothing to storm".into());
+        };
+        rt.enable_tracing(4096);
+        rt.switch_addrs()
+    };
+    if switches.is_empty() {
+        return Err("no integer configuration switches to flip".into());
+    }
+
+    let mut daemon = mvrt::CommitDaemon::new(mvrt::MvdConfig {
+        capacity: (2 * args.burst as usize).max(8),
+        strategy: args.strategy,
+        ..mvrt::MvdConfig::default()
+    });
+    // Deterministic xorshift64 request stream over the seed.
+    let mut x = args.seed | 1;
+    let mut stream = Vec::with_capacity(args.requests as usize);
+    for _ in 0..args.requests {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        stream.push((
+            switches[((x >> 8) as usize) % switches.len()],
+            ((x >> 32) & 1) as i64,
+        ));
+    }
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for chunk in stream.chunks(args.burst.max(1) as usize) {
+        for &(switch, value) in chunk {
+            let rt = w.rt.as_mut().expect("runtime present");
+            daemon.submit(rt, mvrt::MvdOp::Flip { switch, value }, mvrt::Lane::Normal);
+        }
+        for _ in 0..4 {
+            if w.smp.any_live() {
+                w.smp.step_round();
+            }
+        }
+        loop {
+            let before = daemon.stats().committed;
+            let t0 = w.smp.max_cycles();
+            let rt = w.rt.as_mut().expect("runtime present");
+            if !daemon.step(rt, &mut w.smp) {
+                break;
+            }
+            if daemon.stats().committed > before {
+                latencies.push(w.smp.max_cycles() - t0);
+            }
+        }
+    }
+    daemon.take_completions();
+    let rets = w.run(10_000_000).map_err(|e| e.to_string())?;
+
+    let exe = p.exe();
+    let s = daemon.stats();
+    println!(
+        "storm[{}]: {} requests over {} switches -> {} commits ({:.1}x coalesced), {} failed",
+        args.strategy,
+        args.requests,
+        switches.len(),
+        s.committed,
+        args.requests as f64 / s.committed.max(1) as f64,
+        s.failed
+    );
+    latencies.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let i = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[i]
+    };
+    println!(
+        "latency: p50 {} cycles, p95 {} cycles ({} samples)",
+        pct(0.50),
+        pct(0.95),
+        latencies.len()
+    );
+    print_daemon_stats(&daemon, exe);
+    let rt = w.rt.as_mut().expect("runtime present");
+    let dropped = rt.trace_dropped();
+    println!(
+        "trace: {} events kept, {dropped} dropped by the ring",
+        rt.take_trace().len()
+    );
+    if args.smoke && args.files.is_empty() {
+        if daemon.pending() != 0 {
+            return Err(format!(
+                "smoke: queue failed to drain ({} pending)",
+                daemon.pending()
+            ));
+        }
+        if !rets.iter().all(|&r| r == SMOKE_ITERS) {
+            return Err(format!("smoke: a worker lost iterations: {rets:?}"));
+        }
+        if s.committed == 0 {
+            return Err("smoke: no commit ever landed".into());
+        }
+        println!("smoke: ok ({} workers exact)", rets.len());
     }
     Ok(())
 }
@@ -780,7 +1163,9 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("mvcc: {e}");
-            eprintln!("usage: mvcc build|dump|disasm|run|verify|trace|stats <file.c>… [flags]");
+            eprintln!(
+                "usage: mvcc build|dump|disasm|run|verify|trace|stats|serve|storm <file.c>… [flags]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -794,6 +1179,8 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&args),
         "trace" => cmd_trace(&args),
         "stats" => cmd_stats(&args),
+        "serve" => cmd_serve(&args),
+        "storm" => cmd_storm(&args),
         other => Err(format!("unknown command `{other}`")),
     };
     match r {

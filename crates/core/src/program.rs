@@ -2,7 +2,10 @@
 
 use mvc::Options;
 use mvobj::Executable;
-use mvrt::{CommitReport, CommitStrategy, QuiesceOp, QuiesceReport, RtError, Runtime};
+use mvrt::{
+    CommitDaemon, CommitReport, CommitStrategy, Lane, MvdOp, QuiesceOp, QuiesceReport, RequestId,
+    RtError, Runtime,
+};
 use mvvm::{CostModel, Fault, Machine, MachineConfig, SmpMachine, Stats};
 use std::fmt;
 
@@ -397,6 +400,65 @@ impl SmpWorld {
     /// Machine-wide event-counter roll-up across every vCPU.
     pub fn total_stats(&self) -> Stats {
         self.smp.total_stats()
+    }
+
+    /// Submits a flip of the named switch to an [`mvrt::mvd`] commit
+    /// daemon, resolving the symbol to its address.
+    pub fn submit_flip(
+        &mut self,
+        daemon: &mut CommitDaemon,
+        switch: &str,
+        value: i64,
+        lane: Lane,
+    ) -> Result<RequestId, BuildError> {
+        let addr = self.sym(switch)?;
+        let rt = self
+            .rt
+            .as_mut()
+            .ok_or(BuildError::Rt(RtError::UnknownVariable(addr)))?;
+        Ok(daemon.submit(
+            rt,
+            MvdOp::Flip {
+                switch: addr,
+                value,
+            },
+            lane,
+        ))
+    }
+
+    /// Submits a whole-image operation ([`MvdOp::CommitAll`] or
+    /// [`MvdOp::RevertAll`]) to a commit daemon.
+    pub fn submit_op(
+        &mut self,
+        daemon: &mut CommitDaemon,
+        op: MvdOp,
+        lane: Lane,
+    ) -> Result<RequestId, BuildError> {
+        let rt = self
+            .rt
+            .as_mut()
+            .ok_or(BuildError::Rt(RtError::UnknownFunction(0)))?;
+        Ok(daemon.submit(rt, op, lane))
+    }
+
+    /// Processes one queued daemon entry against this world. Returns
+    /// `false` when the queue is empty.
+    pub fn step_daemon(&mut self, daemon: &mut CommitDaemon) -> Result<bool, BuildError> {
+        let rt = self
+            .rt
+            .as_mut()
+            .ok_or(BuildError::Rt(RtError::UnknownFunction(0)))?;
+        Ok(daemon.step(rt, &mut self.smp))
+    }
+
+    /// Drains the daemon's queue against this world; returns entries
+    /// processed.
+    pub fn drain_daemon(&mut self, daemon: &mut CommitDaemon) -> Result<usize, BuildError> {
+        let rt = self
+            .rt
+            .as_mut()
+            .ok_or(BuildError::Rt(RtError::UnknownFunction(0)))?;
+        Ok(daemon.drain(rt, &mut self.smp))
     }
 }
 

@@ -52,6 +52,7 @@
 pub mod error;
 pub mod fnptr;
 pub mod journal;
+pub mod mvd;
 pub mod patch;
 pub mod quiesce;
 pub mod runtime;
@@ -60,6 +61,10 @@ pub mod txn;
 
 pub use error::{CommitPhase, RtError};
 pub use journal::{Journal, JournalEntry};
+pub use mvd::{
+    CommitDaemon, Completion, Lane, MvdConfig, MvdOp, MvdOutcome, MvdStats, QuarantineEntry,
+    RequestId,
+};
 pub use quiesce::{CommitStrategy, QuiesceOp, QuiesceReport};
 pub use runtime::{CommitReport, FnBinding, PatchStrategy, Runtime};
 pub use stats::{PatchStats, PatchTiming};

@@ -52,7 +52,7 @@ use mvasm::encode::OP_TRAP;
 use mvasm::CALL_SITE_LEN;
 use mvobj::Prot;
 use mvtrace::EventKind;
-use mvvm::{Machine, SmpMachine, VcpuState};
+use mvvm::{FaultOp, Machine, MemError, SmpMachine, VcpuState};
 
 /// How a commit quiesces the other vCPUs. See the module docs for the
 /// two protocols.
@@ -245,6 +245,28 @@ fn poke_byte(rt: &mut Runtime, m: &mut Machine, addr: u64, byte: u8) -> Result<(
 }
 
 impl Runtime {
+    /// Issues a full remote icache shootdown and emits the trace event.
+    ///
+    /// A real broadcast always acknowledges at least one invalidated
+    /// cache (the machine's resident one), so a `0` return means the
+    /// IPI was lost (a [`FaultOp::Shootdown`] plan, or nothing at all
+    /// on a hypothetical broken interconnect) — re-issue once. A
+    /// one-shot lost IPI is thereby absorbed exactly like a dropped
+    /// local icache flush; a sticky loss still returns `0` and leaves
+    /// stale decodes, which the caller's drain/commit oracle surfaces.
+    fn shoot_down_all(&mut self, smp: &mut SmpMachine) -> u64 {
+        let mut shot = smp.flush_remote(None) as u64;
+        if shot == 0 {
+            shot = smp.flush_remote(None) as u64;
+        }
+        self.emit(|| EventKind::IcacheShootdown {
+            start: 0,
+            end: 0,
+            vcpus: shot,
+        });
+        shot
+    }
+
     /// `multiverse_commit()` against a running [`SmpMachine`], quiesced
     /// under `strategy`. See [`Runtime::run_quiesced`].
     pub fn commit_quiesced(
@@ -344,12 +366,7 @@ impl Runtime {
         // The world is stopped: apply the ordinary journaled transaction
         // host-atomically, then make it visible before anyone resumes.
         let result = self.run_txn(&mut smp.machine, op);
-        let shot = smp.flush_remote(None) as u64;
-        self.emit(|| EventKind::IcacheShootdown {
-            start: 0,
-            end: 0,
-            vcpus: shot,
-        });
+        self.shoot_down_all(smp);
         for &i in &parked {
             smp.unpark(i);
         }
@@ -389,12 +406,24 @@ impl Runtime {
         let mut planted: Vec<(u64, u8)> = Vec::new();
         for &(start, _) in &regions {
             let mut orig = [0u8; 1];
-            let r = smp
-                .machine
-                .mem
-                .read(start, &mut orig)
-                .map_err(RtError::from)
-                .and_then(|()| poke_byte(self, &mut smp.machine, start, OP_TRAP));
+            // A FaultPlan targeting trap plants fails this plant before
+            // the byte lands — the poke racing a concurrent protection
+            // change. Reported like any W^X violation (mapped: true),
+            // indistinguishable from the real thing. Restores through
+            // restore_traps never consume this counter.
+            let r = if smp.machine.mem.trip_fault(FaultOp::TrapPlant, start) {
+                Err(RtError::from(MemError {
+                    addr: start,
+                    access: mvvm::mem::Access::Write,
+                    mapped: true,
+                }))
+            } else {
+                smp.machine
+                    .mem
+                    .read(start, &mut orig)
+                    .map_err(RtError::from)
+                    .and_then(|()| poke_byte(self, &mut smp.machine, start, OP_TRAP))
+            };
             if let Err(e) = r {
                 // The failed poke may already have landed the trap byte
                 // (the RX relock or the flush faulted after the write):
@@ -415,12 +444,7 @@ impl Runtime {
             }
             planted.push((start, orig[0]));
         }
-        let shot = smp.flush_remote(None) as u64;
-        self.emit(|| EventKind::IcacheShootdown {
-            start: 0,
-            end: 0,
-            vcpus: shot,
-        });
+        self.shoot_down_all(smp);
 
         // Drain: step the machine until no vCPU sits inside a region
         // interior. vCPUs reaching a region start hit the trap and
@@ -459,23 +483,13 @@ impl Runtime {
         // phase sees pristine text, then apply while the stragglers are
         // still held on their traps (they re-fetch only after release).
         if let Err(e) = self.restore_traps(&mut smp.machine, &planted) {
-            let shot = smp.flush_remote(None) as u64;
-            self.emit(|| EventKind::IcacheShootdown {
-                start: 0,
-                end: 0,
-                vcpus: shot,
-            });
+            self.shoot_down_all(smp);
             self.release_planted(smp, &planted);
             self.emit(|| EventKind::QuiesceEnd { ok: false, rounds });
             return Err(e);
         }
         let result = self.run_txn(&mut smp.machine, op);
-        let shot = smp.flush_remote(None) as u64;
-        self.emit(|| EventKind::IcacheShootdown {
-            start: 0,
-            end: 0,
-            vcpus: shot,
-        });
+        self.shoot_down_all(smp);
         self.release_planted(smp, &planted);
         let ok = result.is_ok();
         self.emit(|| EventKind::QuiesceEnd { ok, rounds });
@@ -525,12 +539,7 @@ impl Runtime {
     /// visible, and release anyone who already trapped.
     fn unwind_traps(&mut self, smp: &mut SmpMachine, planted: &[(u64, u8)]) -> Result<(), RtError> {
         let restored = self.restore_traps(&mut smp.machine, planted);
-        let shot = smp.flush_remote(None) as u64;
-        self.emit(|| EventKind::IcacheShootdown {
-            start: 0,
-            end: 0,
-            vcpus: shot,
-        });
+        self.shoot_down_all(smp);
         self.release_planted(smp, planted);
         restored
     }

@@ -270,6 +270,14 @@ impl Runtime {
         self.tracer.take().map(|r| r.snapshot()).unwrap_or_default()
     }
 
+    /// Events the installed ring has dropped to overflow so far (0 with
+    /// no ring). Read this *before* [`Runtime::take_trace`] detaches the
+    /// ring; exporters surface it so a truncated trace is never silently
+    /// misread as complete.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, |r| r.dropped())
+    }
+
     /// Copies the buffered events out without uninstalling the ring.
     pub fn trace_snapshot(&self) -> Vec<mvtrace::Event> {
         self.tracer
@@ -294,6 +302,17 @@ impl Runtime {
     /// Number of known configuration switches.
     pub fn num_variables(&self) -> usize {
         self.vars.len()
+    }
+
+    /// Addresses of the integer configuration switches, in descriptor
+    /// order (function-pointer switches excluded) — for tooling that
+    /// flips every switch it can find.
+    pub fn switch_addrs(&self) -> Vec<u64> {
+        self.vars
+            .iter()
+            .filter(|v| !v.fn_ptr)
+            .map(|v| v.addr)
+            .collect()
     }
 
     /// Number of multiversed functions.

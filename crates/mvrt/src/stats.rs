@@ -79,8 +79,8 @@ impl PatchStats {
 ///
 /// The per-phase durations are accumulated across every attempt of the
 /// operation (a retried transaction re-runs all three phases), so
-/// `plan + validate + apply ≤ elapsed` — the difference is retry
-/// backoff and driver overhead.
+/// `plan + validate + apply ≤ elapsed` — the difference is `backoff`
+/// plus driver overhead.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PatchTiming {
     /// Wall-clock time the operation took, end to end.
@@ -91,6 +91,11 @@ pub struct PatchTiming {
     pub validate: Duration,
     /// Time spent in the journaled write pass (including any rollback).
     pub apply: Duration,
+    /// Retry backoff charged to this operation: the sum of every
+    /// inter-attempt sleep the [`crate::RetryPolicy`] scheduled.
+    pub backoff: Duration,
+    /// Attempts beyond the first this operation needed.
+    pub retries: u32,
     /// Call sites visited.
     pub sites: u64,
 }

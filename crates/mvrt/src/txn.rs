@@ -39,9 +39,23 @@ use std::time::{Duration, Instant};
 pub struct RetryPolicy {
     /// Additional attempts after the first failure (0 = fail fast).
     pub max_retries: u32,
-    /// Base sleep between attempts; attempt *n* waits `backoff * n`
-    /// (linear backoff). [`Duration::ZERO`] skips sleeping entirely.
+    /// Base sleep between attempts. [`Duration::ZERO`] skips sleeping
+    /// entirely. Attempt *n* waits `backoff * n` (linear, the default)
+    /// or `backoff * 2^(n-1)` with [`RetryPolicy::exponential`] set —
+    /// see [`RetryPolicy::delay`].
     pub backoff: Duration,
+    /// Exponential doubling instead of the default linear scaling.
+    pub exponential: bool,
+    /// Upper bound for a single delay ([`Duration::ZERO`] = uncapped).
+    /// Applied before jitter, so a jittered schedule stays under the
+    /// cap too.
+    pub max_backoff: Duration,
+    /// Seed for deterministic jitter (0 = none). With a nonzero seed an
+    /// exponential delay is "equal-jittered" into `[d/2, d]`: half the
+    /// delay is kept, the rest drawn from a splitmix of `(seed,
+    /// attempt)` — the decorrelation that keeps a thundering herd of
+    /// retriers from re-colliding, reproducible run over run.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -49,8 +63,19 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 0,
             backoff: Duration::from_micros(50),
+            exponential: false,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
         }
     }
+}
+
+/// splitmix64 finalizer over a seed/counter pair — the jitter source.
+fn mix64(seed: u64, counter: u64) -> u64 {
+    let mut z = seed ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
@@ -61,7 +86,53 @@ impl RetryPolicy {
         RetryPolicy {
             max_retries,
             backoff: Duration::ZERO,
+            ..RetryPolicy::default()
         }
+    }
+
+    /// A jittered-exponential policy: attempt *n* waits a deterministic
+    /// draw from `[base·2^(n-1) / 2, base·2^(n-1)]` seeded by `seed`
+    /// (`seed = 0` disables the jitter and keeps the pure doubling).
+    /// Uncapped; chain [`RetryPolicy::capped`] to bound single delays.
+    pub fn exponential(max_retries: u32, base: Duration, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff: base,
+            exponential: true,
+            max_backoff: Duration::ZERO,
+            jitter_seed: seed,
+        }
+    }
+
+    /// Caps every single delay at `max` (applied before jitter).
+    pub fn capped(mut self, max: Duration) -> RetryPolicy {
+        self.max_backoff = max;
+        self
+    }
+
+    /// The sleep before retry `attempt` (1-based), fully deterministic:
+    /// linear `backoff * attempt` by default, doubling (capped, then
+    /// equal-jittered when seeded) with [`RetryPolicy::exponential`]
+    /// set. A zero base means no sleeping in any mode.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if self.backoff.is_zero() || attempt == 0 {
+            return Duration::ZERO;
+        }
+        let mut d = if self.exponential {
+            self.backoff.saturating_mul(1u32 << (attempt - 1).min(31))
+        } else {
+            self.backoff.saturating_mul(attempt)
+        };
+        if !self.max_backoff.is_zero() && d > self.max_backoff {
+            d = self.max_backoff;
+        }
+        if self.exponential && self.jitter_seed != 0 {
+            let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+            let half = ns / 2;
+            let r = mix64(self.jitter_seed, attempt as u64);
+            d = Duration::from_nanos(half + r % (half + 1));
+        }
+        d
     }
 }
 
@@ -878,9 +949,14 @@ impl Runtime {
                 Err(e) if attempt < self.retry.max_retries && e.is_transient() => {
                     attempt += 1;
                     self.stats.retries += 1;
+                    self.last_timing.retries += 1;
                     self.emit(|| EventKind::Retry { attempt });
-                    if !self.retry.backoff.is_zero() {
-                        std::thread::sleep(self.retry.backoff.saturating_mul(attempt));
+                    let delay = self.retry.delay(attempt);
+                    if !delay.is_zero() {
+                        // Charged to the op's timing so elapsed − phases
+                        // decomposes into backoff + driver overhead.
+                        self.last_timing.backoff += delay;
+                        std::thread::sleep(delay);
                     }
                 }
                 other => break other,
@@ -990,5 +1066,77 @@ impl Runtime {
             });
         }
         report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const US: u64 = 1_000; // ns per µs
+
+    #[test]
+    fn default_policy_keeps_linear_fixed_delay() {
+        let p = RetryPolicy::default();
+        assert!(!p.exponential);
+        for n in 1..=5u32 {
+            assert_eq!(p.delay(n), p.backoff * n, "linear schedule preserved");
+        }
+        assert_eq!(RetryPolicy::retries(3).delay(2), Duration::ZERO);
+    }
+
+    #[test]
+    fn exponential_schedule_doubles_and_caps() {
+        let p = RetryPolicy::exponential(8, Duration::from_micros(100), 0);
+        let got: Vec<u64> = (1..=5).map(|n| p.delay(n).as_nanos() as u64).collect();
+        assert_eq!(got, vec![100 * US, 200 * US, 400 * US, 800 * US, 1600 * US]);
+
+        let capped = p.capped(Duration::from_micros(500));
+        let got: Vec<u64> = (1..=5).map(|n| capped.delay(n).as_nanos() as u64).collect();
+        assert_eq!(got, vec![100 * US, 200 * US, 400 * US, 500 * US, 500 * US]);
+        // Far attempts must not overflow the doubling.
+        assert_eq!(capped.delay(200), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn jitter_stays_in_the_equal_jitter_window() {
+        let p = RetryPolicy::exponential(8, Duration::from_micros(100), 0xfeed);
+        for n in 1..=8u32 {
+            let pure = RetryPolicy::exponential(8, Duration::from_micros(100), 0).delay(n);
+            let d = p.delay(n);
+            assert!(d >= pure / 2, "attempt {n}: {d:?} below half of {pure:?}");
+            assert!(d <= pure, "attempt {n}: {d:?} above {pure:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_varies_across_seeds() {
+        let a = RetryPolicy::exponential(8, Duration::from_micros(100), 7);
+        let b = RetryPolicy::exponential(8, Duration::from_micros(100), 7);
+        let c = RetryPolicy::exponential(8, Duration::from_micros(100), 8);
+        let sched = |p: &RetryPolicy| (1..=8u32).map(|n| p.delay(n)).collect::<Vec<_>>();
+        assert_eq!(sched(&a), sched(&b), "same seed, same schedule");
+        assert_ne!(sched(&a), sched(&c), "different seed decorrelates");
+        // And the jitter really moves within one schedule: not every
+        // attempt lands on the window boundary.
+        let pure = RetryPolicy::exponential(8, Duration::from_micros(100), 0);
+        assert!(
+            (1..=8u32).any(|n| a.delay(n) != pure.delay(n)),
+            "seeded schedule must differ from the unjittered one"
+        );
+    }
+
+    #[test]
+    fn zero_base_never_sleeps_in_any_mode() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            backoff: Duration::ZERO,
+            exponential: true,
+            max_backoff: Duration::from_micros(10),
+            jitter_seed: 42,
+        };
+        for n in 0..=6u32 {
+            assert_eq!(p.delay(n), Duration::ZERO);
+        }
     }
 }

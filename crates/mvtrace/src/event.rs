@@ -202,6 +202,45 @@ pub enum EventKind {
         /// Address of the trap byte.
         addr: u64,
     },
+    /// The mvd control plane admitted a commit request into a queue
+    /// lane.
+    QueueAdmit {
+        /// Lane name: `normal` or `priority`.
+        lane: &'static str,
+        /// Coalescing key (switch address; 0 for whole-image ops).
+        key: u64,
+    },
+    /// A new request merged into an already-queued entry for the same
+    /// key: one commit will serve them all.
+    Coalesced {
+        /// Coalescing key (switch address; 0 for whole-image ops).
+        key: u64,
+        /// Requesters now sharing the entry's outcome.
+        waiters: u64,
+    },
+    /// Backpressure dropped a queued normal-lane entry (oldest first)
+    /// to make room, or a deadline expired before processing.
+    Shed {
+        /// Coalescing key of the dropped entry.
+        key: u64,
+    },
+    /// An assignment was parked on the quarantine list after repeated
+    /// consecutive commit failures; later requests for it fail fast.
+    Quarantined {
+        /// Coalescing key of the parked assignment.
+        key: u64,
+        /// Consecutive failures that triggered the parking.
+        failures: u64,
+    },
+    /// The daemon fell back from one quiesce protocol to another for a
+    /// commit after repeated quiesce failures (it heals back on a later
+    /// success of the preferred protocol).
+    StrategyDegraded {
+        /// Protocol abandoned (`breakpoint`).
+        from: &'static str,
+        /// Protocol substituted (`stop-machine`).
+        to: &'static str,
+    },
 }
 
 impl EventKind {
@@ -231,6 +270,11 @@ impl EventKind {
             EventKind::VcpuParked { .. } => "vcpu_parked",
             EventKind::IcacheShootdown { .. } => "icache_shootdown",
             EventKind::TrapHit { .. } => "trap_hit",
+            EventKind::QueueAdmit { .. } => "queue_admit",
+            EventKind::Coalesced { .. } => "coalesced",
+            EventKind::Shed { .. } => "shed",
+            EventKind::Quarantined { .. } => "quarantined",
+            EventKind::StrategyDegraded { .. } => "strategy_degraded",
         }
     }
 

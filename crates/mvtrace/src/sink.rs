@@ -83,15 +83,55 @@ fn kind_fields(kind: &EventKind) -> String {
         EventKind::TrapHit { vcpu, addr } => {
             format!(r#","vcpu":{vcpu},"addr":"{addr:#x}""#)
         }
+        EventKind::QueueAdmit { lane, key } => {
+            format!(r#","lane":"{lane}","key":"{key:#x}""#)
+        }
+        EventKind::Coalesced { key, waiters } => {
+            format!(r#","key":"{key:#x}","waiters":{waiters}"#)
+        }
+        EventKind::Shed { key } => format!(r#","key":"{key:#x}""#),
+        EventKind::Quarantined { key, failures } => {
+            format!(r#","key":"{key:#x}","failures":{failures}"#)
+        }
+        EventKind::StrategyDegraded { from, to } => {
+            format!(r#","from":"{from}","to":"{to}""#)
+        }
     }
 }
 
 /// One JSON object per line: `{"seq":…,"ts_ns":…,"ev":"…",…payload…}`.
+///
+/// With [`JsonlSink::with_dropped`] the stream opens with a header line
+/// (`"ev":"trace_header"`) carrying the exported event count and the
+/// ring's dropped-event count, so a truncated trace is never silently
+/// misread as complete.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct JsonlSink;
+pub struct JsonlSink {
+    /// Ring drop count to report in a leading header line; `None`
+    /// (the default) emits events only, byte-compatible with older
+    /// consumers.
+    pub dropped: Option<u64>,
+}
+
+impl JsonlSink {
+    /// A sink that prefixes the stream with a `trace_header` line
+    /// reporting `dropped` ring overflows.
+    pub fn with_dropped(dropped: u64) -> JsonlSink {
+        JsonlSink {
+            dropped: Some(dropped),
+        }
+    }
+}
 
 impl TraceSink for JsonlSink {
     fn export(&self, events: &[Event], w: &mut dyn Write) -> io::Result<()> {
+        if let Some(dropped) = self.dropped {
+            writeln!(
+                w,
+                r#"{{"ev":"trace_header","events":{},"dropped":{dropped}}}"#,
+                events.len()
+            )?;
+        }
         for e in events {
             writeln!(
                 w,
@@ -270,6 +310,19 @@ impl TraceSink for TextSink {
                             EventKind::TrapHit { vcpu, addr } => {
                                 format!("vcpu {vcpu} hit trap at {addr:#x}")
                             }
+                            EventKind::QueueAdmit { lane, key } => {
+                                format!("admitted {key:#x} to the {lane} lane")
+                            }
+                            EventKind::Coalesced { key, waiters } => {
+                                format!("{key:#x} coalesced ({waiters} waiters)")
+                            }
+                            EventKind::Shed { key } => format!("shed {key:#x}"),
+                            EventKind::Quarantined { key, failures } => {
+                                format!("{key:#x} quarantined after {failures} failures")
+                            }
+                            EventKind::StrategyDegraded { from, to } => {
+                                format!("degraded {from} -> {to}")
+                            }
                             _ => e.kind.name().to_string(),
                         };
                         writeln!(w, "      {:<22} {}", e.kind.name(), detail)?;
@@ -319,7 +372,7 @@ mod tests {
 
     #[test]
     fn jsonl_one_object_per_line() {
-        let s = JsonlSink.export_string(&sample());
+        let s = JsonlSink::default().export_string(&sample());
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         assert_eq!(
@@ -330,6 +383,64 @@ mod tests {
             lines[2],
             r#"{"seq":3,"ts_ns":2500,"ev":"phase_end","phase":"plan","ok":true}"#
         );
+    }
+
+    #[test]
+    fn jsonl_header_reports_counts() {
+        let s = JsonlSink::with_dropped(7).export_string(&sample());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5, "header plus one line per event");
+        assert_eq!(lines[0], r#"{"ev":"trace_header","events":4,"dropped":7}"#);
+        assert_eq!(
+            lines[1],
+            r#"{"seq":1,"ts_ns":0,"ev":"commit_begin","op":"commit"}"#
+        );
+        // The default stays byte-compatible: no header at all.
+        assert!(JsonlSink::default()
+            .export_string(&sample())
+            .starts_with(r#"{"seq":1"#));
+    }
+
+    #[test]
+    fn control_plane_events_render_in_every_sink() {
+        let evs: Vec<Event> = [
+            EventKind::QueueAdmit {
+                lane: "priority",
+                key: 0x5000,
+            },
+            EventKind::Coalesced {
+                key: 0x5000,
+                waiters: 3,
+            },
+            EventKind::Shed { key: 0x5000 },
+            EventKind::Quarantined {
+                key: 0x5000,
+                failures: 4,
+            },
+            EventKind::StrategyDegraded {
+                from: "breakpoint",
+                to: "stop-machine",
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| Event {
+            seq: i as u64 + 1,
+            ts_ns: i as u64 * 100,
+            kind,
+        })
+        .collect();
+        let jsonl = JsonlSink::default().export_string(&evs);
+        assert!(jsonl.contains(r#""ev":"queue_admit","lane":"priority","key":"0x5000""#));
+        assert!(jsonl.contains(r#""ev":"coalesced","key":"0x5000","waiters":3"#));
+        assert!(jsonl.contains(r#""ev":"shed","key":"0x5000""#));
+        assert!(jsonl.contains(r#""ev":"quarantined","key":"0x5000","failures":4"#));
+        assert!(
+            jsonl.contains(r#""ev":"strategy_degraded","from":"breakpoint","to":"stop-machine""#)
+        );
+        // All five are point events: Chrome renders them as instants.
+        let chrome = ChromeSink.export_string(&evs);
+        assert_eq!(chrome.matches(r#""ph":"i""#).count(), 5);
     }
 
     #[test]

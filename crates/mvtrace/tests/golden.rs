@@ -140,7 +140,10 @@ fn check_golden(name: &str, actual: &str) {
 
 #[test]
 fn jsonl_matches_golden() {
-    check_golden("trace.jsonl", &JsonlSink.export_string(&fixture()));
+    check_golden(
+        "trace.jsonl",
+        &JsonlSink::default().export_string(&fixture()),
+    );
 }
 
 #[test]

@@ -34,6 +34,20 @@ pub enum FaultOp {
     /// silently dropping it — the page's code version is not bumped, so
     /// stale decoded instructions keep executing.
     IcacheFlush,
+    /// A breakpoint-protocol trap plant: the quiesce layer writing a
+    /// trap byte over a patched region's first instruction. Failing the
+    /// plant surfaces as a protection fault *before* the byte lands, so
+    /// the unwind never has a stranded trap to clean up — the model of a
+    /// poke racing a concurrent protection change. Trap *restores*
+    /// (putting the original byte back) never consume this counter.
+    TrapPlant,
+    /// A remote icache shootdown (`SmpMachine::flush_remote`): the
+    /// IPI-style broadcast that evicts every per-CPU sticky decode
+    /// cache. "Failing" one means silently losing the whole broadcast —
+    /// no cache is evicted and the shootdown counter does not move, the
+    /// lost-IPI model. Callers can detect the loss because a real
+    /// broadcast always acknowledges at least one invalidated cache.
+    Shootdown,
 }
 
 /// Whether a plan fires once and heals, or keeps firing.
@@ -47,12 +61,14 @@ pub enum FaultMode {
 }
 
 /// A deterministic fault schedule: fail the `nth` (1-based) operation of
-/// kind `op`.
+/// kind `op`, optionally only when the operation's address falls inside
+/// a half-open range.
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
     op: FaultOp,
     nth: u64,
     mode: FaultMode,
+    range: Option<(u64, u64)>,
     seen: u64,
     fired: u64,
 }
@@ -65,6 +81,7 @@ impl FaultPlan {
             op,
             nth: n,
             mode: FaultMode::OneShot,
+            range: None,
             seen: 0,
             fired: 0,
         }
@@ -85,15 +102,41 @@ impl FaultPlan {
         FaultPlan::new(FaultOp::IcacheFlush, n)
     }
 
+    /// Fails the `n`-th breakpoint trap plant.
+    pub fn fail_nth_trap_plant(n: u64) -> FaultPlan {
+        FaultPlan::new(FaultOp::TrapPlant, n)
+    }
+
+    /// Silently loses the `n`-th remote icache shootdown.
+    pub fn drop_nth_shootdown(n: u64) -> FaultPlan {
+        FaultPlan::new(FaultOp::Shootdown, n)
+    }
+
     /// Converts the plan to [`FaultMode::Sticky`].
     pub fn sticky(mut self) -> FaultPlan {
         self.mode = FaultMode::Sticky;
         self
     }
 
+    /// Restricts the plan to operations whose address lies in
+    /// `[start, end)`. Operations outside the range neither fail nor
+    /// consume the counter, so a sticky plan can poison one function's
+    /// pages while commits elsewhere stay healthy. Address-less
+    /// operations (a full-image shootdown) report address `0`.
+    pub fn in_range(mut self, start: u64, end: u64) -> FaultPlan {
+        assert!(start < end, "fault range is half-open and non-empty");
+        self.range = Some((start, end));
+        self
+    }
+
     /// The targeted operation class.
     pub fn op(&self) -> FaultOp {
         self.op
+    }
+
+    /// The address filter, if any.
+    pub fn range(&self) -> Option<(u64, u64)> {
+        self.range
     }
 
     /// The 1-based index of the first operation that fails.
@@ -116,10 +159,17 @@ impl FaultPlan {
         self.fired
     }
 
-    /// Counts a matching operation and reports whether it must fail.
-    pub(crate) fn trips(&mut self, op: FaultOp) -> bool {
+    /// Counts a matching operation at `addr` and reports whether it
+    /// must fail. Operations of another class, or outside the address
+    /// filter, do not consume the counter.
+    pub(crate) fn trips(&mut self, op: FaultOp, addr: u64) -> bool {
         if op != self.op {
             return false;
+        }
+        if let Some((start, end)) = self.range {
+            if addr < start || addr >= end {
+                return false;
+            }
         }
         self.seen += 1;
         let hit = match self.mode {
@@ -140,7 +190,7 @@ mod tests {
     #[test]
     fn one_shot_fires_exactly_once() {
         let mut p = FaultPlan::fail_nth_mprotect(3);
-        let hits: Vec<bool> = (0..6).map(|_| p.trips(FaultOp::Mprotect)).collect();
+        let hits: Vec<bool> = (0..6).map(|_| p.trips(FaultOp::Mprotect, 0)).collect();
         assert_eq!(hits, vec![false, false, true, false, false, false]);
         assert_eq!(p.seen(), 6);
         assert_eq!(p.fired(), 1);
@@ -149,7 +199,7 @@ mod tests {
     #[test]
     fn sticky_fires_from_nth_on() {
         let mut p = FaultPlan::fail_nth_write(2).sticky();
-        let hits: Vec<bool> = (0..4).map(|_| p.trips(FaultOp::TextWrite)).collect();
+        let hits: Vec<bool> = (0..4).map(|_| p.trips(FaultOp::TextWrite, 0)).collect();
         assert_eq!(hits, vec![false, true, true, true]);
         assert_eq!(p.fired(), 3);
     }
@@ -157,9 +207,34 @@ mod tests {
     #[test]
     fn other_ops_do_not_consume_the_counter() {
         let mut p = FaultPlan::drop_nth_flush(1);
-        assert!(!p.trips(FaultOp::Mprotect));
-        assert!(!p.trips(FaultOp::TextWrite));
+        assert!(!p.trips(FaultOp::Mprotect, 0));
+        assert!(!p.trips(FaultOp::TextWrite, 0));
         assert_eq!(p.seen(), 0);
-        assert!(p.trips(FaultOp::IcacheFlush));
+        assert!(p.trips(FaultOp::IcacheFlush, 0));
+    }
+
+    #[test]
+    fn quiesce_phase_ops_are_schedulable() {
+        let mut p = FaultPlan::fail_nth_trap_plant(2);
+        assert!(!p.trips(FaultOp::TrapPlant, 0x4000));
+        assert!(p.trips(FaultOp::TrapPlant, 0x4010));
+        let mut s = FaultPlan::drop_nth_shootdown(1).sticky();
+        assert!(s.trips(FaultOp::Shootdown, 0));
+        assert!(s.trips(FaultOp::Shootdown, 0));
+        assert_eq!(s.fired(), 2);
+    }
+
+    #[test]
+    fn range_filter_gates_counting_and_firing() {
+        let mut p = FaultPlan::fail_nth_write(1)
+            .sticky()
+            .in_range(0x4000, 0x5000);
+        assert!(!p.trips(FaultOp::TextWrite, 0x3fff), "below the range");
+        assert!(!p.trips(FaultOp::TextWrite, 0x5000), "end is exclusive");
+        assert_eq!(p.seen(), 0, "out-of-range ops never consume the counter");
+        assert!(p.trips(FaultOp::TextWrite, 0x4000), "start is inclusive");
+        assert!(p.trips(FaultOp::TextWrite, 0x4fff));
+        assert_eq!(p.fired(), 2);
+        assert_eq!(p.range(), Some((0x4000, 0x5000)));
     }
 }

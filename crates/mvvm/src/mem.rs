@@ -127,9 +127,17 @@ impl Memory {
         self.fault.as_ref()
     }
 
-    fn fault_trips(&mut self, op: FaultOp) -> bool {
+    /// Consults the installed fault schedule for one operation of class
+    /// `op` at `addr`, counting it and reporting whether it must fail.
+    ///
+    /// Memory's own primitives call this internally; it is public so
+    /// higher layers can put *their* operation classes (trap plants,
+    /// remote shootdowns) under the same deterministic schedule — the
+    /// plan lives here because `Memory` is the one object every layer
+    /// of the stack can reach. Address-less operations report `0`.
+    pub fn trip_fault(&mut self, op: FaultOp, addr: u64) -> bool {
         match &mut self.fault {
-            Some(plan) => plan.trips(op),
+            Some(plan) => plan.trips(op, addr),
             None => false,
         }
     }
@@ -172,7 +180,7 @@ impl Memory {
                 });
             }
         }
-        if self.fault_trips(FaultOp::Mprotect) {
+        if self.trip_fault(FaultOp::Mprotect, addr) {
             // Injected transient protection-change failure (indistinguishable
             // from a real one: the range is mapped, nothing was changed).
             return Err(MemError {
@@ -203,7 +211,7 @@ impl Memory {
         if len == 0 {
             return;
         }
-        if self.fault_trips(FaultOp::IcacheFlush) {
+        if self.trip_fault(FaultOp::IcacheFlush, addr) {
             return;
         }
         self.flush_epoch += 1;
@@ -311,7 +319,7 @@ impl Memory {
     /// consume the plan's counter; guest data stores are never affected.
     pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
         self.access(addr, data.len(), Access::Write, |p| p.write)?;
-        if self.touches_text(addr, data.len()) && self.fault_trips(FaultOp::TextWrite) {
+        if self.touches_text(addr, data.len()) && self.trip_fault(FaultOp::TextWrite, addr) {
             return Err(MemError {
                 addr,
                 access: Access::Write,

@@ -271,7 +271,21 @@ impl SmpMachine {
     /// *and* the machine's resident one. Returns the number of caches
     /// invalidated. This is the only operation that makes patched text
     /// visible to already-running vCPUs in sticky-icache mode.
+    ///
+    /// A [`crate::FaultPlan`] targeting [`crate::FaultOp::Shootdown`]
+    /// silently loses the broadcast: nothing is evicted, the shootdown
+    /// counter does not move, and `0` is returned. A real broadcast
+    /// always acknowledges at least one cache (the machine's resident
+    /// one), so callers can detect the lost IPI and re-issue.
     pub fn flush_remote(&mut self, range: Option<(u64, u64)>) -> usize {
+        let fault_addr = range.map_or(0, |(s, _)| s);
+        if self
+            .machine
+            .mem
+            .trip_fault(crate::FaultOp::Shootdown, fault_addr)
+        {
+            return 0;
+        }
         match range {
             Some((s, e)) => {
                 for ctx in &mut self.ctxs {

@@ -5,7 +5,7 @@
 
 use mvasm::{Assembler, Insn, Reg};
 use mvobj::{link, Layout, Object, Prot};
-use mvvm::{CostModel, Fault, FaultPlan, Machine, MachineConfig};
+use mvvm::{CostModel, Fault, FaultOp, FaultPlan, Machine, MachineConfig, SmpMachine};
 
 fn boot(build: impl FnOnce(&mut Object)) -> (Machine, mvobj::Executable) {
     let mut o = Object::new("t");
@@ -174,6 +174,144 @@ fn injected_mprotect_fault_interrupts_the_unlock() {
     // Sticky plans keep failing; one-shot heals (this one was one-shot).
     m.mem.mprotect(main, 1, Prot::RW).unwrap();
     m.mem.mprotect(main, 1, Prot::RX).unwrap();
+}
+
+#[test]
+fn dropped_shootdown_loses_the_broadcast_and_heals_one_shot() {
+    // Boot a 2-vCPU machine, warm a private decode cache, then lose the
+    // first flush_remote: nothing is evicted, the shootdown counter does
+    // not move and the call acknowledges zero caches. The re-issued
+    // broadcast (the lost-IPI recovery) works and evicts the stale
+    // decode.
+    let mut o = Object::new("t");
+    let mut a = Assembler::new();
+    a.mov_ri(Reg::R0, 1);
+    a.ret();
+    o.add_code("f", &a.finish().unwrap());
+    let mut a = Assembler::new();
+    a.emit(Insn::Halt);
+    o.add_code("main", &a.finish().unwrap());
+    let exe = link(&[o], &Layout::default()).unwrap();
+    let mut smp = SmpMachine::new(CostModel::default(), MachineConfig::default(), 2);
+    smp.machine.load(&exe);
+    let f = exe.symbol("f").unwrap();
+
+    // Warm vCPU 0's sticky icache on the old body.
+    smp.spawn(0, f, &[]).unwrap();
+    while smp.state(0).is_live() {
+        smp.step_round();
+    }
+
+    let mut a = Assembler::new();
+    a.mov_ri(Reg::R0, 2);
+    a.ret();
+    let new_body = a.finish().unwrap().bytes;
+    smp.machine
+        .mem
+        .mprotect(f, new_body.len() as u64, Prot::RW)
+        .unwrap();
+    smp.machine.mem.write(f, &new_body).unwrap();
+    smp.machine
+        .mem
+        .mprotect(f, new_body.len() as u64, Prot::RX)
+        .unwrap();
+
+    smp.machine.inject_fault(FaultPlan::drop_nth_shootdown(1));
+    let before = smp.shootdowns();
+    assert_eq!(smp.flush_remote(None), 0, "lost broadcast acks no cache");
+    assert_eq!(smp.shootdowns(), before, "a lost IPI is not counted");
+    assert_eq!(
+        smp.machine.clear_fault().unwrap().fired(),
+        1,
+        "the plan consumed and failed exactly the first broadcast"
+    );
+
+    // One-shot: the re-issued broadcast lands and evicts every cache.
+    assert_eq!(smp.flush_remote(None), smp.vcpus() + 1);
+    assert_eq!(smp.shootdowns(), before + 1);
+    smp.spawn(0, f, &[]).unwrap();
+    while smp.state(0).is_live() {
+        smp.step_round();
+    }
+    match *smp.state(0) {
+        mvvm::VcpuState::Done { ret } => {
+            assert_eq!(ret, 2, "new body visible after real broadcast")
+        }
+        ref other => panic!("vCPU did not finish: {other:?}"),
+    }
+}
+
+#[test]
+fn sticky_shootdown_keeps_losing_broadcasts() {
+    let mut o = Object::new("t");
+    let mut a = Assembler::new();
+    a.emit(Insn::Halt);
+    o.add_code("main", &a.finish().unwrap());
+    let exe = link(&[o], &Layout::default()).unwrap();
+    let mut smp = SmpMachine::new(CostModel::default(), MachineConfig::default(), 2);
+    smp.machine.load(&exe);
+
+    smp.machine
+        .inject_fault(FaultPlan::drop_nth_shootdown(1).sticky());
+    assert_eq!(smp.flush_remote(None), 0);
+    assert_eq!(smp.flush_remote(None), 0, "sticky: every broadcast lost");
+    assert_eq!(smp.shootdowns(), 0);
+    assert_eq!(smp.machine.clear_fault().unwrap().fired(), 2);
+    assert!(smp.flush_remote(None) > 0, "cleared plan stops interfering");
+}
+
+#[test]
+fn trap_plant_plans_are_not_consumed_by_memory_primitives() {
+    // TrapPlant is a quiesce-layer operation class: Memory's own
+    // primitives (mprotect / write / flush) must pass through untouched
+    // and never consume the counter — only an explicit trip_fault call
+    // from the layer that owns the operation does.
+    let (mut m, exe) = boot(|o| {
+        let mut a = Assembler::new();
+        a.emit(Insn::Halt);
+        o.add_code("main", &a.finish().unwrap());
+    });
+    let main = exe.symbol("main").unwrap();
+    m.inject_fault(FaultPlan::fail_nth_trap_plant(1));
+    patch(&mut m, main, &[mvasm::encode(&Insn::Halt)[0]]).unwrap();
+    assert_eq!(m.mem.fault_plan().unwrap().seen(), 0);
+    assert!(
+        m.mem.trip_fault(FaultOp::TrapPlant, main),
+        "explicit trip fires"
+    );
+    assert!(
+        !m.mem.trip_fault(FaultOp::TrapPlant, main),
+        "one-shot heals"
+    );
+    assert_eq!(m.clear_fault().unwrap().fired(), 1);
+}
+
+#[test]
+fn range_filtered_sticky_plan_poisons_one_function_only() {
+    // A sticky TextWrite plan scoped to f's bytes: writes into f keep
+    // faulting, writes into g (same op class, different address) land.
+    let (mut m, exe) = boot(|o| {
+        let mut a = Assembler::new();
+        a.emit(Insn::Halt);
+        o.add_code("main", &a.finish().unwrap());
+        o.define_data("pad", &[0u8; 4]);
+    });
+    let main = exe.symbol("main").unwrap();
+    let halt = mvasm::encode(&Insn::Halt)[0];
+    m.inject_fault(
+        FaultPlan::fail_nth_write(1)
+            .sticky()
+            .in_range(main, main + 1),
+    );
+    m.mem.mprotect(main, 2, Prot::RW).unwrap();
+    assert!(m.mem.write(main, &[halt]).is_err(), "in range: faults");
+    assert!(
+        m.mem.write(main, &[halt]).is_err(),
+        "sticky: keeps faulting"
+    );
+    m.mem.write(main + 1, &[0]).unwrap(); // outside the range: lands
+    m.mem.mprotect(main, 2, Prot::RX).unwrap();
+    assert_eq!(m.clear_fault().unwrap().fired(), 2);
 }
 
 #[test]

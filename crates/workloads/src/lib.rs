@@ -23,6 +23,9 @@
 //! * [`smp_contention`] — true SMP spinlock contention with quiesced
 //!   concurrent commits rewriting the lock functions mid-flight (the
 //!   E15 experiment).
+//! * [`commit_storm`] — flip requests arriving faster than commits can
+//!   land, driven through the `mvd` commit control plane vs. a naive
+//!   one-commit-per-request baseline.
 //! * [`textgen`] — deterministic workload-input generation.
 //!
 //! Every module exposes the MVC source, builders for the relevant
@@ -30,6 +33,7 @@
 //! benches and the `paper_tables` harness.
 
 pub mod alternative;
+pub mod commit_storm;
 pub mod cpython;
 pub mod grep;
 pub mod musl;

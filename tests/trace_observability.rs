@@ -132,7 +132,7 @@ fn chrome_export_is_structurally_balanced() {
     assert_eq!(opens, 2 + 2 * 3);
 
     // The JSONL view carries every event as exactly one line.
-    let jsonl = JsonlSink.export_string(&events);
+    let jsonl = JsonlSink::default().export_string(&events);
     assert_eq!(jsonl.lines().count(), events.len());
     for line in jsonl.lines() {
         assert!(line.starts_with("{\"seq\":") && line.ends_with('}'));
