@@ -68,6 +68,19 @@ fn bench(c: &mut Criterion) {
     }
     println!();
 
+    println!("## metrics overhead on the commit path (commit+revert, batched; gate ≤5%)");
+    for n_sites in [16usize, 128, 1161] {
+        let (baseline, enabled, disabled) = mv_bench::metrics_overhead(n_sites);
+        let en = enabled.as_secs_f64() / baseline.as_secs_f64() - 1.0;
+        let dis = disabled.as_secs_f64() / baseline.as_secs_f64() - 1.0;
+        println!(
+            "{n_sites:>5} sites: baseline {baseline:>10.2?}  metrics_overhead {enabled:>10.2?} ({:+.1}%)  disabled {disabled:>10.2?} ({:+.1}%)",
+            en * 100.0,
+            dis * 100.0
+        );
+    }
+    println!();
+
     println!("## page batching vs per-site apply, first commit vs re-commit (1161 sites)");
     println!(
         "{:>9}  {:>11} {:>9} {:>7} {:>7} | {:>11} {:>7} {:>12}",

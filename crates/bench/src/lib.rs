@@ -421,6 +421,52 @@ pub fn tracing_overhead(
     (baseline, recording, disabled)
 }
 
+/// Best-of batched commit+revert wall times for the metrics overhead
+/// column: `(baseline, enabled, disabled)`.
+///
+/// * `baseline` — no registry attached (the default every user gets);
+/// * `enabled` — an enabled `mvmetrics` registry, every commit mirrored
+///   into the `mv_rt_*` counter families;
+/// * `disabled` — registry attached but switched off: each recording
+///   point is one relaxed atomic load. The acceptance bar is `enabled`
+///   within ≈5 % of `baseline` (see `metrics_overhead_quick`).
+pub fn metrics_overhead(
+    n_sites: usize,
+) -> (
+    std::time::Duration,
+    std::time::Duration,
+    std::time::Duration,
+) {
+    use std::time::Instant;
+    let src = many_callsites_src(n_sites);
+    let program = Program::build(&[("sites.c", &src)]).expect("build");
+    let mut w = program.boot();
+    w.set("feature", 1).unwrap();
+    let batch = |w: &mut multiverse::World| {
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..20 {
+                w.commit().expect("commit");
+                w.revert().expect("revert");
+            }
+            best = best.min(start.elapsed() / 20);
+        }
+        best
+    };
+    for _ in 0..5 {
+        w.commit().unwrap();
+        w.revert().unwrap();
+    }
+    let baseline = batch(&mut w);
+    let registry = multiverse::mvmetrics::Registry::new();
+    w.enable_metrics(&registry);
+    let enabled = batch(&mut w);
+    registry.set_enabled(false);
+    let disabled = batch(&mut w);
+    (baseline, enabled, disabled)
+}
+
 /// Synthesizes the compile-cost workload: `n_funcs` multiversed
 /// functions, each reading `n_switches` switches with `domain`-value
 /// domains — `domain^n_switches` clones per function before merging.
@@ -908,6 +954,42 @@ mod tests {
             assert_eq!(row.recommit.journal_entries, 0, "{}", row.mode);
             assert_eq!(row.recommit.bytes_written, 0, "{}", row.mode);
             assert_eq!(row.recommit.mprotects, 0, "{}", row.mode);
+        }
+    }
+
+    /// CI's quick metrics gate (see `.github/workflows/ci.yml`): with an
+    /// enabled registry the commit path stays within 5 % of the
+    /// uninstrumented baseline, and after disabling the registry no
+    /// commit leaves a trace in it. Wall-clock ratios are noisy under
+    /// CI load, so the timing bar takes the best of several attempts
+    /// before giving a verdict.
+    #[test]
+    fn metrics_overhead_quick() {
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let (baseline, enabled, _disabled) = metrics_overhead(128);
+            let ratio = enabled.as_secs_f64() / baseline.as_secs_f64() - 1.0;
+            best = best.min(ratio);
+            if best <= 0.05 {
+                break;
+            }
+        }
+        assert!(best <= 0.05, "metrics overhead {:.1}% > 5%", best * 100.0);
+
+        // Disabled registry: commits leave every counter untouched.
+        let src = many_callsites_src(16);
+        let program = Program::build(&[("sites.c", &src)]).expect("build");
+        let mut w = program.boot();
+        let registry = multiverse::mvmetrics::Registry::new();
+        w.enable_metrics(&registry);
+        registry.set_enabled(false);
+        let before = registry.snapshot();
+        w.set("feature", 1).unwrap();
+        w.commit().expect("commit");
+        w.sync_metrics();
+        let after = registry.snapshot();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert_eq!(b.value, a.value, "{} moved while disabled", b.name);
         }
     }
 

@@ -46,27 +46,46 @@
 //!                                   format opens in chrome://tracing or
 //!                                   Perfetto
 //! mvcc stats  <file.c>… [--set VAR=V]… [--call F] [--per-fn] [--commit]
+//!             [--json]
 //!                                   execute main (or F) under the
 //!                                   per-function profiler; with --commit,
 //!                                   run generic and committed images and
 //!                                   print a per-function comparison (the
 //!                                   §6.2 branch-reduction report) plus the
-//!                                   trace-ring kept/dropped counters
+//!                                   trace-ring kept/dropped counters;
+//!                                   --per-fn appends the per-(function,
+//!                                   variant) residency table; --json emits
+//!                                   the profile as a versioned JSON
+//!                                   document instead of text
+//! mvcc metrics [<file.c>…] [--smoke] [--set VAR=V]… [--commit] [--call F]
+//!             [--prom|--json] [--out PATH]
+//!                                   run main (or F) with the mvmetrics
+//!                                   registry attached and export every
+//!                                   mv_vm_*/mv_rt_* metric — Prometheus
+//!                                   text exposition by default (--prom),
+//!                                   or the versioned JSON snapshot with
+//!                                   --json; --smoke uses the built-in
+//!                                   storm kernel (no input files)
 //! mvcc serve  <file.c>… [--smp N] [--call F] [--strategy S]
 //!                                   boot an SMP world and drive the mvd
 //!                                   commit daemon from stdin, one command
 //!                                   per line: `flip VAR V`, `prio VAR V`,
 //!                                   `commit`, `revert`, `pump [ROUNDS]`,
-//!                                   `stats`, `release VAR`, `quit`
+//!                                   `stats`, `metrics [json]`,
+//!                                   `release VAR`, `quit`
 //! mvcc storm  [<file.c>…] [--smoke] [--smp N] [--requests N] [--burst N]
-//!             [--seed N] [--strategy S]
+//!             [--seed N] [--strategy S] [--history PATH]
 //!                                   submit a randomized flip storm for
 //!                                   every switch in the image through the
 //!                                   mvd daemon and print throughput,
 //!                                   latency percentiles and the daemon
 //!                                   counters; --smoke uses a built-in
-//!                                   kernel (no input files) and checks
-//!                                   the workers stayed exact
+//!                                   kernel (no input files), checks the
+//!                                   workers stayed exact and reconciles
+//!                                   the metrics registry against the
+//!                                   daemon counters; --history writes the
+//!                                   versioned switch-history JSON (flip
+//!                                   timeline + variant residency)
 //!
 //! common flags:
 //!   --dynamic            build without multiverse (binding B)
@@ -104,6 +123,9 @@ struct Args {
     requests: u64,
     burst: u64,
     seed: u64,
+    prom: bool,
+    json: bool,
+    history: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -132,6 +154,9 @@ fn parse_args() -> Result<Args, String> {
         requests: 96,
         burst: 24,
         seed: 42,
+        prom: false,
+        json: false,
+        history: None,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -191,6 +216,9 @@ fn parse_args() -> Result<Args, String> {
             "--timings" => args.timings = true,
             "--stats" => args.stats_flag = true,
             "--smoke" => args.smoke = true,
+            "--prom" => args.prom = true,
+            "--json" => args.json = true,
+            "--history" => args.history = Some(it.next().ok_or("--history needs a path")?),
             "--requests" => {
                 args.requests = it
                     .next()
@@ -216,7 +244,7 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.files.is_empty() && !(args.cmd == "storm" && args.smoke) {
+    if args.files.is_empty() && !(matches!(args.cmd.as_str(), "storm" | "metrics") && args.smoke) {
         return Err("no input files".into());
     }
     Ok(args)
@@ -286,7 +314,7 @@ fn cmd_build(args: &Args) -> Result<(), String> {
             Some(path) => {
                 let format = args.format.as_deref().unwrap_or("chrome");
                 let sink: Box<dyn TraceSink> = match format {
-                    "chrome" => Box::new(ChromeSink),
+                    "chrome" => Box::new(ChromeSink::with_dropped(0)),
                     "jsonl" => Box::new(JsonlSink::default()),
                     "text" => Box::new(TextSink),
                     other => return Err(format!("unknown --format `{other}` (chrome|jsonl|text)")),
@@ -659,7 +687,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     );
     let format = args.format.as_deref().unwrap_or("chrome");
     let sink: Box<dyn TraceSink> = match format {
-        "chrome" => Box::new(ChromeSink),
+        "chrome" => Box::new(ChromeSink::with_dropped(dropped)),
         "jsonl" => Box::new(JsonlSink::with_dropped(dropped)),
         "text" => Box::new(TextSink),
         other => return Err(format!("unknown --format `{other}` (chrome|jsonl|text)")),
@@ -679,6 +707,9 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
+    if args.json && args.commit {
+        return Err("--json reports a single profiled run (drop --commit)".into());
+    }
     let p = build(args)?;
     // One fresh world per run so the generic and committed measurements
     // start from identical data-segment state. The committed run records
@@ -779,13 +810,106 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         }
     } else {
         let (prof, result, _) = run(false)?;
-        if args.per_fn {
+        if args.json {
+            println!("{}", stats_json(&prof, result));
+        } else if args.per_fn {
             print!("{}", prof.render());
+            println!("residency (per function/variant):");
+            let rows = multiverse::telemetry::residency_rows(&prof);
+            print!("{}", multiverse::telemetry::render_residency(&rows));
         } else {
             let total: u64 = prof.report().iter().map(|r| r.counters.cycles).sum();
             println!("result: {result} ({total} profiled cycles)");
             print!("{}", prof.render());
         }
+    }
+    Ok(())
+}
+
+/// The `mvcc stats --json` document: the profiler report plus its
+/// residency join, written with the shared `mvmetrics` JSON writer.
+fn stats_json(prof: &multiverse::mvvm::Profiler, result: u64) -> String {
+    use multiverse::mvmetrics::json::{array, Obj};
+    let functions = prof.report().into_iter().map(|r| {
+        let mut o = Obj::new();
+        o.str("name", &r.name)
+            .u64("cycles", r.counters.cycles)
+            .u64("instructions", r.counters.stats.instructions)
+            .u64("branches", r.counters.stats.branches)
+            .u64("mispredicts", r.counters.stats.mispredicts);
+        o.finish()
+    });
+    let residency = multiverse::telemetry::residency_rows(prof);
+    let rows = residency.iter().map(|r| {
+        let mut o = Obj::new();
+        o.str("function", &r.function)
+            .str("variant", &r.variant)
+            .u64("cycles", r.cycles)
+            .u64("instructions", r.instructions);
+        o.finish()
+    });
+    let mut doc = Obj::new();
+    doc.u64("version", 1)
+        .str("kind", "mv-stats")
+        .u64("result", result)
+        .u64(
+            "total_cycles",
+            multiverse::telemetry::total_attributed_cycles(prof),
+        )
+        .raw("functions", array(functions))
+        .raw("residency", array(rows));
+    doc.finish()
+}
+
+/// `mvcc metrics`: run main (or `--call F`) with the mvmetrics registry
+/// attached and export every registered metric — Prometheus text by
+/// default, the versioned JSON snapshot with `--json`.
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    use multiverse::mvmetrics::{export, Registry};
+    if args.prom && args.json {
+        return Err("--prom and --json are mutually exclusive".into());
+    }
+    let smoke = args.smoke && args.files.is_empty();
+    let p = if smoke {
+        Program::build(&[("smoke.c", SMOKE_SRC)]).map_err(|e| e.to_string())?
+    } else {
+        build(args)?
+    };
+    let registry = Registry::new();
+    let mut world = p.boot();
+    world.enable_metrics(&registry);
+    for (k, v) in &args.sets {
+        world.set(k, *v).map_err(|e| e.to_string())?;
+    }
+    if smoke {
+        world.set("fast_path", 1).map_err(|e| e.to_string())?;
+    }
+    if (args.commit || smoke) && world.rt.is_some() {
+        world.commit().map_err(|e| e.to_string())?;
+    }
+    let result = match &args.call {
+        Some(f) => world.call(f, &[]).map_err(|e| e.to_string())?,
+        None => {
+            let entry = world.exe().entry;
+            world.machine.call(entry, &[]).map_err(|e| e.to_string())?
+        }
+    };
+    world.sync_metrics();
+    let snap = registry.snapshot();
+    eprintln!("result: {result} ({} metrics)", snap.len());
+    let text = if args.json {
+        let mut s = export::json(&snap);
+        s.push('\n');
+        s
+    } else {
+        export::prometheus(&snap)
+    };
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
     }
     Ok(())
 }
@@ -906,9 +1030,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         strategy: args.strategy,
         ..mvrt::MvdConfig::default()
     });
+    let registry = multiverse::mvmetrics::Registry::new();
+    w.enable_metrics(&registry);
+    daemon.enable_metrics(&registry);
     let exe = p.exe();
     println!(
-        "serving {} vCPUs, strategy {}; commands: flip VAR V | prio VAR V | commit | revert | pump [N] | stats | release VAR | quit",
+        "serving {} vCPUs, strategy {}; commands: flip VAR V | prio VAR V | commit | revert | pump [N] | stats | metrics [json] | release VAR | quit",
         smp, args.strategy
     );
     let stdin = std::io::stdin();
@@ -954,6 +1081,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             }
             ["stats"] => {
                 print_daemon_stats(&daemon, exe);
+                Ok(())
+            }
+            ["metrics", rest @ ..] if matches!(rest, [] | ["json"]) => {
+                w.sync_metrics();
+                let snap = registry.snapshot();
+                if rest.is_empty() {
+                    print!("{}", multiverse::mvmetrics::export::prometheus(&snap));
+                } else {
+                    println!("{}", multiverse::mvmetrics::export::json(&snap));
+                }
                 Ok(())
             }
             ["release", var] => {
@@ -1021,6 +1158,11 @@ fn cmd_storm(args: &Args) -> Result<(), String> {
         strategy: args.strategy,
         ..mvrt::MvdConfig::default()
     });
+    let registry = multiverse::mvmetrics::Registry::new();
+    w.enable_metrics(&registry);
+    daemon.enable_metrics(&registry);
+    daemon.enable_history(w.switch_history());
+    w.smp.machine.enable_profile(p.exe());
     // Deterministic xorshift64 request stream over the seed.
     let mut x = args.seed | 1;
     let mut stream = Vec::with_capacity(args.requests as usize);
@@ -1092,6 +1234,21 @@ fn cmd_storm(args: &Args) -> Result<(), String> {
         "trace: {} events kept, {dropped} dropped by the ring",
         rt.take_trace().len()
     );
+    w.sync_metrics();
+    let history = daemon.take_history().expect("history enabled");
+    let prof = w.smp.machine.take_profile().expect("profiler installed");
+    let residency = multiverse::telemetry::residency_rows(&prof);
+    let total_cycles = multiverse::telemetry::total_attributed_cycles(&prof);
+    println!(
+        "history: {} flips, {} residency rows over {total_cycles} profiled cycles",
+        history.flip_count(),
+        residency.len()
+    );
+    if let Some(path) = &args.history {
+        let doc = history.to_json(&residency, total_cycles);
+        std::fs::write(path, &doc).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
     if args.smoke && args.files.is_empty() {
         if daemon.pending() != 0 {
             return Err(format!(
@@ -1105,7 +1262,58 @@ fn cmd_storm(args: &Args) -> Result<(), String> {
         if s.committed == 0 {
             return Err("smoke: no commit ever landed".into());
         }
-        println!("smoke: ok ({} workers exact)", rets.len());
+        // Reconcile the registry against the daemon's own counters:
+        // both are fed from MvdStats with store_max at every
+        // submit/step, so any disagreement is a sync bug.
+        let snap = registry.snapshot();
+        let counter = |name: &str| -> u64 {
+            snap.iter()
+                .find(|smp| smp.name == name)
+                .and_then(|smp| match smp.value {
+                    multiverse::mvmetrics::SampleValue::Counter(v) => Some(v),
+                    _ => None,
+                })
+                .unwrap_or(0)
+        };
+        let pairs = [
+            ("mv_mvd_submitted_total", s.submitted),
+            ("mv_mvd_admitted_total", s.admitted),
+            ("mv_mvd_coalesced_total", s.coalesced),
+            ("mv_mvd_shed_total", s.shed),
+            ("mv_mvd_expired_total", s.expired),
+            ("mv_mvd_rejected_total", s.rejected),
+            ("mv_mvd_fast_failed_total", s.fast_failed),
+            ("mv_mvd_committed_total", s.committed),
+            ("mv_mvd_failed_total", s.failed),
+            ("mv_mvd_quarantined_total", s.quarantined),
+            ("mv_mvd_degraded_total", s.degraded),
+            ("mv_mvd_healed_total", s.healed),
+            ("mv_mvd_attempts_total", s.attempts),
+        ];
+        for (name, want) in pairs {
+            let got = counter(name);
+            if got != want {
+                return Err(format!("smoke: {name} = {got}, daemon says {want}"));
+            }
+        }
+        if history.flip_count() != s.committed {
+            return Err(format!(
+                "smoke: {} flips recorded vs {} commits",
+                history.flip_count(),
+                s.committed
+            ));
+        }
+        let row_sum: u64 = residency.iter().map(|r| r.cycles).sum();
+        if row_sum != total_cycles {
+            return Err(format!(
+                "smoke: residency rows sum to {row_sum}, profiler attributed {total_cycles}"
+            ));
+        }
+        println!(
+            "smoke: ok ({} workers exact, {} mvd counters reconciled)",
+            rets.len(),
+            pairs.len()
+        );
     }
     Ok(())
 }
@@ -1164,7 +1372,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("mvcc: {e}");
             eprintln!(
-                "usage: mvcc build|dump|disasm|run|verify|trace|stats|serve|storm <file.c>… [flags]"
+                "usage: mvcc build|dump|disasm|run|verify|trace|stats|metrics|serve|storm <file.c>… [flags]"
             );
             return ExitCode::FAILURE;
         }
@@ -1179,6 +1387,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&args),
         "trace" => cmd_trace(&args),
         "stats" => cmd_stats(&args),
+        "metrics" => cmd_metrics(&args),
         "serve" => cmd_serve(&args),
         "storm" => cmd_storm(&args),
         other => Err(format!("unknown command `{other}`")),

@@ -62,12 +62,14 @@
 pub mod bench;
 pub mod native;
 pub mod program;
+pub mod telemetry;
 
 pub use program::{BuildError, Program, SmpWorld, World};
 
 // Re-export the full tool-chain for advanced use.
 pub use mvasm;
 pub use mvc;
+pub use mvmetrics;
 pub use mvobj;
 pub use mvrt;
 pub use mvtrace;

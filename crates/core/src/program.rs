@@ -133,6 +133,7 @@ impl Program {
             machine,
             rt,
             exe: self.exe.clone(),
+            vm_metrics: None,
         }
     }
 
@@ -151,6 +152,7 @@ impl Program {
             smp,
             rt,
             exe: self.exe.clone(),
+            vm_metrics: None,
         }
     }
 }
@@ -162,6 +164,7 @@ pub struct World {
     /// The multiverse runtime (absent in dynamic/static builds).
     pub rt: Option<Runtime>,
     exe: Executable,
+    pub(crate) vm_metrics: Option<mvvm::VmMetrics>,
 }
 
 /// Timing result from [`World::time_calls`].
@@ -176,6 +179,11 @@ pub struct Timing {
 }
 
 impl World {
+    /// The loaded executable image.
+    pub fn exe(&self) -> &Executable {
+        &self.exe
+    }
+
     /// Address of a symbol.
     pub fn sym(&self, name: &str) -> Result<u64, BuildError> {
         self.exe
@@ -298,9 +306,15 @@ pub struct SmpWorld {
     /// The multiverse runtime (absent in dynamic/static builds).
     pub rt: Option<Runtime>,
     exe: Executable,
+    pub(crate) vm_metrics: Option<mvvm::VmMetrics>,
 }
 
 impl SmpWorld {
+    /// The loaded executable image.
+    pub fn exe(&self) -> &Executable {
+        &self.exe
+    }
+
     /// Address of a symbol.
     pub fn sym(&self, name: &str) -> Result<u64, BuildError> {
         self.exe

@@ -1,0 +1,196 @@
+//! The residency join and registry wiring for booted worlds.
+//!
+//! `mvmetrics` keeps the flip timeline ([`SwitchHistory`]) and `mvvm`
+//! keeps per-symbol cycle attribution ([`mvvm::Profiler`]); this module
+//! joins them. Variant bodies are separate text symbols with mangled
+//! names (`work.feature=1`), so a profiler report already separates
+//! variants — [`residency_rows`] splits each row's symbol into its
+//! (function, variant) pair, and because the rows are a partition of
+//! the profiler's attribution, the per-variant cycles sum exactly to
+//! the profiler's total attributed cycles.
+
+use mvmetrics::residency::{split_variant_symbol, ResidencyRow, SwitchHistory};
+use mvmetrics::Registry;
+use mvvm::Profiler;
+
+use crate::program::{SmpWorld, World};
+
+/// Joins a profiler report into per-(function, variant) residency
+/// rows, in the report's order (cycles descending, `<other>` last).
+/// Generic bodies get variant `"generic"`.
+pub fn residency_rows(profiler: &Profiler) -> Vec<ResidencyRow> {
+    profiler
+        .report()
+        .into_iter()
+        .map(|row| {
+            let (function, variant) = split_variant_symbol(&row.name);
+            ResidencyRow {
+                function,
+                variant,
+                cycles: row.counters.cycles,
+                instructions: row.counters.stats.instructions,
+            }
+        })
+        .collect()
+}
+
+/// Total cycles the profiler attributed (including the `<other>`
+/// bucket) — the quantity the residency rows partition.
+pub fn total_attributed_cycles(profiler: &Profiler) -> u64 {
+    profiler.report().iter().map(|r| r.counters.cycles).sum()
+}
+
+/// Renders residency rows as an aligned text table (the `mvcc stats
+/// --per-fn` summary).
+pub fn render_residency(rows: &[ResidencyRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<20} {:<20} {:>12} {:>12}",
+        "function", "variant", "cycles", "insns"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<20} {:<20} {:>12} {:>12}",
+            r.function, r.variant, r.cycles, r.instructions
+        );
+    }
+    s
+}
+
+impl World {
+    /// Registers the runtime (`mv_rt_*`) and VM (`mv_vm_*`) metric
+    /// families in `registry`. Call [`World::sync_metrics`] at
+    /// measurement points to push the VM's counters.
+    pub fn enable_metrics(&mut self, registry: &Registry) {
+        if let Some(rt) = self.rt.as_mut() {
+            rt.enable_metrics(registry);
+        }
+        self.vm_metrics = Some(mvvm::VmMetrics::new(registry));
+        self.sync_metrics();
+    }
+
+    /// Pushes the machine's current execution counters into the
+    /// registry (absolute, idempotent).
+    pub fn sync_metrics(&mut self) {
+        if let Some(vm) = self.vm_metrics.as_mut() {
+            vm.record_machine(&self.machine);
+        }
+    }
+}
+
+impl SmpWorld {
+    /// Registers the runtime (`mv_rt_*`) and VM (`mv_vm_*`, including
+    /// per-vCPU cycles) metric families in `registry`. Call
+    /// [`SmpWorld::sync_metrics`] at measurement points to push the
+    /// machine's counters.
+    pub fn enable_metrics(&mut self, registry: &Registry) {
+        if let Some(rt) = self.rt.as_mut() {
+            rt.enable_metrics(registry);
+        }
+        self.vm_metrics = Some(mvvm::VmMetrics::new(registry));
+        self.sync_metrics();
+    }
+
+    /// Pushes the SMP machine's current execution counters into the
+    /// registry (absolute, idempotent).
+    pub fn sync_metrics(&mut self) {
+        if let Some(vm) = self.vm_metrics.as_mut() {
+            vm.record_smp(&self.smp);
+        }
+    }
+
+    /// A [`SwitchHistory`] with every integer switch of this world
+    /// registered under its symbol name, at its current value — ready
+    /// for [`mvrt::CommitDaemon::enable_history`].
+    pub fn switch_history(&self) -> SwitchHistory {
+        let mut h = SwitchHistory::new();
+        if let Some(rt) = self.rt.as_ref() {
+            for addr in rt.switch_addrs() {
+                let name = self
+                    .exe()
+                    .symbolize(addr)
+                    .filter(|&(_, off)| off == 0)
+                    .map(|(n, _)| n.to_string())
+                    .unwrap_or_else(|| format!("{addr:#x}"));
+                let initial = rt.read_switch(&self.smp.machine, addr).unwrap_or(0);
+                h.register_switch(&name, addr, initial);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    const SRC: &str = r#"
+        multiverse bool feature;
+        multiverse i64 work(void) {
+            if (feature) { return 10; }
+            return 20;
+        }
+        i64 main(void) { return work(); }
+    "#;
+
+    #[test]
+    fn residency_partitions_profiler_cycles() {
+        let p = Program::build(&[("t", SRC)]).unwrap();
+        let mut w = p.boot();
+        let exe = w.exe().clone();
+        w.machine.enable_profile(&exe);
+        w.call("work", &[]).unwrap();
+        w.set("feature", 1).unwrap();
+        w.commit().unwrap();
+        w.call("work", &[]).unwrap();
+        let prof = w.machine.take_profile().unwrap();
+        let rows = residency_rows(&prof);
+        let total = total_attributed_cycles(&prof);
+        assert_eq!(rows.iter().map(|r| r.cycles).sum::<u64>(), total);
+        assert!(
+            rows.iter()
+                .any(|r| r.function == "work" && r.variant == "generic"),
+            "{rows:?}"
+        );
+        assert!(
+            rows.iter()
+                .any(|r| r.function == "work" && r.variant.contains("feature=1")),
+            "{rows:?}"
+        );
+    }
+
+    #[test]
+    fn world_metrics_sync_matches_machine() {
+        let p = Program::build(&[("t", SRC)]).unwrap();
+        let mut w = p.boot();
+        let registry = Registry::new();
+        w.enable_metrics(&registry);
+        w.set("feature", 1).unwrap();
+        w.commit().unwrap();
+        w.call("work", &[]).unwrap();
+        w.sync_metrics();
+        let snap = registry.snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|s| s.name == name)
+                .map(|s| match s.value {
+                    mvmetrics::SampleValue::Counter(v) => v,
+                    _ => panic!("not a counter"),
+                })
+                .unwrap()
+        };
+        assert_eq!(
+            get("mv_vm_instructions_total"),
+            w.machine.stats.instructions
+        );
+        assert_eq!(
+            get("mv_rt_bytes_written_total"),
+            w.rt.as_ref().unwrap().stats.bytes_written
+        );
+        assert_eq!(get("mv_rt_commits_total"), 1, "one commit, outcome ok");
+    }
+}

@@ -1,0 +1,191 @@
+//! Snapshot exporters: Prometheus text exposition and a versioned
+//! JSON document. Both operate on the `Vec<Sample>` returned by
+//! [`Registry::snapshot`](crate::Registry::snapshot), so an export is
+//! always a consistent point-in-time view.
+
+use crate::json::{array, number, string, Obj};
+use crate::{Sample, SampleValue};
+
+/// Schema version of the JSON snapshot document.
+pub const JSON_SNAPSHOT_VERSION: u32 = 1;
+
+/// Renders samples in the Prometheus text exposition format. `# HELP`
+/// and `# TYPE` headers are emitted once per metric family, before its
+/// first sample; label sets render in registration order.
+pub fn prometheus(samples: &[Sample]) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for s in samples {
+        if !seen.contains(&s.name.as_str()) {
+            seen.push(&s.name);
+            let ty = match &s.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram { .. } => "histogram",
+            };
+            out.push_str(&format!("# HELP {} {}\n", s.name, s.help));
+            out.push_str(&format!("# TYPE {} {}\n", s.name, ty));
+        }
+        match &s.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!("{}{} {}\n", s.name, label_set(s, &[]), v));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    s.name,
+                    label_set(s, &[]),
+                    prom_f64(*v)
+                ));
+            }
+            SampleValue::Histogram {
+                bounds,
+                counts,
+                count,
+                sum,
+            } => {
+                let mut cum = 0u64;
+                for (i, c) in counts.iter().enumerate() {
+                    cum += c;
+                    let le = if i < bounds.len() {
+                        prom_f64(bounds[i])
+                    } else {
+                        "+Inf".to_string()
+                    };
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        s.name,
+                        label_set(s, &[("le", &le)]),
+                        cum
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    s.name,
+                    label_set(s, &[]),
+                    prom_f64(*sum)
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    s.name,
+                    label_set(s, &[]),
+                    count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders samples as a versioned JSON snapshot document:
+/// `{"version":1,"kind":"mv-metrics-snapshot","metrics":[...]}`.
+pub fn json(samples: &[Sample]) -> String {
+    let metrics = samples.iter().map(|s| {
+        let mut o = Obj::new();
+        o.str("name", &s.name);
+        let ty = match &s.value {
+            SampleValue::Counter(_) => "counter",
+            SampleValue::Gauge(_) => "gauge",
+            SampleValue::Histogram { .. } => "histogram",
+        };
+        o.str("type", ty);
+        if !s.labels.is_empty() {
+            let mut lo = Obj::new();
+            for (k, v) in &s.labels {
+                lo.str(k, v);
+            }
+            o.raw("labels", lo.finish());
+        }
+        match &s.value {
+            SampleValue::Counter(v) => {
+                o.u64("value", *v);
+            }
+            SampleValue::Gauge(v) => {
+                o.f64("value", *v);
+            }
+            SampleValue::Histogram {
+                bounds,
+                counts,
+                count,
+                sum,
+            } => {
+                o.raw("bounds", array(bounds.iter().map(|b| number(*b))));
+                o.raw("counts", array(counts.iter().map(|c| c.to_string())));
+                o.u64("count", *count);
+                o.f64("sum", *sum);
+            }
+        }
+        o.finish()
+    });
+    let mut doc = Obj::new();
+    doc.u64("version", JSON_SNAPSHOT_VERSION as u64)
+        .str("kind", "mv-metrics-snapshot")
+        .raw("metrics", array(metrics));
+    doc.finish()
+}
+
+fn label_set(s: &Sample, extra: &[(&str, &str)]) -> String {
+    if s.labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let pairs: Vec<String> = s
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{}={}", k, string(v)))
+        .chain(extra.iter().map(|(k, v)| format!("{}={}", k, string(v))))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn demo_registry() -> Registry {
+        let r = Registry::new();
+        let c = r.counter_with("mv_ops_total", "Operations", &[("op", "flip")]);
+        c.add(3);
+        let g = r.gauge("mv_depth", "Queue depth");
+        g.set(2.0);
+        let h = r.histogram("mv_lat", "Latency", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        r
+    }
+
+    #[test]
+    fn prometheus_families() {
+        let text = prometheus(&demo_registry().snapshot());
+        assert!(text.contains("# TYPE mv_ops_total counter"));
+        assert!(text.contains("mv_ops_total{op=\"flip\"} 3"));
+        assert!(text.contains("mv_depth 2"));
+        // Cumulative buckets: 1, 2, 3.
+        assert!(text.contains("mv_lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("mv_lat_bucket{le=\"10\"} 2"));
+        assert!(text.contains("mv_lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("mv_lat_count 3"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let doc = json(&demo_registry().snapshot());
+        assert!(doc.starts_with("{\"version\":1,\"kind\":\"mv-metrics-snapshot\""));
+        assert!(doc.contains("\"name\":\"mv_ops_total\""));
+        assert!(doc.contains("\"labels\":{\"op\":\"flip\"}"));
+        assert!(doc.contains("\"counts\":[1,1,1]"));
+    }
+}

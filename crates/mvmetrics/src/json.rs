@@ -1,0 +1,132 @@
+//! Minimal dependency-free JSON writing helpers, shared by the
+//! metrics exporters, the switch-history serializer and the `mvcc
+//! stats --json` report so every JSON surface escapes and formats
+//! numbers the same way.
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `s` as a quoted JSON string.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders an f64 as a JSON number. JSON has no Inf/NaN, so those are
+/// rendered as strings (`"+Inf"`, `"-Inf"`, `"NaN"`); integral values
+/// drop the fraction.
+pub fn number(v: f64) -> String {
+    if v.is_nan() {
+        "\"NaN\"".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "\"+Inf\"".to_string()
+        } else {
+            "\"-Inf\"".to_string()
+        }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Incremental writer for JSON objects: collects `"key": value` pairs
+/// and renders `{...}`. Values are passed pre-rendered, so nesting is
+/// just `obj.raw("inner", inner.finish())`.
+#[derive(Default)]
+pub struct Obj {
+    parts: Vec<String>,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pre-rendered JSON value.
+    pub fn raw(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.parts.push(format!("{}:{}", string(key), value.into()));
+        self
+    }
+
+    /// Adds a string value (escaped).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, string(value))
+    }
+
+    /// Adds an unsigned integer value.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds a signed integer value.
+    pub fn i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds an f64 value via [`number`].
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.raw(key, number(value))
+    }
+
+    /// Adds a boolean value.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Renders the collected pairs as a JSON object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// Renders pre-rendered JSON values as an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    format!("[{}]", items.into_iter().collect::<Vec<_>>().join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(3.5), "3.5");
+        assert_eq!(number(f64::INFINITY), "\"+Inf\"");
+        assert_eq!(number(f64::NAN), "\"NaN\"");
+    }
+
+    #[test]
+    fn obj_builder() {
+        let mut o = Obj::new();
+        o.str("name", "x").u64("n", 3).bool("ok", true);
+        assert_eq!(o.finish(), "{\"name\":\"x\",\"n\":3,\"ok\":true}");
+    }
+
+    #[test]
+    fn arrays() {
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+    }
+}

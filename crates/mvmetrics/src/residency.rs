@@ -1,0 +1,273 @@
+//! Variant residency: *which variant was resident for how long, under
+//! which switch assignment*.
+//!
+//! [`SwitchHistory`] records the flip timeline of every registered
+//! multiverse switch — (epoch, old→new value, commit id) per committed
+//! flip — and maintains a per-switch transition matrix. Joined with the
+//! VM profiler's per-symbol cycle attribution (variant bodies are
+//! separate text symbols, so profiler rows already separate variants),
+//! this yields per-(function, variant) resident-cycle totals
+//! ([`ResidencyRow`]). [`SwitchHistory::to_json`] serializes both as a
+//! versioned "switch history" file for downstream profile-guided
+//! tooling such as a future `mvc --variant-budget` pass.
+
+use crate::json::{array, Obj};
+use std::collections::HashMap;
+
+/// Schema version of the switch-history document.
+pub const SWITCH_HISTORY_VERSION: u32 = 1;
+
+/// One committed switch flip.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlipRecord {
+    /// Switch symbol, e.g. `fast_path`.
+    pub switch: String,
+    /// Daemon epoch (or caller-supplied sequence number) of the commit.
+    pub epoch: u64,
+    /// Value resident before the flip.
+    pub from: i64,
+    /// Value resident after the flip.
+    pub to: i64,
+    /// Commit id (e.g. the daemon's committed-counter value at the
+    /// time of the flip).
+    pub commit_id: u64,
+}
+
+#[derive(Debug)]
+struct SwitchTrack {
+    name: String,
+    addr: u64,
+    initial: i64,
+    last: i64,
+    flips: u64,
+}
+
+/// Flip timeline plus per-switch transition matrix for a set of
+/// registered switches.
+#[derive(Debug, Default)]
+pub struct SwitchHistory {
+    switches: Vec<SwitchTrack>,
+    by_addr: HashMap<u64, usize>,
+    flips: Vec<FlipRecord>,
+    /// (switch index, from, to) -> count.
+    transitions: HashMap<(usize, i64, i64), u64>,
+}
+
+impl SwitchHistory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a switch by guest address with its initial value.
+    /// Re-registering an address updates the name/initial and resets
+    /// nothing else.
+    pub fn register_switch(&mut self, name: &str, addr: u64, initial: i64) {
+        if let Some(&i) = self.by_addr.get(&addr) {
+            self.switches[i].name = name.to_string();
+            return;
+        }
+        self.by_addr.insert(addr, self.switches.len());
+        self.switches.push(SwitchTrack {
+            name: name.to_string(),
+            addr,
+            initial,
+            last: initial,
+            flips: 0,
+        });
+    }
+
+    /// Records a committed flip of the switch at `addr` to `new`. The
+    /// old value is derived from the tracked state, so the timeline is
+    /// self-consistent by construction. Returns false (and records
+    /// nothing) if the address is unknown.
+    pub fn record_flip(&mut self, addr: u64, new: i64, epoch: u64, commit_id: u64) -> bool {
+        let Some(&i) = self.by_addr.get(&addr) else {
+            return false;
+        };
+        let t = &mut self.switches[i];
+        let from = t.last;
+        t.last = new;
+        t.flips += 1;
+        self.flips.push(FlipRecord {
+            switch: t.name.clone(),
+            epoch,
+            from,
+            to: new,
+            commit_id,
+        });
+        *self.transitions.entry((i, from, new)).or_insert(0) += 1;
+        true
+    }
+
+    /// Total committed flips across all switches.
+    pub fn flip_count(&self) -> u64 {
+        self.flips.len() as u64
+    }
+
+    /// The recorded timeline, in commit order.
+    pub fn flips(&self) -> &[FlipRecord] {
+        &self.flips
+    }
+
+    /// Current (last committed) value of the switch at `addr`, if
+    /// registered.
+    pub fn last_value(&self, addr: u64) -> Option<i64> {
+        self.by_addr.get(&addr).map(|&i| self.switches[i].last)
+    }
+
+    /// The transition matrix as (switch name, from, to, count) rows,
+    /// sorted for deterministic output.
+    pub fn transition_matrix(&self) -> Vec<(String, i64, i64, u64)> {
+        let mut rows: Vec<_> = self
+            .transitions
+            .iter()
+            .map(|(&(i, from, to), &n)| (self.switches[i].name.clone(), from, to, n))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Serializes the history plus a residency join as a versioned
+    /// switch-history JSON document. `total_cycles` is the profiler's
+    /// total attributed cycles; by construction the residency rows
+    /// partition it.
+    pub fn to_json(&self, residency: &[ResidencyRow], total_cycles: u64) -> String {
+        let switches = self.switches.iter().map(|t| {
+            let mut o = Obj::new();
+            o.str("name", &t.name)
+                .u64("addr", t.addr)
+                .i64("initial", t.initial)
+                .i64("final", t.last)
+                .u64("flips", t.flips);
+            o.finish()
+        });
+        let flips = self.flips.iter().map(|f| {
+            let mut o = Obj::new();
+            o.str("switch", &f.switch)
+                .u64("epoch", f.epoch)
+                .i64("from", f.from)
+                .i64("to", f.to)
+                .u64("commit", f.commit_id);
+            o.finish()
+        });
+        let transitions = self
+            .transition_matrix()
+            .into_iter()
+            .map(|(s, from, to, n)| {
+                let mut o = Obj::new();
+                o.str("switch", &s)
+                    .i64("from", from)
+                    .i64("to", to)
+                    .u64("count", n);
+                o.finish()
+            });
+        let rows = residency.iter().map(|r| {
+            let mut o = Obj::new();
+            o.str("function", &r.function)
+                .str("variant", &r.variant)
+                .u64("cycles", r.cycles)
+                .u64("instructions", r.instructions);
+            o.finish()
+        });
+        let mut doc = Obj::new();
+        doc.u64("version", SWITCH_HISTORY_VERSION as u64)
+            .str("kind", "mv-switch-history")
+            .u64("total_flips", self.flip_count())
+            .raw("switches", array(switches))
+            .raw("flips", array(flips))
+            .raw("transitions", array(transitions))
+            .raw("residency", array(rows))
+            .u64("total_cycles", total_cycles);
+        doc.finish()
+    }
+}
+
+/// Cycles and instructions attributed to one (function, variant) pair.
+/// For generic (unspecialized) code `variant` is `"generic"`; for the
+/// profiler's unattributed bucket `function` is `"<other>"`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResidencyRow {
+    pub function: String,
+    pub variant: String,
+    pub cycles: u64,
+    pub instructions: u64,
+}
+
+/// Splits a mangled variant symbol (`multi.A=1.B=0-1`) into the base
+/// function name and the variant suffix. Symbols without a variant
+/// suffix map to `(name, "generic")`.
+pub fn split_variant_symbol(sym: &str) -> (String, String) {
+    if let Some(eq) = sym.find('=') {
+        if let Some(dot) = sym[..eq].rfind('.') {
+            return (sym[..dot].to_string(), sym[dot + 1..].to_string());
+        }
+    }
+    (sym.to_string(), "generic".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_split() {
+        assert_eq!(
+            split_variant_symbol("multi.A=1.B=0-1"),
+            ("multi".to_string(), "A=1.B=0-1".to_string())
+        );
+        assert_eq!(
+            split_variant_symbol("work.fast_path=1"),
+            ("work".to_string(), "fast_path=1".to_string())
+        );
+        assert_eq!(
+            split_variant_symbol("main"),
+            ("main".to_string(), "generic".to_string())
+        );
+        assert_eq!(
+            split_variant_symbol("<other>"),
+            ("<other>".to_string(), "generic".to_string())
+        );
+    }
+
+    #[test]
+    fn timeline_derives_old_values() {
+        let mut h = SwitchHistory::new();
+        h.register_switch("fast_path", 0x100, 0);
+        assert!(h.record_flip(0x100, 1, 1, 1));
+        assert!(h.record_flip(0x100, 0, 2, 2));
+        assert!(h.record_flip(0x100, 1, 3, 3));
+        assert!(!h.record_flip(0x999, 1, 4, 4));
+        assert_eq!(h.flip_count(), 3);
+        assert_eq!(h.flips()[0].from, 0);
+        assert_eq!(h.flips()[1].from, 1);
+        assert_eq!(h.flips()[2].from, 0);
+        assert_eq!(h.last_value(0x100), Some(1));
+        let m = h.transition_matrix();
+        assert_eq!(
+            m,
+            vec![
+                ("fast_path".to_string(), 0, 1, 2),
+                ("fast_path".to_string(), 1, 0, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_document() {
+        let mut h = SwitchHistory::new();
+        h.register_switch("logging", 0x200, 1);
+        h.record_flip(0x200, 0, 5, 1);
+        let rows = vec![ResidencyRow {
+            function: "work".to_string(),
+            variant: "logging=0".to_string(),
+            cycles: 40,
+            instructions: 10,
+        }];
+        let doc = h.to_json(&rows, 40);
+        assert!(doc.starts_with("{\"version\":1,\"kind\":\"mv-switch-history\""));
+        assert!(doc.contains("\"total_flips\":1"));
+        assert!(doc.contains("\"switch\":\"logging\",\"epoch\":5,\"from\":1,\"to\":0,\"commit\":1"));
+        assert!(doc.contains("\"function\":\"work\",\"variant\":\"logging=0\""));
+        assert!(doc.contains("\"total_cycles\":40"));
+    }
+}

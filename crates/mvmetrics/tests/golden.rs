@@ -1,0 +1,80 @@
+//! Golden-file tests for the metrics exporters.
+//!
+//! The fixture registry is populated with fixed values, so both the
+//! Prometheus text and the JSON snapshot are byte-deterministic.
+//! Regenerate after an intended format change with:
+//!
+//! ```sh
+//! BLESS=1 cargo test -p mvmetrics --test golden
+//! ```
+
+use mvmetrics::{export, Registry};
+use std::path::PathBuf;
+
+/// A small cross-section of the real metric families: labeled
+/// counters, a gauge, and a histogram with an overflow observation.
+fn fixture() -> Registry {
+    let r = Registry::new();
+    r.counter_with(
+        "mv_rt_commits_total",
+        "Commits by operation and outcome",
+        &[("op", "commit"), ("outcome", "ok")],
+    )
+    .add(7);
+    r.counter_with(
+        "mv_rt_commits_total",
+        "Commits by operation and outcome",
+        &[("op", "revert"), ("outcome", "ok")],
+    )
+    .add(2);
+    r.counter_with(
+        "mv_rt_commits_total",
+        "Commits by operation and outcome",
+        &[("op", "commit"), ("outcome", "err")],
+    )
+    .inc();
+    r.counter(
+        "mv_rt_bytes_written_total",
+        "Text bytes written by the patcher",
+    )
+    .add(4096);
+    r.gauge("mv_mvd_queue_depth", "Entries waiting in the daemon queues")
+        .set(3.0);
+    let h = r.histogram(
+        "mv_mvd_commit_latency_epochs",
+        "Submit-to-commit latency in daemon epochs",
+        &[1.0, 2.0, 4.0, 8.0],
+    );
+    for v in [0.5, 1.5, 1.5, 3.0, 9.0] {
+        h.observe(v);
+    }
+    r
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); run with BLESS=1 to create it")
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; run with BLESS=1 if intended"
+    );
+}
+
+#[test]
+fn prometheus_golden() {
+    check_golden("snapshot.prom", &export::prometheus(&fixture().snapshot()));
+}
+
+#[test]
+fn json_golden() {
+    check_golden("snapshot.json", &export::json(&fixture().snapshot()));
+}

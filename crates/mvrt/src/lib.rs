@@ -52,6 +52,7 @@
 pub mod error;
 pub mod fnptr;
 pub mod journal;
+pub mod metrics;
 pub mod mvd;
 pub mod patch;
 pub mod quiesce;
@@ -61,9 +62,10 @@ pub mod txn;
 
 pub use error::{CommitPhase, RtError};
 pub use journal::{Journal, JournalEntry};
+pub use metrics::RtMetrics;
 pub use mvd::{
-    CommitDaemon, Completion, Lane, MvdConfig, MvdOp, MvdOutcome, MvdStats, QuarantineEntry,
-    RequestId,
+    CommitDaemon, Completion, Lane, MvdConfig, MvdMetrics, MvdOp, MvdOutcome, MvdStats,
+    QuarantineEntry, RequestId,
 };
 pub use quiesce::{CommitStrategy, QuiesceOp, QuiesceReport};
 pub use runtime::{CommitReport, FnBinding, PatchStrategy, Runtime};
@@ -71,5 +73,7 @@ pub use stats::{PatchStats, PatchTiming};
 pub use txn::{FnHealth, RetryPolicy, SiteHealth, ValidationReport};
 
 // Re-exported so downstream code can consume traces (sinks, span
-// reconstruction) without naming the crate separately.
+// reconstruction) and metrics (registry, exporters, residency)
+// without naming the crates separately.
+pub use mvmetrics;
 pub use mvtrace;

@@ -1,0 +1,178 @@
+//! Runtime telemetry: mirrors the patcher's accounting into an
+//! [`mvmetrics::Registry`].
+//!
+//! Two recording styles, matching the sources:
+//!
+//! * monotone [`PatchStats`] counters are mirrored with
+//!   [`mvmetrics::Counter::store_max`] — an absolute sync, so the
+//!   registry equals the source by definition;
+//! * per-operation quantities (outcome tallies, phase nanoseconds,
+//!   quiesce rounds) are added once per completed operation from the
+//!   operation's own report, at the same place the `CommitEnd` /
+//!   `QuiesceEnd` trace events are emitted.
+//!
+//! Both happen once per commit/revert, never per patched byte, so the
+//! overhead on the patching fast path is a handful of relaxed atomics
+//! per operation.
+
+use crate::stats::{PatchStats, PatchTiming};
+use mvmetrics::{Counter, Registry};
+use std::collections::HashMap;
+
+/// Registered handles for the `mv_rt_*` metric family.
+pub struct RtMetrics {
+    registry: Registry,
+    /// `mv_rt_commits_total{op,outcome}`, registered lazily per pair.
+    commits: HashMap<(&'static str, bool), Counter>,
+    bytes_written: Counter,
+    pages_touched: Counter,
+    sites_patched: Counter,
+    sites_skipped: Counter,
+    mprotects: Counter,
+    icache_flushes: Counter,
+    retries: Counter,
+    rollbacks: Counter,
+    phase_ns: [Counter; 3],
+    backoff_ns: Counter,
+    /// `mv_rt_quiesce_total{strategy,outcome}`, registered lazily.
+    quiesce: HashMap<(&'static str, bool), Counter>,
+    quiesce_rounds: Counter,
+    quiesce_parked: Counter,
+    quiesce_trap_hits: Counter,
+    quiesce_stall_cycles: Counter,
+}
+
+impl RtMetrics {
+    /// Registers the runtime metric family in `registry`.
+    pub fn new(registry: &Registry) -> RtMetrics {
+        let phase = |p: &str| {
+            registry.counter_with(
+                "mv_rt_phase_ns_total",
+                "Nanoseconds spent per transaction phase",
+                &[("phase", p)],
+            )
+        };
+        RtMetrics {
+            registry: registry.clone(),
+            commits: HashMap::new(),
+            bytes_written: registry.counter(
+                "mv_rt_bytes_written_total",
+                "Text bytes written by the patcher",
+            ),
+            pages_touched: registry.counter(
+                "mv_rt_pages_touched_total",
+                "Distinct text pages opened by page-batched applies",
+            ),
+            sites_patched: registry.counter("mv_rt_sites_patched_total", "Call sites rewritten"),
+            sites_skipped: registry.counter(
+                "mv_rt_sites_skipped_total",
+                "Call sites skipped by delta planning (commit fast path)",
+            ),
+            mprotects: registry.counter("mv_rt_mprotects_total", "mprotect invocations"),
+            icache_flushes: registry
+                .counter("mv_rt_icache_flushes_total", "Instruction-cache flushes"),
+            retries: registry.counter(
+                "mv_rt_retries_total",
+                "Transactions re-attempted after a transient fault",
+            ),
+            rollbacks: registry.counter(
+                "mv_rt_rollbacks_total",
+                "Apply phases rolled back successfully",
+            ),
+            phase_ns: [phase("plan"), phase("validate"), phase("apply")],
+            backoff_ns: registry.counter(
+                "mv_rt_backoff_ns_total",
+                "Nanoseconds slept in retry backoff",
+            ),
+            quiesce: HashMap::new(),
+            quiesce_rounds: registry.counter(
+                "mv_rt_quiesce_rounds_total",
+                "Scheduler rounds spent in rendezvous/drain windows",
+            ),
+            quiesce_parked: registry.counter(
+                "mv_rt_quiesce_parked_total",
+                "vCPUs parked by stop-machine rendezvous",
+            ),
+            quiesce_trap_hits: registry.counter(
+                "mv_rt_quiesce_trap_hits_total",
+                "Trap-byte hits absorbed during breakpoint drains",
+            ),
+            quiesce_stall_cycles: registry.counter(
+                "mv_rt_quiesce_stall_cycles_total",
+                "Stall cycles charged to vCPUs inside quiesce windows",
+            ),
+        }
+    }
+
+    /// Records one completed commit/revert transaction: outcome tally,
+    /// absolute `PatchStats` sync, and this operation's phase timings.
+    pub fn record_txn(
+        &mut self,
+        op: &'static str,
+        ok: bool,
+        stats: PatchStats,
+        timing: PatchTiming,
+    ) {
+        // Recording while disabled must cost nothing — not even the
+        // lazy registration of a new (op, outcome) label pair.
+        if !self.registry.enabled() {
+            return;
+        }
+        let registry = &self.registry;
+        self.commits
+            .entry((op, ok))
+            .or_insert_with(|| {
+                registry.counter_with(
+                    "mv_rt_commits_total",
+                    "Commit/revert operations by op and outcome",
+                    &[("op", op), ("outcome", if ok { "ok" } else { "err" })],
+                )
+            })
+            .inc();
+        self.bytes_written.store_max(stats.bytes_written);
+        self.pages_touched.store_max(stats.pages_touched);
+        self.sites_patched.store_max(stats.sites_patched);
+        self.sites_skipped.store_max(stats.sites_skipped);
+        self.mprotects.store_max(stats.mprotects);
+        self.icache_flushes.store_max(stats.icache_flushes);
+        self.retries.store_max(stats.retries);
+        self.rollbacks.store_max(stats.rollbacks);
+        self.phase_ns[0].add(timing.plan.as_nanos() as u64);
+        self.phase_ns[1].add(timing.validate.as_nanos() as u64);
+        self.phase_ns[2].add(timing.apply.as_nanos() as u64);
+        self.backoff_ns.add(timing.backoff.as_nanos() as u64);
+    }
+
+    /// Records one quiesce window (successful or not).
+    pub fn record_quiesce(
+        &mut self,
+        strategy: &'static str,
+        ok: bool,
+        rounds: u64,
+        parked: u64,
+        trap_hits: u64,
+        stall_cycles: u64,
+    ) {
+        if !self.registry.enabled() {
+            return;
+        }
+        let registry = &self.registry;
+        self.quiesce
+            .entry((strategy, ok))
+            .or_insert_with(|| {
+                registry.counter_with(
+                    "mv_rt_quiesce_total",
+                    "Quiesce windows by strategy and outcome",
+                    &[
+                        ("strategy", strategy),
+                        ("outcome", if ok { "ok" } else { "err" }),
+                    ],
+                )
+            })
+            .inc();
+        self.quiesce_rounds.add(rounds);
+        self.quiesce_parked.add(parked);
+        self.quiesce_trap_hits.add(trap_hits);
+        self.quiesce_stall_cycles.add(stall_cycles);
+    }
+}

@@ -245,6 +245,23 @@ fn poke_byte(rt: &mut Runtime, m: &mut Machine, addr: u64, byte: u8) -> Result<(
 }
 
 impl Runtime {
+    /// Records one quiesce window into the metrics registry, if
+    /// enabled — called wherever a `QuiesceEnd` trace event is emitted
+    /// so traces and metrics agree on window counts.
+    fn note_quiesce(
+        &mut self,
+        strategy: CommitStrategy,
+        ok: bool,
+        rounds: u64,
+        parked: u64,
+        trap_hits: u64,
+        stall_cycles: u64,
+    ) {
+        if let Some(metrics) = self.metrics.as_mut() {
+            metrics.record_quiesce(strategy.name(), ok, rounds, parked, trap_hits, stall_cycles);
+        }
+    }
+
     /// Issues a full remote icache shootdown and emits the trace event.
     ///
     /// A real broadcast always acknowledges at least one invalidated
@@ -355,6 +372,14 @@ impl Runtime {
                     smp.unpark(i);
                 }
                 self.emit(|| EventKind::QuiesceEnd { ok: false, rounds });
+                self.note_quiesce(
+                    CommitStrategy::StopMachine,
+                    false,
+                    rounds,
+                    parked.len() as u64,
+                    0,
+                    smp.total_stall_cycles() - stall0,
+                );
                 return Err(RtError::Quiesce {
                     reason: "rendezvous never found a safepoint on every vcpu",
                     rounds,
@@ -372,6 +397,15 @@ impl Runtime {
         }
         let ok = result.is_ok();
         self.emit(|| EventKind::QuiesceEnd { ok, rounds });
+        let stall_cycles = smp.total_stall_cycles() - stall0;
+        self.note_quiesce(
+            CommitStrategy::StopMachine,
+            ok,
+            rounds,
+            parked.len() as u64,
+            0,
+            stall_cycles,
+        );
         Ok(QuiesceReport {
             commit: result?,
             strategy: CommitStrategy::StopMachine,
@@ -379,7 +413,7 @@ impl Runtime {
             parked: parked.len(),
             trap_hits: 0,
             shootdowns: smp.shootdowns() - shoot0,
-            stall_cycles: smp.total_stall_cycles() - stall0,
+            stall_cycles,
         })
     }
 
@@ -440,6 +474,14 @@ impl Runtime {
                     ok: false,
                     rounds: 0,
                 });
+                self.note_quiesce(
+                    CommitStrategy::Breakpoint,
+                    false,
+                    0,
+                    0,
+                    smp.trap_hits() - traps0,
+                    smp.total_stall_cycles() - stall0,
+                );
                 return Err(e);
             }
             planted.push((start, orig[0]));
@@ -470,6 +512,14 @@ impl Runtime {
             if rounds >= MAX_QUIESCE_ROUNDS {
                 self.unwind_traps(smp, &planted)?;
                 self.emit(|| EventKind::QuiesceEnd { ok: false, rounds });
+                self.note_quiesce(
+                    CommitStrategy::Breakpoint,
+                    false,
+                    rounds,
+                    0,
+                    smp.trap_hits() - traps0,
+                    smp.total_stall_cycles() - stall0,
+                );
                 return Err(RtError::Quiesce {
                     reason: "breakpoint drain never emptied the patched regions",
                     rounds,
@@ -486,6 +536,14 @@ impl Runtime {
             self.shoot_down_all(smp);
             self.release_planted(smp, &planted);
             self.emit(|| EventKind::QuiesceEnd { ok: false, rounds });
+            self.note_quiesce(
+                CommitStrategy::Breakpoint,
+                false,
+                rounds,
+                0,
+                smp.trap_hits() - traps0,
+                smp.total_stall_cycles() - stall0,
+            );
             return Err(e);
         }
         let result = self.run_txn(&mut smp.machine, op);
@@ -493,14 +551,24 @@ impl Runtime {
         self.release_planted(smp, &planted);
         let ok = result.is_ok();
         self.emit(|| EventKind::QuiesceEnd { ok, rounds });
+        let trap_hits = smp.trap_hits() - traps0;
+        let stall_cycles = smp.total_stall_cycles() - stall0;
+        self.note_quiesce(
+            CommitStrategy::Breakpoint,
+            ok,
+            rounds,
+            0,
+            trap_hits,
+            stall_cycles,
+        );
         Ok(QuiesceReport {
             commit: result?,
             strategy: CommitStrategy::Breakpoint,
             rounds,
             parked: 0,
-            trap_hits: smp.trap_hits() - traps0,
+            trap_hits,
             shootdowns: smp.shootdowns() - shoot0,
-            stall_cycles: smp.total_stall_cycles() - stall0,
+            stall_cycles,
         })
     }
 

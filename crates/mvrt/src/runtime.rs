@@ -148,6 +148,10 @@ pub struct Runtime {
     /// Timing of the most recent commit/revert operation, with the
     /// per-phase breakdown accumulated across its attempts.
     pub last_timing: PatchTiming,
+    /// Metrics handles, installed by [`Runtime::enable_metrics`]
+    /// (default: off — commits then pay one branch per operation and
+    /// nothing else).
+    pub metrics: Option<crate::metrics::RtMetrics>,
 }
 
 impl Runtime {
@@ -251,7 +255,17 @@ impl Runtime {
             retry: RetryPolicy::default(),
             tracer: None,
             last_timing: PatchTiming::default(),
+            metrics: None,
         })
+    }
+
+    /// Registers the `mv_rt_*` metric family in `registry` and starts
+    /// recording per-operation telemetry. Recording is once per
+    /// commit/revert (never per patched byte): an outcome tally, an
+    /// absolute [`PatchStats`] sync, and the phase timing of the
+    /// operation.
+    pub fn enable_metrics(&mut self, registry: &mvmetrics::Registry) {
+        self.metrics = Some(crate::metrics::RtMetrics::new(registry));
     }
 
     /// Installs a bounded event ring (capacity clamped to

@@ -963,6 +963,10 @@ impl Runtime {
             }
         };
         self.emit(|| EventKind::CommitEnd { ok: result.is_ok() });
+        let (stats, timing) = (self.stats, self.last_timing);
+        if let Some(metrics) = self.metrics.as_mut() {
+            metrics.record_txn(op.name(), result.is_ok(), stats, timing);
+        }
         result
     }
 

@@ -153,8 +153,28 @@ impl TraceSink for JsonlSink {
 /// the span tree renders as nesting; point events become `i` instants
 /// scoped to the thread. Timestamps are microseconds with nanosecond
 /// precision kept in the fraction.
+///
+/// With [`ChromeSink::with_dropped`] the trace document closes with a
+/// `metadata` object carrying the exported event count and the ring's
+/// dropped-event count — the same truncation signal the JSONL header
+/// reports, surfaced where `chrome://tracing`/Perfetto show metadata.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct ChromeSink;
+pub struct ChromeSink {
+    /// Ring drop count to report in the trailing `metadata` object;
+    /// `None` (the default) emits the events array only,
+    /// byte-compatible with older consumers.
+    pub dropped: Option<u64>,
+}
+
+impl ChromeSink {
+    /// A sink whose trace document reports `dropped` ring overflows in
+    /// its `metadata` object.
+    pub fn with_dropped(dropped: u64) -> ChromeSink {
+        ChromeSink {
+            dropped: Some(dropped),
+        }
+    }
+}
 
 /// Formats nanoseconds as the microsecond float Chrome expects.
 fn us(ts_ns: u64) -> String {
@@ -194,7 +214,16 @@ impl TraceSink for ChromeSink {
                 kind_fields(&e.kind)
             )?;
         }
-        writeln!(w, "\n]}}")?;
+        if let Some(dropped) = self.dropped {
+            writeln!(
+                w,
+                "\n],\"metadata\":{{\"events\":{},\"dropped\":{}}}}}",
+                events.len(),
+                dropped
+            )?;
+        } else {
+            writeln!(w, "\n]}}")?;
+        }
         Ok(())
     }
 }
@@ -439,18 +468,31 @@ mod tests {
             jsonl.contains(r#""ev":"strategy_degraded","from":"breakpoint","to":"stop-machine""#)
         );
         // All five are point events: Chrome renders them as instants.
-        let chrome = ChromeSink.export_string(&evs);
+        let chrome = ChromeSink::default().export_string(&evs);
         assert_eq!(chrome.matches(r#""ph":"i""#).count(), 5);
     }
 
     #[test]
     fn chrome_pairs_b_and_e() {
-        let s = ChromeSink.export_string(&sample());
+        let s = ChromeSink::default().export_string(&sample());
         assert!(s.starts_with(r#"{"traceEvents":["#));
         assert_eq!(s.matches(r#""ph":"B""#).count(), 2);
         assert_eq!(s.matches(r#""ph":"E""#).count(), 2);
         assert!(s.contains(r#""ts":1.500"#));
         assert!(s.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn chrome_metadata_reports_counts() {
+        let s = ChromeSink::with_dropped(7).export_string(&sample());
+        assert!(s
+            .trim_end()
+            .ends_with(r#"],"metadata":{"events":4,"dropped":7}}"#));
+        // The default stays byte-compatible: no metadata object.
+        assert!(ChromeSink::default()
+            .export_string(&sample())
+            .trim_end()
+            .ends_with("]}"));
     }
 
     #[test]

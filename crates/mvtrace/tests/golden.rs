@@ -148,7 +148,10 @@ fn jsonl_matches_golden() {
 
 #[test]
 fn chrome_matches_golden() {
-    check_golden("trace.chrome.json", &ChromeSink.export_string(&fixture()));
+    check_golden(
+        "trace.chrome.json",
+        &ChromeSink::default().export_string(&fixture()),
+    );
 }
 
 #[test]
@@ -160,7 +163,7 @@ fn text_matches_golden() {
 /// exactly as the span tree nests them.
 #[test]
 fn chrome_b_e_pairs_balance() {
-    let s = ChromeSink.export_string(&fixture());
+    let s = ChromeSink::default().export_string(&fixture());
     assert_eq!(
         s.matches(r#""ph":"B""#).count(),
         s.matches(r#""ph":"E""#).count()

@@ -33,6 +33,7 @@ pub mod cpu;
 pub mod fault;
 pub mod machine;
 pub mod mem;
+pub mod metrics;
 pub mod pred;
 pub mod profile;
 pub mod smp;
@@ -43,6 +44,7 @@ pub use cost::CostModel;
 pub use fault::{FaultMode, FaultOp, FaultPlan};
 pub use machine::{CpuContext, Fault, Machine, MachineConfig, MachineMode, Platform};
 pub use mem::{MemError, Memory, PAGE_SIZE};
+pub use metrics::VmMetrics;
 pub use profile::{FnCounters, FnProfile, FnRange, Profiler};
 pub use smp::{SmpMachine, TrapDisposition, VcpuState};
 pub use stats::Stats;

@@ -1,0 +1,144 @@
+//! VM-level telemetry: mirrors the machine's monotone execution
+//! counters into an [`mvmetrics::Registry`].
+//!
+//! Recording is pull-based: the embedder calls [`VmMetrics::record_machine`]
+//! or [`VmMetrics::record_smp`] at sync points (end of a run, after a
+//! scheduler round) and the current absolute counter values are stored
+//! with `store_max`. Nothing is added to the per-instruction hot path,
+//! and because the registry mirrors the sources rather than keeping a
+//! parallel increment stream, the two can never disagree.
+
+use crate::machine::Machine;
+use crate::smp::SmpMachine;
+use mvmetrics::{Counter, Registry};
+
+/// Registered handles for the `mv_vm_*` metric family.
+pub struct VmMetrics {
+    registry: Registry,
+    instructions: Counter,
+    cycles: Counter,
+    icache_shootdowns: Counter,
+    trap_hits: Counter,
+    rounds: Counter,
+    stall_cycles: Counter,
+    /// Per-vCPU cycle counters, registered lazily on first SMP sync.
+    vcpu_cycles: Vec<Counter>,
+}
+
+impl VmMetrics {
+    /// Registers the VM metric family in `registry`.
+    pub fn new(registry: &Registry) -> VmMetrics {
+        VmMetrics {
+            registry: registry.clone(),
+            instructions: registry
+                .counter("mv_vm_instructions_total", "Guest instructions retired"),
+            cycles: registry.counter("mv_vm_cycles_total", "Guest cycles consumed"),
+            icache_shootdowns: registry.counter(
+                "mv_vm_icache_shootdowns_total",
+                "Cross-vCPU instruction cache shootdowns",
+            ),
+            trap_hits: registry.counter(
+                "mv_vm_trap_hits_total",
+                "Breakpoint trap-byte hits observed by vCPUs",
+            ),
+            rounds: registry.counter("mv_vm_sched_rounds_total", "SMP scheduler rounds"),
+            stall_cycles: registry.counter(
+                "mv_vm_stall_cycles_total",
+                "Cycles vCPUs spent parked or trapped during quiesce",
+            ),
+            vcpu_cycles: Vec::new(),
+        }
+    }
+
+    /// Syncs counters from a uniprocessor machine.
+    pub fn record_machine(&mut self, m: &Machine) {
+        self.instructions.store_max(m.stats.instructions);
+        self.cycles.store_max(m.cycles());
+    }
+
+    /// Syncs counters from an SMP machine: aggregate stats plus a
+    /// per-vCPU `mv_vm_vcpu_cycles_total{vcpu="N"}` series.
+    pub fn record_smp(&mut self, smp: &SmpMachine) {
+        // A disabled registry must see no activity at all — including
+        // the lazy registration of new per-vCPU series.
+        if !self.registry.enabled() {
+            return;
+        }
+        let total = smp.total_stats();
+        self.instructions.store_max(total.instructions);
+        self.cycles
+            .store_max((0..smp.vcpus()).map(|i| smp.cycles_of(i)).sum());
+        self.icache_shootdowns.store_max(smp.shootdowns());
+        self.trap_hits.store_max(smp.trap_hits());
+        self.rounds.store_max(smp.rounds());
+        self.stall_cycles.store_max(smp.total_stall_cycles());
+        while self.vcpu_cycles.len() < smp.vcpus() {
+            let i = self.vcpu_cycles.len();
+            self.vcpu_cycles.push(self.registry.counter_with(
+                "mv_vm_vcpu_cycles_total",
+                "Guest cycles per vCPU",
+                &[("vcpu", &i.to_string())],
+            ));
+        }
+        for (i, c) in self.vcpu_cycles.iter().enumerate() {
+            c.store_max(smp.cycles_of(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvasm::Reg;
+    use mvobj::{link, Layout, Object, SectionKind, Symbol};
+
+    fn run_tiny() -> Machine {
+        let mut a = mvasm::Assembler::new();
+        a.mov_ri(Reg::R0, 7);
+        a.emit(mvasm::Insn::Halt);
+        let blob = a.finish().unwrap();
+        let mut o = Object::new("t");
+        o.append(mvobj::SEC_TEXT, SectionKind::Text, &blob.bytes);
+        o.define(Symbol::func(
+            "main",
+            mvobj::SEC_TEXT,
+            0,
+            blob.bytes.len() as u64,
+        ));
+        let exe = link(&[o], &Layout::default()).unwrap();
+        let mut m = Machine::boot(&exe);
+        m.run_entry(&exe).unwrap();
+        m
+    }
+
+    #[test]
+    fn machine_sync_matches_stats() {
+        let m = run_tiny();
+        let r = Registry::new();
+        let mut vm = VmMetrics::new(&r);
+        vm.record_machine(&m);
+        vm.record_machine(&m); // idempotent
+        let snap = r.snapshot();
+        let instr = snap
+            .iter()
+            .find(|s| s.name == "mv_vm_instructions_total")
+            .unwrap();
+        match instr.value {
+            mvmetrics::SampleValue::Counter(v) => assert_eq!(v, m.stats.instructions),
+            _ => unreachable!(),
+        }
+        assert!(m.stats.instructions > 0);
+    }
+
+    #[test]
+    fn disabled_registry_stays_zero() {
+        let m = run_tiny();
+        let r = Registry::disabled();
+        let mut vm = VmMetrics::new(&r);
+        vm.record_machine(&m);
+        assert!(r
+            .snapshot()
+            .iter()
+            .all(|s| matches!(s.value, mvmetrics::SampleValue::Counter(0))));
+    }
+}

@@ -122,7 +122,7 @@ fn chrome_export_is_structurally_balanced() {
     w.revert().unwrap();
     let events = w.rt.as_mut().unwrap().take_trace();
 
-    let chrome = ChromeSink.export_string(&events);
+    let chrome = ChromeSink::default().export_string(&events);
     assert!(chrome.starts_with("{\"traceEvents\":["));
     assert!(chrome.trim_end().ends_with("]}"));
     let opens = chrome.matches("\"ph\":\"B\"").count();
