@@ -23,8 +23,8 @@
 
 use multiverse::bench::Series;
 use multiverse::mvrt::{CommitStrategy, PatchStrategy};
-use multiverse::mvvm::{MachineMode, Platform};
-use multiverse::Program;
+use multiverse::mvvm::{ExecTier, MachineMode, Platform};
+use multiverse::{mvasm, mvobj, Program};
 use mv_workloads::{commit_storm, cpython, grep, musl, pvops, smp_contention, spinlock, textgen};
 
 /// Iterations used for cycle-average tables (paper: 100 M; scaled for an
@@ -892,6 +892,194 @@ pub fn commit_storm_json(rows: &[CommitStormRow]) -> String {
     s
 }
 
+/// One tier row of [`vm_throughput_data`]: host-side interpreter
+/// throughput plus the observation-identity verdict against tierless.
+#[derive(Clone, Copy, Debug)]
+pub struct VmThroughputRow {
+    /// Execution tier measured.
+    pub tier: ExecTier,
+    /// Guest instructions retired by one run of the workload.
+    pub instructions: u64,
+    /// Best-of-trials host wall time for one warm run, nanoseconds.
+    pub nanos: u64,
+    /// Guest instructions per host second, from the best trial.
+    pub insns_per_sec: f64,
+    /// Host-throughput ratio over the tierless row (tierless = 1.0).
+    pub speedup: f64,
+    /// `true` iff result, guest cycles and [`multiverse::mvvm::Stats`]
+    /// match the tierless run exactly.
+    pub identical: bool,
+}
+
+/// The tiered-engine throughput workload: a counted loop whose body
+/// mixes straight-line ALU runs, a direct-`jmp` block split and a
+/// `call` to a tiny helper — enough control-flow structure that tier 0
+/// caches several short blocks per iteration and tier 1 fuses them back
+/// into one superblock spanning the whole loop body.
+pub fn vm_throughput_exe(iters: i64) -> mvobj::Executable {
+    use mvasm::{AluOp, Cond, Insn, Reg};
+    let mut a = mvasm::Assembler::new();
+    a.mov_ri(Reg::R0, 0);
+    a.mov_ri(Reg::R1, 0);
+    a.label("loop");
+    for i in 0..40 {
+        a.emit(Insn::AluRI {
+            op: AluOp::Add,
+            dst: Reg::R0,
+            imm: i + 1,
+        });
+        a.emit(Insn::AluRI {
+            op: AluOp::Xor,
+            dst: Reg::R0,
+            imm: 0x5555,
+        });
+    }
+    a.jmp("mid");
+    a.label("mid");
+    for i in 0..40 {
+        a.emit(Insn::AluRI {
+            op: AluOp::Add,
+            dst: Reg::R0,
+            imm: i + 7,
+        });
+        a.emit(Insn::AluRI {
+            op: AluOp::And,
+            dst: Reg::R0,
+            imm: 0xffff,
+        });
+    }
+    a.call_sym("bump", false);
+    a.emit(Insn::AluRI {
+        op: AluOp::Add,
+        dst: Reg::R1,
+        imm: 1,
+    });
+    a.cmp_ri(Reg::R1, iters);
+    a.jcc("loop", Cond::Lt);
+    a.emit(Insn::Halt);
+    a.label("bump");
+    let off = a.len() as u64;
+    a.emit(Insn::AluRI {
+        op: AluOp::Add,
+        dst: Reg::R2,
+        imm: 1,
+    });
+    a.ret();
+    let blob = a.finish().expect("assemble");
+    let mut o = mvobj::Object::new("vm_throughput");
+    o.append(mvobj::SEC_TEXT, mvobj::SectionKind::Text, &blob.bytes);
+    o.define(mvobj::Symbol::func("main", mvobj::SEC_TEXT, 0, off));
+    o.define(mvobj::Symbol::func(
+        "bump",
+        mvobj::SEC_TEXT,
+        off,
+        blob.bytes.len() as u64 - off,
+    ));
+    for f in &blob.fixups {
+        let kind = match f.kind {
+            mvasm::FixupKind::Rel32 { next_insn } => mvobj::RelocKind::Rel32 {
+                next_insn: next_insn as u64,
+            },
+            mvasm::FixupKind::Abs64 => mvobj::RelocKind::Abs64,
+        };
+        o.relocate(mvobj::Reloc {
+            section: mvobj::SEC_TEXT.into(),
+            offset: f.offset as u64,
+            kind,
+            symbol: f.symbol.clone(),
+            addend: f.addend,
+        });
+    }
+    mvobj::link(&[o], &mvobj::Layout::default()).expect("link")
+}
+
+/// Guest-instruction throughput of each [`ExecTier`] on the
+/// [`vm_throughput_exe`] workload: one untimed run primes the caches
+/// (and tier-1 promotion) and records the observation tuple, then the
+/// best of `trials` timed warm runs yields the throughput. Every row
+/// carries the identity verdict against tierless — a tier that gets
+/// faster by observing differently is a broken tier, not a fast one.
+pub fn vm_throughput_data(iters: i64, trials: u32) -> Vec<VmThroughputRow> {
+    use multiverse::mvvm::Machine;
+    use std::time::Instant;
+    let exe = vm_throughput_exe(iters);
+    let measure = |tier: ExecTier| {
+        let mut m = Machine::boot(&exe);
+        m.set_tier(tier);
+        let r = m.run_entry(&exe).expect("workload runs");
+        let per_run = m.stats.instructions;
+        let obs = (r, m.cycles(), m.stats);
+        let mut best = u64::MAX;
+        for _ in 0..trials.max(1) {
+            let before = m.stats.instructions;
+            let t = Instant::now();
+            let r2 = m.run_entry(&exe).expect("workload runs");
+            let dt = t.elapsed().as_nanos() as u64;
+            assert_eq!(r2, r, "{tier}: rerun must reproduce the result");
+            assert_eq!(m.stats.instructions - before, per_run, "{tier}");
+            best = best.min(dt.max(1));
+        }
+        (per_run, best, obs)
+    };
+    let (base_insns, base_nanos, base_obs) = measure(ExecTier::Tierless);
+    let mut rows = Vec::new();
+    for tier in [ExecTier::Tierless, ExecTier::Block, ExecTier::Superblock] {
+        let (insns, nanos, obs) = if tier == ExecTier::Tierless {
+            (base_insns, base_nanos, base_obs)
+        } else {
+            measure(tier)
+        };
+        rows.push(VmThroughputRow {
+            tier,
+            instructions: insns,
+            nanos,
+            insns_per_sec: insns as f64 / (nanos as f64 / 1e9),
+            speedup: base_nanos as f64 / nanos as f64,
+            identical: obs == base_obs && insns == base_insns,
+        });
+    }
+    rows
+}
+
+/// Renders [`vm_throughput_data`] rows as table series.
+pub fn vm_throughput_series(rows: &[VmThroughputRow]) -> Vec<Series> {
+    let mut mips = Series::new("throughput (M guest insns / host s)");
+    let mut speedup = Series::new("speedup over tierless");
+    for r in rows {
+        let col = r.tier.to_string();
+        mips.point(&col, r.insns_per_sec / 1e6);
+        speedup.point(&col, r.speedup);
+    }
+    vec![mips, speedup]
+}
+
+/// Serializes [`vm_throughput_data`] rows as the
+/// `BENCH_vm_throughput.json` document CI records for the perf
+/// trajectory.
+pub fn vm_throughput_json(rows: &[VmThroughputRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::from(
+        "{\n  \"bench\": \"vm_throughput\",\n  \"unit\": \"guest instructions / host second\",\n  \
+         \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"tier\": \"{}\", \"instructions\": {}, \"nanos\": {}, \
+             \"insns_per_sec\": {:.0}, \"speedup\": {:.2}, \"identical\": {}}}{}",
+            r.tier,
+            r.instructions,
+            r.nanos,
+            r.insns_per_sec,
+            r.speedup,
+            r.identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1133,6 +1321,56 @@ mod tests {
         assert!(json.contains("\"bench\": \"commit_storm\""));
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_commit_storm.json");
         std::fs::write(path, &json).expect("write BENCH_commit_storm.json");
+    }
+
+    /// CI's tiered-engine gate (see `.github/workflows/ci.yml`): every
+    /// tier must be observation-identical to tierless, and — on
+    /// optimized builds, which is how CI runs this gate — the
+    /// superblock tier must clear the 5× throughput target. The rows
+    /// are serialized to `BENCH_vm_throughput.json` at the workspace
+    /// root for the perf trajectory.
+    #[test]
+    fn vm_throughput_quick() {
+        // Wall-clock ratios are only meaningful on optimized builds;
+        // debug runs keep the identity checks but shrink the workload.
+        let iters = if cfg!(debug_assertions) {
+            2_000
+        } else {
+            40_000
+        };
+        let rows = vm_throughput_data(iters, 3);
+        assert_eq!(rows.len(), 3, "one row per tier");
+        for r in &rows {
+            assert!(
+                r.identical,
+                "{}: diverged from tierless observation",
+                r.tier
+            );
+            assert!(r.insns_per_sec > 0.0);
+        }
+        assert_eq!(rows[0].tier, ExecTier::Tierless);
+        assert_eq!(rows[0].speedup, 1.0);
+        // Record the trajectory before gating, so a failed gate still
+        // leaves the measured rows behind for diagnosis.
+        let json = vm_throughput_json(&rows);
+        assert!(json.contains("\"bench\": \"vm_throughput\""));
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_vm_throughput.json"
+        );
+        std::fs::write(path, &json).expect("write BENCH_vm_throughput.json");
+        if !cfg!(debug_assertions) {
+            assert!(
+                rows[1].speedup > 1.0,
+                "tier-0 must beat tierless: {:.2}x",
+                rows[1].speedup
+            );
+            assert!(
+                rows[2].speedup >= 5.0,
+                "superblock {:.2}x below the 5x gate",
+                rows[2].speedup
+            );
+        }
     }
 
     #[test]

@@ -21,13 +21,16 @@
 //! mvcc disasm <file.c>… [--fn NAME] disassemble the text segment (or one
 //!                                   function)
 //! mvcc run    <file.c>… [--call F] [--set VAR=V]… [--commit] [--smp N]
+//!             [--tier T]
 //!                                   execute main (or F) on the machine;
 //!                                   --smp N boots an N-vCPU SMP machine,
 //!                                   runs F (or main) on every vCPU and
 //!                                   prints per-vCPU results plus the
 //!                                   machine-wide roll-up (a --commit is
 //!                                   performed as a quiesced concurrent
-//!                                   commit, see --strategy)
+//!                                   commit, see --strategy); --tier picks
+//!                                   the execution engine (see common
+//!                                   flags)
 //! mvcc verify <file.c>… [--set VAR=V]… [--commit] [--smp N]
 //!                                   dry-run the commit validate phase and
 //!                                   print a per-function / per-site health
@@ -96,6 +99,10 @@
 //!   --smp N              run/verify on an N-vCPU SMP machine
 //!   --strategy S         concurrent-commit protocol for --smp commits:
 //!                        stop-machine (default) or breakpoint
+//!   --tier T             execution engine: tierless (default), block
+//!                        (tier-0 decode cache) or superblock (tier-1
+//!                        fused blocks) — observationally identical,
+//!                        tiered runs print the block-cache counters
 //! ```
 
 use multiverse::mvc::Options;
@@ -119,6 +126,7 @@ struct Args {
     stats_flag: bool,
     smp: usize,
     strategy: mvrt::CommitStrategy,
+    tier: multiverse::mvvm::ExecTier,
     smoke: bool,
     requests: u64,
     burst: u64,
@@ -150,6 +158,7 @@ fn parse_args() -> Result<Args, String> {
         stats_flag: false,
         smp: 0,
         strategy: mvrt::CommitStrategy::default(),
+        tier: multiverse::mvvm::ExecTier::default(),
         smoke: false,
         requests: 96,
         burst: 24,
@@ -212,6 +221,11 @@ fn parse_args() -> Result<Args, String> {
                 let s = it.next().ok_or("--strategy needs a protocol name")?;
                 args.strategy = mvrt::CommitStrategy::parse(&s)
                     .ok_or(format!("unknown strategy `{s}` (stop-machine|breakpoint)"))?;
+            }
+            "--tier" => {
+                let s = it.next().ok_or("--tier needs an engine name")?;
+                args.tier = multiverse::mvvm::ExecTier::parse(&s)
+                    .ok_or(format!("unknown tier `{s}` (tierless|block|superblock)"))?;
             }
             "--timings" => args.timings = true,
             "--stats" => args.stats_flag = true,
@@ -418,6 +432,7 @@ fn print_quiesce(q: &mvrt::QuiesceReport) {
 /// `verify --smp` and `serve`.
 fn boot_smp_workers(args: &Args, p: &Program, smp: usize) -> Result<multiverse::SmpWorld, String> {
     let mut w = p.boot_smp(smp);
+    w.smp.set_tier(args.tier);
     for (k, v) in &args.sets {
         w.set(k, *v).map_err(|e| e.to_string())?;
         println!("set {k} = {v}");
@@ -469,7 +484,20 @@ fn cmd_run_smp(args: &Args, p: &Program) -> Result<(), String> {
         stats.instructions,
         w.smp.max_cycles()
     );
+    print_block_stats(args.tier, w.smp.block_stats());
     Ok(())
+}
+
+/// Prints the block-cache counters after a tiered run (`--tier block` or
+/// `--tier superblock`); tierless runs have no block layer to report.
+fn print_block_stats(tier: multiverse::mvvm::ExecTier, s: multiverse::mvvm::BlockCacheStats) {
+    if tier == multiverse::mvvm::ExecTier::Tierless {
+        return;
+    }
+    println!(
+        "blocks[{tier}]: {} hits, {} recorded, {} evicted, {} promoted",
+        s.hits, s.misses, s.evictions, s.promotions
+    );
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -478,6 +506,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         return cmd_run_smp(args, &p);
     }
     let mut world = p.boot();
+    world.machine.set_tier(args.tier);
     for (k, v) in &args.sets {
         world.set(k, *v).map_err(|e| e.to_string())?;
         println!("set {k} = {v}");
@@ -502,6 +531,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         println!("{}", String::from_utf8_lossy(&out));
     }
     println!("result: {result} ({} cycles)", world.cycles());
+    print_block_stats(args.tier, world.machine.block_stats());
     if let Some(rt) = &world.rt {
         let s = rt.stats;
         if s.sites_patched > 0 {

@@ -65,8 +65,12 @@ impl Reg {
     }
 
     /// The register's index in `0..16`.
+    ///
+    /// The mask is the identity for every constructible `Reg` (all
+    /// constructors reject indices ≥ 16); it exists so register-file
+    /// accesses indexed by it compile without a bounds check.
     pub const fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 0xf) as usize
     }
 
     /// Raw encoding byte.

@@ -42,16 +42,19 @@ impl Cpu {
     }
 
     /// Reads a register.
+    #[inline]
     pub fn get(&self, r: Reg) -> u64 {
         self.regs[r.index()]
     }
 
     /// Writes a register.
+    #[inline]
     pub fn set(&mut self, r: Reg, v: u64) {
         self.regs[r.index()] = v;
     }
 
     /// Current stack pointer.
+    #[inline]
     pub fn sp(&self) -> u64 {
         self.regs[Reg::SP.index()]
     }

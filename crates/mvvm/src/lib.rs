@@ -28,6 +28,7 @@
 //! keeping per-run [`Stats`] (instructions, branches, mispredictions,
 //! atomics, …) that the benchmark harness reports alongside cycle counts.
 
+pub mod block;
 pub mod cost;
 pub mod cpu;
 pub mod fault;
@@ -38,8 +39,10 @@ pub mod pred;
 pub mod profile;
 pub mod smp;
 pub mod stats;
+pub mod tier0;
 pub mod trace;
 
+pub use block::{BlockCacheStats, DecodedBlock, ExecTier};
 pub use cost::CostModel;
 pub use fault::{FaultMode, FaultOp, FaultPlan};
 pub use machine::{CpuContext, Fault, Machine, MachineConfig, MachineMode, Platform};
@@ -48,4 +51,5 @@ pub use metrics::VmMetrics;
 pub use profile::{FnCounters, FnProfile, FnRange, Profiler};
 pub use smp::{SmpMachine, TrapDisposition, VcpuState};
 pub use stats::Stats;
+pub use tier0::BlockCache;
 pub use trace::Trace;

@@ -1,14 +1,35 @@
 //! The interpreter: fetch, decode (cached), execute, charge cycles.
+//!
+//! Execution is tiered (see [`ExecTier`] and [`crate::block`]): the
+//! default tierless engine decodes one instruction at a time through the
+//! per-instruction decode cache; the block tiers memoize straight-line
+//! decode runs and replay them through the *same* per-instruction
+//! execution routine, so every observable — cycles, [`Stats`], traces,
+//! profiles, fault points — is identical across tiers by construction.
 
+use crate::block::{
+    BlockCacheStats, DecodedBlock, ExecTier, MAX_BLOCK_INSTS, MAX_SUPERBLOCK_FUSES,
+    MAX_SUPERBLOCK_INSTS,
+};
 use crate::cost::CostModel;
 use crate::cpu::Cpu;
-use crate::mem::{extend, MemError, Memory};
+use crate::mem::{extend, MemError, Memory, PAGE_SIZE};
 use crate::pred::Predictors;
 use crate::stats::Stats;
+use crate::tier0::{BlockCache, HOT_THRESHOLD};
 use mvasm::{AluOp, DecodeError, Insn, Reg};
 use mvobj::Executable;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
+
+/// A cached decode: the instruction plus the `code_version` generation of
+/// the first and last page its encoding touches. Both generations must
+/// still match for the entry to be served (non-sticky mode) — keying on
+/// the first page alone would let an instruction straddling a page
+/// boundary survive a flush of its tail page.
+type CachedDecode = (Insn, u64, u64);
 
 /// Unicore or multicore operation — switches the cost of bus-locked
 /// atomics, modelling the UP/SMP distinction of the spinlock case study.
@@ -147,7 +168,13 @@ pub struct Machine {
     pub stats: Stats,
     config: MachineConfig,
     out: Vec<u8>,
-    decode_cache: HashMap<u64, (Insn, u64)>,
+    decode_cache: HashMap<u64, CachedDecode>,
+    /// Which execution engine runs (shared by all vCPUs of an SMP
+    /// machine — the tier is machine state, not per-CPU state).
+    tier: ExecTier,
+    /// The resident per-CPU block cache (tiered execution); swapped with
+    /// [`CpuContext::blocks`] alongside the decode cache.
+    blocks: BlockCache,
     /// `pc` at which a `jcc` would macro-fuse with the preceding `cmp`.
     fusable_at: Option<u64>,
     /// Sticky-icache mode: cached decodes are served *without* the
@@ -179,7 +206,9 @@ pub struct CpuContext {
     /// Private event counters; roll up machine-wide with `AddAssign`.
     pub stats: Stats,
     /// Private decoded-instruction cache (the icache model).
-    pub decode_cache: HashMap<u64, (Insn, u64)>,
+    pub decode_cache: HashMap<u64, CachedDecode>,
+    /// Private decoded-block cache (the tiered engine's icache model).
+    pub blocks: BlockCache,
     /// Pending cmp→jcc macro-fusion point.
     pub fusable_at: Option<u64>,
 }
@@ -203,6 +232,8 @@ impl Machine {
             config,
             out: Vec::new(),
             decode_cache: HashMap::new(),
+            tier: ExecTier::Tierless,
+            blocks: BlockCache::default(),
             fusable_at: None,
             sticky_icache: false,
             trace: None,
@@ -221,6 +252,29 @@ impl Machine {
     pub fn load(&mut self, exe: &Executable) {
         self.mem.load(exe);
         self.decode_cache.clear();
+        self.blocks.reset();
+    }
+
+    /// Selects the execution engine (see [`ExecTier`]). Switching tiers
+    /// resets the resident block cache so every tier starts cold; the
+    /// per-instruction decode cache is untouched. The tier is machine
+    /// state shared by every vCPU of an SMP machine.
+    pub fn set_tier(&mut self, tier: ExecTier) {
+        if self.tier != tier {
+            self.blocks.reset();
+        }
+        self.tier = tier;
+    }
+
+    /// The active execution tier.
+    pub fn tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// Counters of the resident block cache (for an SMP machine, use
+    /// [`crate::SmpMachine::block_stats`] which rolls up every vCPU).
+    pub fn block_stats(&self) -> BlockCacheStats {
+        self.blocks.stats
     }
 
     /// Machine mode (unicore/multicore).
@@ -291,17 +345,23 @@ impl Machine {
         self.sticky_icache
     }
 
-    /// Drops cached decoded instructions for `[start, end)` — the
-    /// per-CPU half of an icache shootdown. Unlike
-    /// [`Memory::flush_icache`] this acts on *this* CPU's private decode
-    /// cache and works even in sticky mode.
+    /// Drops cached decoded instructions *and decoded blocks* for
+    /// `[start, end)` — the per-CPU half of an icache shootdown. Unlike
+    /// [`Memory::flush_icache`] this acts on *this* CPU's private caches
+    /// and works even in sticky mode. Both layers use the same
+    /// instruction-start-address rule, so a shootdown that evicts a
+    /// single decode also evicts exactly the blocks replaying it (a trap
+    /// plant therefore splits/evicts the blocks spanning it), and
+    /// nothing else.
     pub fn invalidate_decode_range(&mut self, start: u64, end: u64) {
         self.decode_cache.retain(|&pc, _| pc < start || pc >= end);
+        self.blocks.invalidate_range(start, end);
     }
 
-    /// Drops every cached decoded instruction of this CPU.
+    /// Drops every cached decoded instruction and block of this CPU.
     pub fn invalidate_decode_all(&mut self) {
         self.decode_cache.clear();
+        self.blocks.invalidate_all();
     }
 
     /// Exchanges the machine's resident per-CPU state (registers,
@@ -314,6 +374,7 @@ impl Machine {
         std::mem::swap(&mut self.pred, &mut ctx.pred);
         std::mem::swap(&mut self.stats, &mut ctx.stats);
         std::mem::swap(&mut self.decode_cache, &mut ctx.decode_cache);
+        std::mem::swap(&mut self.blocks, &mut ctx.blocks);
         std::mem::swap(&mut self.fusable_at, &mut ctx.fusable_at);
     }
 
@@ -394,10 +455,12 @@ impl Machine {
         out
     }
 
+    #[inline]
     fn charge(&mut self, cycles: u64) {
         self.cpu.tsc += cycles;
     }
 
+    #[inline]
     fn push(&mut self, v: u64) -> Result<(), Fault> {
         let sp = self.cpu.sp().wrapping_sub(8);
         self.mem.write(sp, &v.to_le_bytes())?;
@@ -405,6 +468,7 @@ impl Machine {
         Ok(())
     }
 
+    #[inline]
     fn pop(&mut self) -> Result<u64, Fault> {
         let sp = self.cpu.sp();
         let v = self.mem.read_uint(sp, 8)?;
@@ -414,62 +478,75 @@ impl Machine {
 
     fn decode_at(&mut self, pc: u64) -> Result<Insn, Fault> {
         let version = self.mem.code_version(pc);
-        if let Some(&(insn, v)) = self.decode_cache.get(&pc) {
+        if let Some(&(insn, v0, v1)) = self.decode_cache.get(&pc) {
             // Sticky mode: the private icache ignores the shared
             // version counter — only an explicit shootdown
             // (invalidate_decode_*) evicts, exactly the staleness a
             // missing cross-CPU IPI leaves behind.
-            if self.sticky_icache || v == version {
+            //
+            // Otherwise *every* page the encoding touches must still be
+            // at its recorded generation: an instruction straddling a
+            // page boundary is stale as soon as either page is flushed.
+            if self.sticky_icache || (v0 == version && v1 == self.tail_version(pc, insn, version)) {
                 return Ok(insn);
             }
         }
         let mut buf = [0u8; 16];
         let n = self.mem.fetch(pc, &mut buf)?;
         let (insn, _) = mvasm::decode(&buf[..n]).map_err(|err| Fault::Decode { addr: pc, err })?;
-        self.decode_cache.insert(pc, (insn, version));
+        self.decode_cache
+            .insert(pc, (insn, version, self.tail_version(pc, insn, version)));
         Ok(insn)
     }
 
+    /// `code_version` of the page holding the last byte of `insn`'s
+    /// encoding at `pc` (`head_version` is passed in to skip the lookup
+    /// for the common non-straddling case).
+    fn tail_version(&self, pc: u64, insn: Insn, head_version: u64) -> u64 {
+        let last = pc + insn.len() as u64 - 1;
+        if last / PAGE_SIZE == pc / PAGE_SIZE {
+            head_version
+        } else {
+            self.mem.code_version(last)
+        }
+    }
+
+    #[inline]
     fn alu(&mut self, op: AluOp, a: u64, b: u64, at: u64) -> Result<u64, Fault> {
-        let v = match op {
-            AluOp::Add => a.wrapping_add(b),
-            AluOp::Sub => a.wrapping_sub(b),
-            AluOp::Mul => a.wrapping_mul(b),
+        let (v, c) = match op {
+            AluOp::Add => (a.wrapping_add(b), self.cost.alu),
+            AluOp::Sub => (a.wrapping_sub(b), self.cost.alu),
+            AluOp::Mul => (a.wrapping_mul(b), self.cost.mul),
             AluOp::Divs => {
                 if b == 0 {
                     return Err(Fault::DivByZero { addr: at });
                 }
-                (a as i64).wrapping_div(b as i64) as u64
+                ((a as i64).wrapping_div(b as i64) as u64, self.cost.div)
             }
             AluOp::Divu => {
                 if b == 0 {
                     return Err(Fault::DivByZero { addr: at });
                 }
-                a / b
+                (a / b, self.cost.div)
             }
             AluOp::Rems => {
                 if b == 0 {
                     return Err(Fault::DivByZero { addr: at });
                 }
-                (a as i64).wrapping_rem(b as i64) as u64
+                ((a as i64).wrapping_rem(b as i64) as u64, self.cost.div)
             }
             AluOp::Remu => {
                 if b == 0 {
                     return Err(Fault::DivByZero { addr: at });
                 }
-                a % b
+                (a % b, self.cost.div)
             }
-            AluOp::And => a & b,
-            AluOp::Or => a | b,
-            AluOp::Xor => a ^ b,
-            AluOp::Shl => a.wrapping_shl(b as u32),
-            AluOp::Shrs => (a as i64).wrapping_shr(b as u32) as u64,
-            AluOp::Shru => a.wrapping_shr(b as u32),
-        };
-        let c = match op {
-            AluOp::Mul => self.cost.mul,
-            AluOp::Divs | AluOp::Divu | AluOp::Rems | AluOp::Remu => self.cost.div,
-            _ => self.cost.alu,
+            AluOp::And => (a & b, self.cost.alu),
+            AluOp::Or => (a | b, self.cost.alu),
+            AluOp::Xor => (a ^ b, self.cost.alu),
+            AluOp::Shl => (a.wrapping_shl(b as u32), self.cost.alu),
+            AluOp::Shrs => ((a as i64).wrapping_shr(b as u32) as u64, self.cost.alu),
+            AluOp::Shru => (a.wrapping_shr(b as u32), self.cost.alu),
         };
         self.charge(c);
         Ok(v)
@@ -478,11 +555,21 @@ impl Machine {
     /// Executes one instruction.
     pub fn step(&mut self) -> Result<(), Fault> {
         let pc = self.cpu.pc;
+        let insn = self.decode_at(pc)?;
+        self.exec_insn(pc, insn)
+    }
+
+    /// Executes one already-decoded instruction at `pc`. This is the
+    /// single execution routine: the tierless loop calls it after
+    /// `decode_at`, block replay calls it with the memoized decode —
+    /// cycles, stats, traces, profiles and fault behavior are therefore
+    /// identical across tiers by construction.
+    #[inline]
+    fn exec_insn(&mut self, pc: u64, insn: Insn) -> Result<(), Fault> {
         // Snapshot TSC and counters so the step's deltas can be charged
         // to the function holding `pc`. Stats is Copy; with no profiler
         // installed this is a single branch.
         let prof_snap = self.profiler.as_ref().map(|_| (self.cpu.tsc, self.stats));
-        let insn = self.decode_at(pc)?;
         if matches!(insn, Insn::Trap) {
             // The trap does not retire: pc stays on the trap byte and no
             // cycles are charged, so the catcher sees the CPU exactly at
@@ -723,6 +810,297 @@ impl Machine {
         Ok(())
     }
 
+    /// Retires up to `budget > 0` instructions through the active
+    /// [`ExecTier`] and returns how many retired plus the first fault, if
+    /// any. Tierless maps to a single [`Machine::step`]; the block tiers
+    /// replay and record decoded blocks. Every observable — cycles,
+    /// [`Stats`], traces, profiles, fault points — matches calling
+    /// [`Machine::step`] the same number of times, because the tiers
+    /// memoize decode, never semantics.
+    pub fn step_tiered(&mut self, budget: u64) -> (u64, Result<(), Fault>) {
+        debug_assert!(budget > 0, "step_tiered needs a positive budget");
+        match self.tier {
+            ExecTier::Tierless => match self.step() {
+                Ok(()) => (1, Ok(())),
+                Err(f) => (0, Err(f)),
+            },
+            ExecTier::Block | ExecTier::Superblock => self.step_blocks(budget),
+        }
+    }
+
+    /// The block-tier loop: replay cached valid blocks, record new ones.
+    /// Stops at the budget, at `halt`, or when control reaches
+    /// [`RET_SENTINEL`] mid-run. (With zero retired, the sentinel falls
+    /// through to recording, whose fetch faults exactly as a tierless
+    /// fetch from the sentinel would.)
+    fn step_blocks(&mut self, budget: u64) -> (u64, Result<(), Fault>) {
+        let mut retired = 0u64;
+        while retired < budget && !self.cpu.halted {
+            let pc = self.cpu.pc;
+            if retired > 0 && pc == RET_SENTINEL {
+                break;
+            }
+            let cached = self
+                .blocks
+                .last(pc)
+                .cloned()
+                .map(|b| (b, true))
+                .or_else(|| self.blocks.get(pc).cloned().map(|b| (b, false)));
+            let (n, r) = match cached {
+                Some((b, _)) if !self.block_valid(&b) => {
+                    self.blocks.evict(pc);
+                    self.record_block(pc, budget - retired, false)
+                }
+                Some((b, from_last)) => {
+                    if !from_last
+                        && self.tier == ExecTier::Superblock
+                        && !b.superblock
+                        && self.blocks.bump_hot(pc) >= HOT_THRESHOLD
+                    {
+                        // Hot tier-0 entry: re-record as a fused
+                        // superblock (the recording replaces the map
+                        // entry at `pc`).
+                        self.blocks.stats.promotions += 1;
+                        self.record_block(pc, budget - retired, true)
+                    } else {
+                        self.blocks.stats.hits += 1;
+                        if !from_last {
+                            self.blocks.set_last(pc, b.clone());
+                        }
+                        self.replay_block(&b, budget - retired)
+                    }
+                }
+                None => self.record_block(pc, budget - retired, false),
+            };
+            retired += n;
+            if r.is_err() {
+                return (retired, r);
+            }
+        }
+        (retired, Ok(()))
+    }
+
+    /// Re-executes the memoized ops of `b`. Stops at the budget or at a
+    /// fault.
+    ///
+    /// Mid-block control flow is deterministic by construction: recording
+    /// breaks at every transfer except fused `jmp`/`call rel`, whose
+    /// targets are static, and `halt` only ever terminates a trace — so
+    /// inside the pre-sliced budget window only the entry pc needs
+    /// checking, and the per-op guard is a debug assertion.
+    ///
+    /// With no tracer or profiler attached, maximal runs of register-only
+    /// ops ([`DecodedBlock::fast_runs`]) retire through [`Machine::exec_fast`]
+    /// with the `tsc`, instruction-count, `fusable_at` and `pc` updates
+    /// batched to the end of the run. Fast ops cannot fault, halt,
+    /// transfer control, or read `tsc`/[`Stats`], and host code only
+    /// observes machine state between quanta, so the end-of-quantum state
+    /// is bit-identical to per-instruction execution. Everything else —
+    /// and every op when a tracer or profiler is attached — goes through
+    /// [`Machine::exec_insn`] unchanged.
+    fn replay_block(&mut self, b: &DecodedBlock, budget: u64) -> (u64, Result<(), Fault>) {
+        let limit = usize::try_from(budget).map_or(b.ops.len(), |n| b.ops.len().min(n));
+        if self.cpu.pc != b.entry {
+            return (0, Ok(()));
+        }
+        let plain = self.trace.is_none() && self.profiler.is_none();
+        let mut i = 0usize;
+        while i < limit {
+            let (pc, insn) = b.ops[i];
+            debug_assert_eq!(self.cpu.pc, pc, "replay left the recorded trace");
+            let run = if plain {
+                (b.fast_runs[i] as usize).min(limit - i)
+            } else {
+                0
+            };
+            if run > 0 {
+                let mut cycles = 0u64;
+                for &(_, op) in &b.ops[i..i + run] {
+                    self.exec_fast(op, &mut cycles);
+                }
+                self.cpu.tsc += cycles;
+                self.stats.instructions += run as u64;
+                let (last_pc, last) = b.ops[i + run - 1];
+                let next = last_pc + last.len() as u64;
+                self.fusable_at =
+                    matches!(last, Insn::CmpRR { .. } | Insn::CmpRI { .. }).then_some(next);
+                self.cpu.pc = next;
+                i += run;
+            } else {
+                if let Err(f) = self.exec_insn(pc, insn) {
+                    return (i as u64, Err(f));
+                }
+                i += 1;
+            }
+        }
+        (i as u64, Ok(()))
+    }
+
+    /// One op of a fast run (see [`Machine::replay_block`]): the
+    /// register-only [`DecodedBlock::is_fast`] subset with its cycle
+    /// charge accumulated into `cycles` instead of `tsc`. Semantics match
+    /// the corresponding [`Machine::exec_insn`] arms exactly; the
+    /// differential test suite holds the two in lockstep.
+    #[inline]
+    fn exec_fast(&mut self, insn: Insn, cycles: &mut u64) {
+        match insn {
+            Insn::MovRR { dst, src } => {
+                let v = self.cpu.get(src);
+                self.cpu.set(dst, v);
+                *cycles += self.cost.alu;
+            }
+            Insn::MovRI { dst, imm } => {
+                self.cpu.set(dst, imm as u64);
+                *cycles += self.cost.alu;
+            }
+            Insn::Lea { dst, addr } => {
+                self.cpu.set(dst, addr);
+                *cycles += self.cost.lea;
+            }
+            Insn::AluRR { op, dst, src } => {
+                let (v, c) = alu_fast(op, self.cpu.get(dst), self.cpu.get(src), &self.cost);
+                self.cpu.set(dst, v);
+                *cycles += c;
+            }
+            Insn::AluRI { op, dst, imm } => {
+                let (v, c) = alu_fast(op, self.cpu.get(dst), imm as u64, &self.cost);
+                self.cpu.set(dst, v);
+                *cycles += c;
+            }
+            Insn::CmpRR { a, b } => {
+                self.cpu.cmp = (self.cpu.get(a), self.cpu.get(b));
+                *cycles += self.cost.cmp;
+            }
+            Insn::CmpRI { a, imm } => {
+                self.cpu.cmp = (self.cpu.get(a), imm as u64);
+                *cycles += self.cost.cmp;
+            }
+            Insn::Setcc { cc, dst } => {
+                let (a, b) = self.cpu.cmp;
+                self.cpu.set(dst, cc.eval(a, b) as u64);
+                *cycles += self.cost.alu;
+            }
+            _ => unreachable!("non-fast op inside a fast run"),
+        }
+    }
+
+    /// Records a new block at the current `pc` by executing instructions
+    /// through the ordinary decode path while memoizing every decode it
+    /// performed — never decoding ahead, so a sticky stale decode enters
+    /// the block exactly as stale as tierless execution observes it. A
+    /// faulting op is kept as the block terminator (a replay re-reaches
+    /// the same fault point); a budget cut caches the partial block.
+    fn record_block(
+        &mut self,
+        entry: u64,
+        budget: u64,
+        superblock: bool,
+    ) -> (u64, Result<(), Fault>) {
+        self.blocks.stats.misses += 1;
+        let max_ops = if superblock {
+            MAX_SUPERBLOCK_INSTS
+        } else {
+            MAX_BLOCK_INSTS
+        };
+        let mut ops: Vec<(u64, Insn)> = Vec::new();
+        let mut pages: Vec<(u64, u64)> = Vec::new();
+        let mut fuses = 0usize;
+        let mut retired = 0u64;
+        let mut result = Ok(());
+        while retired < budget {
+            let pc = self.cpu.pc;
+            let insn = match self.decode_at(pc) {
+                Ok(i) => i,
+                Err(f) => {
+                    result = Err(f);
+                    break;
+                }
+            };
+            self.record_pages(&mut pages, pc, insn);
+            ops.push((pc, insn));
+            if let Err(f) = self.exec_insn(pc, insn) {
+                result = Err(f);
+                break;
+            }
+            retired += 1;
+            if self.cpu.halted || self.cpu.pc == RET_SENTINEL || ops.len() >= max_ops {
+                break;
+            }
+            // A superblock fuses across direct, statically-targeted
+            // transfers — unless the target is already in the trace (a
+            // loop) or the fuse allowance ran out.
+            if superblock
+                && fuses < MAX_SUPERBLOCK_FUSES
+                && matches!(insn, Insn::Jmp { .. } | Insn::CallRel { .. })
+                && !ops.iter().any(|&(p, _)| p == self.cpu.pc)
+            {
+                fuses += 1;
+                continue;
+            }
+            if matches!(
+                insn,
+                Insn::Jmp { .. }
+                    | Insn::Jcc { .. }
+                    | Insn::CallRel { .. }
+                    | Insn::CallInd { .. }
+                    | Insn::CallMem { .. }
+                    | Insn::Ret
+            ) {
+                break;
+            }
+        }
+        if !ops.is_empty() {
+            let block = Rc::new(DecodedBlock {
+                entry,
+                fast_runs: DecodedBlock::fast_runs_of(&ops),
+                ops,
+                pages,
+                superblock,
+                epoch: Cell::new(self.mem.flush_epoch()),
+            });
+            self.blocks.insert(entry, block);
+        }
+        (retired, result)
+    }
+
+    /// Records the `(page, code_version)` of every page the encoding of
+    /// `insn` at `pc` touches into `pages` (deduplicated) — a straddling
+    /// instruction contributes both its pages, so flushing either one
+    /// invalidates the block.
+    fn record_pages(&self, pages: &mut Vec<(u64, u64)>, pc: u64, insn: Insn) {
+        let first = pc / PAGE_SIZE;
+        let last = (pc + insn.len() as u64 - 1) / PAGE_SIZE;
+        for page in first..=last {
+            if !pages.iter().any(|&(p, _)| p == page) {
+                pages.push((page, self.mem.code_version(page * PAGE_SIZE)));
+            }
+        }
+    }
+
+    /// `true` if `b` may be replayed. Sticky mode: always — the private
+    /// icache ignores version counters and only the explicit shootdown
+    /// primitives evict (see [`Machine::invalidate_decode_range`]).
+    /// Otherwise every recorded page generation must still match, with an
+    /// O(1) [`Memory::flush_epoch`] fast path for the common
+    /// nothing-flushed-since case.
+    fn block_valid(&self, b: &DecodedBlock) -> bool {
+        if self.sticky_icache {
+            return true;
+        }
+        let epoch = self.mem.flush_epoch();
+        if b.epoch.get() == epoch {
+            return true;
+        }
+        if b.pages
+            .iter()
+            .all(|&(page, ver)| self.mem.code_version(page * PAGE_SIZE) == ver)
+        {
+            b.epoch.set(epoch);
+            return true;
+        }
+        false
+    }
+
     /// Calls the function at `addr` with up to six `args`, runs it to
     /// completion and returns `r0`.
     ///
@@ -733,6 +1111,10 @@ impl Machine {
         for (i, &a) in args.iter().enumerate() {
             self.cpu.set(Reg::new(i as u8).expect("< 6"), a);
         }
+        // (Re)entering execution clears a previous `halt`: a halted
+        // machine used to poison every later call with `Fault::Halted`
+        // even though the caller asked it to run new code.
+        self.cpu.halted = false;
         self.push(RET_SENTINEL)?;
         self.pred.push_ret(RET_SENTINEL);
         self.cpu.pc = addr;
@@ -744,24 +1126,51 @@ impl Machine {
             if executed >= self.config.fuel {
                 return Err(Fault::Timeout { executed });
             }
-            self.step()?;
-            executed += 1;
+            let (n, r) = self.step_tiered(self.config.fuel - executed);
+            executed += n;
+            r?;
         }
         Ok(self.cpu.get(Reg::R0))
     }
 
     /// Runs from the image entry point until `halt`; returns `r0`.
     pub fn run_entry(&mut self, exe: &Executable) -> Result<u64, Fault> {
+        // (Re)entering execution clears a previous `halt` — without this
+        // a second `run_entry` returned `r0` without executing a single
+        // instruction.
+        self.cpu.halted = false;
         self.cpu.pc = exe.entry;
         let mut executed = 0u64;
         while !self.cpu.halted {
             if executed >= self.config.fuel {
                 return Err(Fault::Timeout { executed });
             }
-            self.step()?;
-            executed += 1;
+            let (n, r) = self.step_tiered(self.config.fuel - executed);
+            executed += n;
+            r?;
         }
         Ok(self.cpu.get(Reg::R0))
+    }
+}
+
+/// Value and cycle charge of a non-dividing ALU op — the fast-run twin
+/// of [`Machine::alu`], restricted to the ops [`DecodedBlock::is_fast`]
+/// admits (the div/rem family can fault and never enters a fast run).
+#[inline]
+fn alu_fast(op: AluOp, a: u64, b: u64, cost: &CostModel) -> (u64, u64) {
+    match op {
+        AluOp::Add => (a.wrapping_add(b), cost.alu),
+        AluOp::Sub => (a.wrapping_sub(b), cost.alu),
+        AluOp::Mul => (a.wrapping_mul(b), cost.mul),
+        AluOp::And => (a & b, cost.alu),
+        AluOp::Or => (a | b, cost.alu),
+        AluOp::Xor => (a ^ b, cost.alu),
+        AluOp::Shl => (a.wrapping_shl(b as u32), cost.alu),
+        AluOp::Shrs => ((a as i64).wrapping_shr(b as u32) as u64, cost.alu),
+        AluOp::Shru => (a.wrapping_shr(b as u32), cost.alu),
+        AluOp::Divs | AluOp::Divu | AluOp::Rems | AluOp::Remu => {
+            unreachable!("div ops never enter a fast run")
+        }
     }
 }
 
@@ -1226,5 +1635,181 @@ mod tests {
         // Unfused pays the nop (1) plus the unfused branch (1); fused pays
         // only the pair cost.
         assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn straddling_insn_sees_tail_page_flush() {
+        // A mov whose 8-byte immediate lives entirely on the page after
+        // its opcode byte: patching and flushing only that tail page must
+        // invalidate the cached decode. (The cache used to be keyed on
+        // the head page's generation alone and served the insn stale.)
+        let mut m = Machine::new(CostModel::default(), MachineConfig::default());
+        let base = 0x10000u64;
+        m.mem.map(base, 2 * PAGE_SIZE, mvobj::Prot::RW);
+        let pc = base + PAGE_SIZE - 2; // opcode+reg on page 0, imm on page 1
+        let mov = mvasm::encode(&Insn::MovRI {
+            dst: Reg::R0,
+            imm: 1,
+        });
+        assert_eq!(mov.len(), 10, "straddle layout relies on the encoding");
+        m.mem.write(pc, &mov).unwrap();
+        let ret = mvasm::encode(&Insn::Ret);
+        m.mem.write(pc + 10, &ret).unwrap();
+        m.mem
+            .mprotect(base, 2 * PAGE_SIZE, mvobj::Prot::RX)
+            .unwrap();
+        assert_eq!(m.call(pc, &[]).unwrap(), 1);
+
+        // Patch only the immediate — bytes entirely on the tail page —
+        // and flush only that page.
+        let tail = base + PAGE_SIZE;
+        m.mem.mprotect(tail, PAGE_SIZE, mvobj::Prot::RW).unwrap();
+        m.mem.write(tail, &2i64.to_le_bytes()).unwrap();
+        m.mem.mprotect(tail, PAGE_SIZE, mvobj::Prot::RX).unwrap();
+        m.mem.flush_icache(tail, 8);
+        assert_eq!(
+            m.call(pc, &[]).unwrap(),
+            2,
+            "a tail-page flush must invalidate the straddling decode"
+        );
+    }
+
+    #[test]
+    fn halted_machine_accepts_new_calls() {
+        // run_entry ends in `halt`; the machine must still run later
+        // calls instead of failing them all with Fault::Halted.
+        let mut a = mvasm::Assembler::new();
+        a.emit(Insn::Halt);
+        a.label("f");
+        let f_off = a.len();
+        a.emit(Insn::AluRI {
+            op: AluOp::Add,
+            dst: Reg::R0,
+            imm: 5,
+        });
+        a.ret();
+        let exe = exe_from(a, |o| {
+            o.define(Symbol::func("f", mvobj::SEC_TEXT, f_off as u64, 12));
+        });
+        let mut m = Machine::boot(&exe);
+        m.run_entry(&exe).unwrap();
+        assert!(m.cpu.halted);
+        let f = exe.symbol("f").unwrap();
+        assert_eq!(
+            m.call(f, &[37]).unwrap(),
+            42,
+            "a finished run must not poison later calls"
+        );
+        // Halt retiring *during* a call still faults.
+        assert_eq!(m.call(exe.entry, &[]).unwrap_err(), Fault::Halted);
+    }
+
+    #[test]
+    fn run_entry_twice_reexecutes() {
+        let mut a = mvasm::Assembler::new();
+        a.mov_ri(Reg::R0, 7);
+        a.emit(Insn::Halt);
+        let exe = exe_from(a, |_| {});
+        let mut m = Machine::boot(&exe);
+        assert_eq!(m.run_entry(&exe).unwrap(), 7);
+        let insns = m.stats.instructions;
+        m.cpu.set(Reg::R0, 0);
+        assert_eq!(m.run_entry(&exe).unwrap(), 7, "second run must re-execute");
+        assert_eq!(m.stats.instructions, insns * 2);
+    }
+
+    /// A loop with a cmp→jcc back-edge, a call/ret pair per iteration and
+    /// a direct jmp split: exercises block terminators, superblock fusion
+    /// and the return path.
+    fn tier_workload() -> Executable {
+        let mut a = mvasm::Assembler::new();
+        a.mov_ri(Reg::R0, 0);
+        a.mov_ri(Reg::R1, 0);
+        a.label("loop");
+        a.call_sym("bump", false);
+        a.jmp("cont");
+        a.label("cont");
+        a.emit(Insn::AluRI {
+            op: AluOp::Add,
+            dst: Reg::R1,
+            imm: 1,
+        });
+        a.cmp_ri(Reg::R1, 50);
+        a.jcc("loop", Cond::Lt);
+        a.emit(Insn::Halt);
+        a.label("bump");
+        let off = a.len();
+        a.emit(Insn::AluRI {
+            op: AluOp::Add,
+            dst: Reg::R0,
+            imm: 3,
+        });
+        a.ret();
+        exe_from(a, |o| {
+            o.define(Symbol::func("bump", mvobj::SEC_TEXT, off as u64, 12));
+        })
+    }
+
+    #[test]
+    fn tiers_are_observation_identical() {
+        let run = |tier: ExecTier| {
+            let exe = tier_workload();
+            let mut m = Machine::boot(&exe);
+            m.set_tier(tier);
+            m.enable_trace(32);
+            m.enable_profile(&exe);
+            let r = m.run_entry(&exe).unwrap();
+            let trace: Vec<(u64, Insn)> = m.take_trace().unwrap().entries().copied().collect();
+            let p = m.take_profile().unwrap();
+            let callee = p.counters_of("bump").unwrap();
+            (r, m.cycles(), m.stats, trace, callee.cycles, callee.stats)
+        };
+        let base = run(ExecTier::Tierless);
+        assert_eq!(run(ExecTier::Block), base, "tier-0 diverged");
+        assert_eq!(run(ExecTier::Superblock), base, "superblock diverged");
+    }
+
+    #[test]
+    fn block_cache_hits_and_promotes() {
+        let exe = tier_workload();
+        let mut m = Machine::boot(&exe);
+        m.set_tier(ExecTier::Superblock);
+        m.run_entry(&exe).unwrap();
+        let s = m.block_stats();
+        assert!(s.hits > 0, "loop re-entries must hit: {s:?}");
+        assert!(s.misses > 0);
+        assert!(s.promotions > 0, "hot entries must promote: {s:?}");
+    }
+
+    #[test]
+    fn tiered_staleness_matches_tierless() {
+        // The stale-icache discipline must survive the block tiers: a
+        // patch without a flush stays stale, the flush makes exactly the
+        // patched code fresh.
+        for tier in [ExecTier::Tierless, ExecTier::Block, ExecTier::Superblock] {
+            let mut a = mvasm::Assembler::new();
+            a.label("f");
+            a.mov_ri(Reg::R0, 1);
+            a.ret();
+            a.emit(Insn::Halt);
+            let exe = exe_from(a, |o| {
+                o.define(Symbol::func("f", mvobj::SEC_TEXT, 0, 11));
+            });
+            let mut m = Machine::boot(&exe);
+            m.set_tier(tier);
+            let f = exe.symbol("f").unwrap();
+            assert_eq!(m.call(f, &[]).unwrap(), 1, "{tier}");
+
+            let patched = mvasm::encode(&Insn::MovRI {
+                dst: Reg::R0,
+                imm: 2,
+            });
+            m.mem.mprotect(f, 16, mvobj::Prot::RW).unwrap();
+            m.mem.write(f, &patched).unwrap();
+            m.mem.mprotect(f, 16, mvobj::Prot::RX).unwrap();
+            assert_eq!(m.call(f, &[]).unwrap(), 1, "{tier}: must stay stale");
+            m.mem.flush_icache(f, 16);
+            assert_eq!(m.call(f, &[]).unwrap(), 2, "{tier}: flush must refresh");
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! and because the registry mirrors the sources rather than keeping a
 //! parallel increment stream, the two can never disagree.
 
+use crate::block::BlockCacheStats;
 use crate::machine::Machine;
 use crate::smp::SmpMachine;
 use mvmetrics::{Counter, Registry};
@@ -21,6 +22,10 @@ pub struct VmMetrics {
     trap_hits: Counter,
     rounds: Counter,
     stall_cycles: Counter,
+    block_hits: Counter,
+    block_misses: Counter,
+    block_evictions: Counter,
+    block_promotions: Counter,
     /// Per-vCPU cycle counters, registered lazily on first SMP sync.
     vcpu_cycles: Vec<Counter>,
 }
@@ -46,14 +51,38 @@ impl VmMetrics {
                 "mv_vm_stall_cycles_total",
                 "Cycles vCPUs spent parked or trapped during quiesce",
             ),
+            block_hits: registry.counter(
+                "mv_vm_block_hits_total",
+                "Decoded-block cache hits (block entries replayed)",
+            ),
+            block_misses: registry.counter(
+                "mv_vm_block_misses_total",
+                "Decoded-block cache misses (blocks recorded)",
+            ),
+            block_evictions: registry.counter(
+                "mv_vm_block_evictions_total",
+                "Decoded blocks evicted by patches or shootdowns",
+            ),
+            block_promotions: registry.counter(
+                "mv_vm_block_superblock_promotions_total",
+                "Hot blocks re-recorded as fused superblocks",
+            ),
             vcpu_cycles: Vec::new(),
         }
+    }
+
+    fn record_blocks(&mut self, b: BlockCacheStats) {
+        self.block_hits.store_max(b.hits);
+        self.block_misses.store_max(b.misses);
+        self.block_evictions.store_max(b.evictions);
+        self.block_promotions.store_max(b.promotions);
     }
 
     /// Syncs counters from a uniprocessor machine.
     pub fn record_machine(&mut self, m: &Machine) {
         self.instructions.store_max(m.stats.instructions);
         self.cycles.store_max(m.cycles());
+        self.record_blocks(m.block_stats());
     }
 
     /// Syncs counters from an SMP machine: aggregate stats plus a
@@ -72,6 +101,7 @@ impl VmMetrics {
         self.trap_hits.store_max(smp.trap_hits());
         self.rounds.store_max(smp.rounds());
         self.stall_cycles.store_max(smp.total_stall_cycles());
+        self.record_blocks(smp.block_stats());
         while self.vcpu_cycles.len() < smp.vcpus() {
             let i = self.vcpu_cycles.len();
             self.vcpu_cycles.push(self.registry.counter_with(
@@ -128,6 +158,49 @@ mod tests {
             _ => unreachable!(),
         }
         assert!(m.stats.instructions > 0);
+    }
+
+    #[test]
+    fn block_counters_mirror_tiered_run() {
+        let mut a = mvasm::Assembler::new();
+        a.mov_ri(Reg::R1, 0);
+        a.label("loop");
+        a.emit(mvasm::Insn::AluRI {
+            op: mvasm::AluOp::Add,
+            dst: Reg::R1,
+            imm: 1,
+        });
+        a.cmp_ri(Reg::R1, 20);
+        a.jcc("loop", mvasm::Cond::Lt);
+        a.emit(mvasm::Insn::Halt);
+        let blob = a.finish().unwrap();
+        let mut o = Object::new("t");
+        o.append(mvobj::SEC_TEXT, SectionKind::Text, &blob.bytes);
+        o.define(Symbol::func(
+            "main",
+            mvobj::SEC_TEXT,
+            0,
+            blob.bytes.len() as u64,
+        ));
+        let exe = link(&[o], &Layout::default()).unwrap();
+        let mut m = Machine::boot(&exe);
+        m.set_tier(crate::block::ExecTier::Block);
+        m.run_entry(&exe).unwrap();
+
+        let r = Registry::new();
+        let mut vm = VmMetrics::new(&r);
+        vm.record_machine(&m);
+        let snap = r.snapshot();
+        let get = |name: &str| match snap.iter().find(|s| s.name == name).unwrap().value {
+            mvmetrics::SampleValue::Counter(v) => v,
+            _ => unreachable!(),
+        };
+        assert!(
+            get("mv_vm_block_hits_total") > 0,
+            "loop re-entries must hit"
+        );
+        assert!(get("mv_vm_block_misses_total") > 0);
+        assert_eq!(get("mv_vm_block_hits_total"), m.block_stats().hits);
     }
 
     #[test]

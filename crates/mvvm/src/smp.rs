@@ -35,6 +35,7 @@
 //! instruction fetch is atomic, and all the interesting races live at
 //! instruction granularity.
 
+use crate::block::{BlockCacheStats, ExecTier};
 use crate::cost::CostModel;
 use crate::machine::{CpuContext, Fault, Machine, MachineConfig, MachineMode, RET_SENTINEL};
 use crate::stats::Stats;
@@ -290,18 +291,47 @@ impl SmpMachine {
             Some((s, e)) => {
                 for ctx in &mut self.ctxs {
                     ctx.decode_cache.retain(|&pc, _| pc < s || pc >= e);
+                    ctx.blocks.invalidate_range(s, e);
                 }
                 self.machine.invalidate_decode_range(s, e);
             }
             None => {
                 for ctx in &mut self.ctxs {
                     ctx.decode_cache.clear();
+                    ctx.blocks.invalidate_all();
                 }
                 self.machine.invalidate_decode_all();
             }
         }
         self.shootdowns += 1;
         self.ctxs.len() + 1
+    }
+
+    /// Selects the execution tier (see [`ExecTier`]) for every vCPU: the
+    /// tier is machine state, the block caches stay per-CPU. Switching
+    /// tiers resets every vCPU's block cache so all tiers start cold.
+    pub fn set_tier(&mut self, tier: ExecTier) {
+        if self.machine.tier() != tier {
+            for ctx in &mut self.ctxs {
+                ctx.blocks.reset();
+            }
+        }
+        self.machine.set_tier(tier);
+    }
+
+    /// The active execution tier.
+    pub fn tier(&self) -> ExecTier {
+        self.machine.tier()
+    }
+
+    /// Roll-up of block-cache counters across the resident machine and
+    /// every vCPU's private block cache.
+    pub fn block_stats(&self) -> BlockCacheStats {
+        let mut total = self.machine.block_stats();
+        for ctx in &self.ctxs {
+            total += ctx.blocks.stats;
+        }
+        total
     }
 
     /// Number of shootdowns issued so far.
@@ -431,14 +461,14 @@ impl SmpMachine {
     fn run_quantum(&mut self, i: usize, quantum: u64) -> u64 {
         self.machine.swap_context(&mut self.ctxs[i]);
         let mut retired = 0u64;
-        for _ in 0..quantum {
-            if self.machine.cpu.pc == RET_SENTINEL {
-                self.states[i] = VcpuState::Done {
-                    ret: self.machine.cpu.get(Reg::R0),
-                };
-                break;
-            }
-            if self.machine.cpu.halted {
+        // `slots` is the quantum budget in issue slots: each retired
+        // instruction consumes one, and so does a trap fetch (the vCPU
+        // occupied the pipeline without retiring) — the exact accounting
+        // of the old one-step-per-iteration loop, so schedules are
+        // byte-identical across tiers.
+        let mut slots = quantum;
+        while slots > 0 {
+            if self.machine.cpu.pc == RET_SENTINEL || self.machine.cpu.halted {
                 self.states[i] = VcpuState::Done {
                     ret: self.machine.cpu.get(Reg::R0),
                 };
@@ -450,13 +480,18 @@ impl SmpMachine {
                 });
                 break;
             }
-            match self.machine.step() {
-                Ok(()) => {
-                    retired += 1;
-                    self.executed[i] += 1;
-                }
+            let budget = slots.min(self.machine.config().fuel - self.executed[i]);
+            let (n, r) = self.machine.step_tiered(budget);
+            retired += n;
+            self.executed[i] += n;
+            slots -= n;
+            match r {
+                Ok(()) => {}
                 Err(Fault::Trap { addr }) => {
                     self.trap_hits += 1;
+                    // A fault surfaces only while retired < budget, so at
+                    // least one slot is left for the trap fetch.
+                    slots -= 1;
                     let disposition = match &mut self.handler {
                         Some(h) => h(i, addr),
                         None => TrapDisposition::Stall,
@@ -464,13 +499,12 @@ impl SmpMachine {
                     match disposition {
                         TrapDisposition::Stall => {
                             self.states[i] = VcpuState::Trapped { addr };
+                            break;
                         }
                         TrapDisposition::Skip => {
                             self.machine.cpu.pc = addr + 1;
-                            continue;
                         }
                     }
-                    break;
                 }
                 Err(f) => {
                     self.states[i] = VcpuState::Faulted(f);
@@ -727,6 +761,83 @@ mod tests {
                 1,
                 "per-CPU counters stay private"
             );
+        }
+    }
+
+    #[test]
+    fn tiers_preserve_smp_schedules() {
+        // The same seed over the same workload must produce the same
+        // schedule (instructions per round), per-vCPU cycles and stats
+        // under every execution tier.
+        let exe = exe_with_fn(|a| {
+            a.mov_ri(Reg::R1, 0);
+            a.label("loop");
+            a.emit(Insn::AluRI {
+                op: AluOp::Add,
+                dst: Reg::R1,
+                imm: 1,
+            });
+            a.cmp_ri(Reg::R1, 300);
+            a.jcc("loop", mvasm::Cond::Lt);
+            a.emit(Insn::MovRR {
+                dst: Reg::R0,
+                src: Reg::R1,
+            });
+            a.ret();
+        });
+        let f = exe.symbol("f").unwrap();
+        let run = |tier: ExecTier| {
+            let mut smp = SmpMachine::boot(&exe, 3);
+            smp.set_tier(tier);
+            smp.set_seed(7);
+            for i in 0..3 {
+                smp.spawn(i, f, &[]).unwrap();
+            }
+            let mut schedule = Vec::new();
+            while !smp.all_done() {
+                schedule.push(smp.step_round());
+                assert!(smp.rounds() < 10_000);
+            }
+            let cycles: Vec<u64> = (0..3).map(|i| smp.cycles_of(i)).collect();
+            (schedule, cycles, smp.total_stats())
+        };
+        let base = run(ExecTier::Tierless);
+        assert_eq!(run(ExecTier::Block), base, "tier-0 schedule diverged");
+        assert_eq!(run(ExecTier::Superblock), base, "superblock diverged");
+    }
+
+    #[test]
+    fn tiered_sticky_icache_requires_shootdown() {
+        // The private-icache staleness discipline survives the block
+        // tiers: a global flush_icache is not enough, only flush_remote
+        // makes the patch visible.
+        for tier in [ExecTier::Block, ExecTier::Superblock] {
+            let exe = adder_exe();
+            let f = exe.symbol("f").unwrap();
+            let mut smp = SmpMachine::boot(&exe, 2);
+            smp.set_tier(tier);
+            smp.spawn(0, f, &[0]).unwrap();
+            assert_eq!(smp.run_until_done(1000).unwrap()[0], 5);
+
+            let patched = mvasm::encode(&Insn::AluRI {
+                op: AluOp::Add,
+                dst: Reg::R0,
+                imm: 9,
+            });
+            smp.machine.mem.mprotect(f, 16, mvobj::Prot::RW).unwrap();
+            smp.machine.mem.write(f, &patched).unwrap();
+            smp.machine.mem.mprotect(f, 16, mvobj::Prot::RX).unwrap();
+            smp.machine.mem.flush_icache(f, 16);
+
+            smp.spawn(0, f, &[0]).unwrap();
+            let stale = smp.run_until_done(1000).unwrap();
+            assert_eq!(stale[0], 5, "{tier}: no shootdown, must stay stale");
+
+            smp.flush_remote(Some((f, f + 16)));
+            smp.spawn(0, f, &[0]).unwrap();
+            let fresh = smp.run_until_done(1000).unwrap();
+            assert_eq!(fresh[0], 9, "{tier}: shootdown must refresh");
+            assert!(smp.block_stats().evictions >= 1, "{tier}");
         }
     }
 

@@ -42,6 +42,43 @@ fn buggy_patcher_without_flush_runs_stale_code() {
     assert_eq!(w.call("use_it", &[]).unwrap(), 1, "fresh code after flush");
 }
 
+/// The buggy-patcher staleness window is part of the observable
+/// machine semantics, so the tiered engines must reproduce it exactly:
+/// a cached block over the call site stays stale precisely as long as
+/// the cached per-instruction decode would, and the missing flush
+/// evicts both in lockstep.
+#[test]
+fn stale_window_is_identical_at_every_tier() {
+    use multiverse::mvvm::ExecTier;
+    let program = Program::build(&[("t.c", SRC)]).unwrap();
+    let run = |tier: ExecTier| {
+        let mut w = program.boot();
+        w.machine.set_tier(tier);
+        // Warm caches hard enough to trigger superblock promotion.
+        let warm: Vec<u64> = (0..12).map(|_| w.call("use_it", &[]).unwrap()).collect();
+
+        let site = w.sym("use_it").unwrap();
+        let variant = w.sym("pick.fast=1").unwrap();
+        let rel = variant.wrapping_sub(site + 5) as i64 as i32;
+        let patched = multiverse::mvasm::encode(&multiverse::mvasm::Insn::CallRel { rel });
+        w.machine.mem.mprotect(site, 5, Prot::RW).unwrap();
+        w.machine.mem.write(site, &patched).unwrap();
+        w.machine.mem.mprotect(site, 5, Prot::RX).unwrap();
+
+        let stale = w.call("use_it", &[]).unwrap();
+        w.machine.mem.flush_icache(site, 5);
+        let fresh = w.call("use_it", &[]).unwrap();
+        (warm, stale, fresh, w.cycles(), w.machine.stats)
+    };
+    let base = run(ExecTier::Tierless);
+    assert_eq!(base.0, vec![2; 12]);
+    assert_eq!(base.1, 2, "stale until the flush");
+    assert_eq!(base.2, 1, "fresh after the flush");
+    for tier in [ExecTier::Block, ExecTier::Superblock] {
+        assert_eq!(run(tier), base, "{tier}: staleness window diverged");
+    }
+}
+
 #[test]
 fn real_runtime_always_flushes() {
     let program = Program::build(&[("t.c", SRC)]).unwrap();

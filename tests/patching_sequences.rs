@@ -280,11 +280,13 @@ fn smp_flip_run(
     seed: u64,
     strategy: multiverse::mvrt::CommitStrategy,
     flips: usize,
+    tier: multiverse::mvvm::ExecTier,
 ) -> (Vec<u8>, Vec<u64>, i64) {
     const ITERS: u64 = 64;
     let (taddr, tsize) = program.exe().section(multiverse::mvobj::SEC_TEXT);
     let mut w = program.boot_smp(vcpus);
     w.smp.set_seed(seed);
+    w.smp.set_tier(tier);
     w.set("config_smp", 1).unwrap();
     w.spawn_all("worker", &[ITERS]).unwrap();
     let mut committed = false;
@@ -309,19 +311,23 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
     /// SMP extension of the model fuzz: at random vCPU counts (2–8),
-    /// random scheduler seeds and random quiesced flip counts, under
-    /// both protocols, the machine must land byte-identical to a
-    /// single-core world applying the same commit/revert sequence, the
-    /// locked counter must stay exact — and the same seed must
-    /// reproduce the same interleaving cycle-for-cycle.
+    /// random scheduler seeds, random quiesced flip counts and a random
+    /// execution tier, under both protocols, the machine must land
+    /// byte-identical to a single-core world applying the same
+    /// commit/revert sequence, the locked counter must stay exact — and
+    /// the same seed must reproduce the same interleaving
+    /// cycle-for-cycle, with the tiered run indistinguishable from the
+    /// tierless one.
     #[test]
     fn smp_quiesced_flips_match_single_core_image(
         vcpus in 2usize..=8,
         seed in any::<u64>(),
         breakpoint in any::<bool>(),
         flips in 1usize..5,
+        tier_idx in 0usize..3,
     ) {
         use multiverse::mvrt::CommitStrategy;
+        use multiverse::mvvm::ExecTier;
         use mv_workloads::smp_contention;
 
         let strategy = if breakpoint {
@@ -329,8 +335,9 @@ proptest! {
         } else {
             CommitStrategy::StopMachine
         };
+        let tier = [ExecTier::Tierless, ExecTier::Block, ExecTier::Superblock][tier_idx];
         let program = smp_contention::build().unwrap();
-        let (text, cycles, counter) = smp_flip_run(&program, vcpus, seed, strategy, flips);
+        let (text, cycles, counter) = smp_flip_run(&program, vcpus, seed, strategy, flips, tier);
         prop_assert_eq!(counter, (vcpus as i64) * 64, "lost a locked increment");
 
         // Single-core twin: same commit/revert sequence on an idle world.
@@ -350,8 +357,11 @@ proptest! {
         prop_assert_eq!(&text, &single, "SMP image diverged from single-core");
 
         // Determinism: replaying the identical seed reproduces the exact
-        // interleaving (identical per-vCPU cycle counters and image).
-        let (text2, cycles2, counter2) = smp_flip_run(&program, vcpus, seed, strategy, flips);
+        // interleaving (identical per-vCPU cycle counters and image) —
+        // and the tierless twin of a tiered run must be byte- and
+        // cycle-identical, the differential oracle for the block engine.
+        let twin = if tier == ExecTier::Tierless { tier } else { ExecTier::Tierless };
+        let (text2, cycles2, counter2) = smp_flip_run(&program, vcpus, seed, strategy, flips, twin);
         prop_assert_eq!(text, text2);
         prop_assert_eq!(cycles, cycles2);
         prop_assert_eq!(counter, counter2);
