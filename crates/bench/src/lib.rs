@@ -993,27 +993,38 @@ pub fn vm_throughput_exe(iters: i64) -> mvobj::Executable {
     mvobj::link(&[o], &mvobj::Layout::default()).expect("link")
 }
 
-/// Guest-instruction throughput of each [`ExecTier`] on the
-/// [`vm_throughput_exe`] workload: one untimed run primes the caches
-/// (and tier-1 promotion) and records the observation tuple, then the
-/// best of `trials` timed warm runs yields the throughput. Every row
-/// carries the identity verdict against tierless — a tier that gets
-/// faster by observing differently is a broken tier, not a fast one.
-pub fn vm_throughput_data(iters: i64, trials: u32) -> Vec<VmThroughputRow> {
+/// Shared tier-throughput harness: one untimed run per tier primes the
+/// caches (and promotion / native lowering) and records the observation
+/// tuple, then the best of `trials` timed warm runs yields the
+/// throughput. The first tier listed is the identity baseline. For
+/// [`ExecTier::Native`] the `native_roots` symbols are lowered into the
+/// machine's region registry up front — the role the `native` runtime
+/// backend's post-commit sync plays when a full runtime is attached.
+fn measure_tiers(
+    exe: &mvobj::Executable,
+    tiers: &[ExecTier],
+    trials: u32,
+    native_roots: &[&str],
+) -> Vec<VmThroughputRow> {
     use multiverse::mvvm::Machine;
     use std::time::Instant;
-    let exe = vm_throughput_exe(iters);
     let measure = |tier: ExecTier| {
-        let mut m = Machine::boot(&exe);
+        let mut m = Machine::boot(exe);
         m.set_tier(tier);
-        let r = m.run_entry(&exe).expect("workload runs");
+        if tier == ExecTier::Native {
+            for root in native_roots {
+                let entry = exe.symbol(root).expect("native root symbol");
+                assert!(m.ensure_native(entry), "{root} must lower");
+            }
+        }
+        let r = m.run_entry(exe).expect("workload runs");
         let per_run = m.stats.instructions;
         let obs = (r, m.cycles(), m.stats);
         let mut best = u64::MAX;
         for _ in 0..trials.max(1) {
             let before = m.stats.instructions;
             let t = Instant::now();
-            let r2 = m.run_entry(&exe).expect("workload runs");
+            let r2 = m.run_entry(exe).expect("workload runs");
             let dt = t.elapsed().as_nanos() as u64;
             assert_eq!(r2, r, "{tier}: rerun must reproduce the result");
             assert_eq!(m.stats.instructions - before, per_run, "{tier}");
@@ -1021,10 +1032,10 @@ pub fn vm_throughput_data(iters: i64, trials: u32) -> Vec<VmThroughputRow> {
         }
         (per_run, best, obs)
     };
-    let (base_insns, base_nanos, base_obs) = measure(ExecTier::Tierless);
+    let (base_insns, base_nanos, base_obs) = measure(tiers[0]);
     let mut rows = Vec::new();
-    for tier in [ExecTier::Tierless, ExecTier::Block, ExecTier::Superblock] {
-        let (insns, nanos, obs) = if tier == ExecTier::Tierless {
+    for (i, &tier) in tiers.iter().enumerate() {
+        let (insns, nanos, obs) = if i == 0 {
             (base_insns, base_nanos, base_obs)
         } else {
             measure(tier)
@@ -1039,6 +1050,127 @@ pub fn vm_throughput_data(iters: i64, trials: u32) -> Vec<VmThroughputRow> {
         });
     }
     rows
+}
+
+/// Guest-instruction throughput of each [`ExecTier`] — including the
+/// native host-closure tier — on the [`vm_throughput_exe`] workload.
+/// Every row carries the identity verdict against tierless: a tier that
+/// gets faster by observing differently is a broken tier, not a fast
+/// one.
+pub fn vm_throughput_data(iters: i64, trials: u32) -> Vec<VmThroughputRow> {
+    let exe = vm_throughput_exe(iters);
+    measure_tiers(
+        &exe,
+        &[
+            ExecTier::Tierless,
+            ExecTier::Block,
+            ExecTier::Superblock,
+            ExecTier::Native,
+        ],
+        trials,
+        &["main", "bump"],
+    )
+}
+
+/// The native-tier gate workload: a hot register-only loop — no loads,
+/// no stores, no calls — so the whole body lowers into one pre-resolved
+/// micro-op region and the comparison isolates dispatch cost: block
+/// replay vs. superblock replay vs. native closure runs.
+pub fn native_hot_exe(iters: i64) -> mvobj::Executable {
+    use mvasm::{AluOp, Cond, Insn, Reg};
+    let mut a = mvasm::Assembler::new();
+    a.mov_ri(Reg::R0, 0);
+    a.mov_ri(Reg::R1, 0);
+    a.label("loop");
+    for i in 0..64 {
+        a.emit(Insn::AluRI {
+            op: AluOp::Add,
+            dst: Reg::R0,
+            imm: i + 1,
+        });
+        a.emit(Insn::AluRI {
+            op: AluOp::Xor,
+            dst: Reg::R0,
+            imm: 0x5A5A,
+        });
+        a.emit(Insn::AluRI {
+            op: AluOp::And,
+            dst: Reg::R0,
+            imm: 0xffff,
+        });
+    }
+    a.emit(Insn::AluRI {
+        op: AluOp::Add,
+        dst: Reg::R1,
+        imm: 1,
+    });
+    a.cmp_ri(Reg::R1, iters);
+    a.jcc("loop", Cond::Lt);
+    a.emit(Insn::Halt);
+    let blob = a.finish().expect("assemble");
+    let mut o = mvobj::Object::new("native_hot");
+    o.append(mvobj::SEC_TEXT, mvobj::SectionKind::Text, &blob.bytes);
+    o.define(mvobj::Symbol::func(
+        "main",
+        mvobj::SEC_TEXT,
+        0,
+        blob.bytes.len() as u64,
+    ));
+    for f in &blob.fixups {
+        let kind = match f.kind {
+            mvasm::FixupKind::Rel32 { next_insn } => mvobj::RelocKind::Rel32 {
+                next_insn: next_insn as u64,
+            },
+            mvasm::FixupKind::Abs64 => mvobj::RelocKind::Abs64,
+        };
+        o.relocate(mvobj::Reloc {
+            section: mvobj::SEC_TEXT.into(),
+            offset: f.offset as u64,
+            kind,
+            symbol: f.symbol.clone(),
+            addend: f.addend,
+        });
+    }
+    mvobj::link(&[o], &mvobj::Layout::default()).expect("link")
+}
+
+/// Native-tier gate sweep on [`native_hot_exe`]: tierless baseline,
+/// superblock (the best block-engine tier) and native, with identity
+/// verdicts against tierless.
+pub fn native_tier_data(iters: i64, trials: u32) -> Vec<VmThroughputRow> {
+    let exe = native_hot_exe(iters);
+    measure_tiers(
+        &exe,
+        &[ExecTier::Tierless, ExecTier::Superblock, ExecTier::Native],
+        trials,
+        &["main"],
+    )
+}
+
+/// Serializes [`native_tier_data`] rows as the `BENCH_native.json`
+/// document CI records for the perf trajectory.
+pub fn native_tier_json(rows: &[VmThroughputRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::from(
+        "{\n  \"bench\": \"native_tier\",\n  \"unit\": \"guest instructions / host second\",\n  \
+         \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"tier\": \"{}\", \"instructions\": {}, \"nanos\": {}, \
+             \"insns_per_sec\": {:.0}, \"speedup\": {:.2}, \"identical\": {}}}{}",
+            r.tier,
+            r.instructions,
+            r.nanos,
+            r.insns_per_sec,
+            r.speedup,
+            r.identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 /// Renders [`vm_throughput_data`] rows as table series.
@@ -1339,7 +1471,7 @@ mod tests {
             40_000
         };
         let rows = vm_throughput_data(iters, 3);
-        assert_eq!(rows.len(), 3, "one row per tier");
+        assert_eq!(rows.len(), 4, "one row per tier");
         for r in &rows {
             assert!(
                 r.identical,
@@ -1369,6 +1501,46 @@ mod tests {
                 rows[2].speedup >= 5.0,
                 "superblock {:.2}x below the 5x gate",
                 rows[2].speedup
+            );
+        }
+    }
+
+    /// CI's native-tier gate (see `.github/workflows/ci.yml`): on the
+    /// hot register-only workload the native tier must be
+    /// observation-identical to tierless always, and — on optimized
+    /// builds, which is how CI runs this gate — at least 2× the
+    /// superblock tier's host throughput. The rows are serialized to
+    /// `BENCH_native.json` at the workspace root for the perf
+    /// trajectory.
+    #[test]
+    fn native_tier_quick() {
+        let iters = if cfg!(debug_assertions) {
+            2_000
+        } else {
+            40_000
+        };
+        let rows = native_tier_data(iters, 3);
+        assert_eq!(rows.len(), 3, "tierless, superblock, native");
+        for r in &rows {
+            assert!(
+                r.identical,
+                "{}: diverged from tierless observation",
+                r.tier
+            );
+            assert!(r.insns_per_sec > 0.0);
+        }
+        assert_eq!(rows[2].tier, ExecTier::Native);
+        // Record the trajectory before gating, so a failed gate still
+        // leaves the measured rows behind for diagnosis.
+        let json = native_tier_json(&rows);
+        assert!(json.contains("\"bench\": \"native_tier\""));
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_native.json");
+        std::fs::write(path, &json).expect("write BENCH_native.json");
+        if !cfg!(debug_assertions) {
+            let over_superblock = rows[1].nanos as f64 / rows[2].nanos as f64;
+            assert!(
+                over_superblock >= 2.0,
+                "native {over_superblock:.2}x over superblock, below the 2x gate"
             );
         }
     }

@@ -100,9 +100,15 @@
 //!   --strategy S         concurrent-commit protocol for --smp commits:
 //!                        stop-machine (default) or breakpoint
 //!   --tier T             execution engine: tierless (default), block
-//!                        (tier-0 decode cache) or superblock (tier-1
-//!                        fused blocks) — observationally identical,
-//!                        tiered runs print the block-cache counters
+//!                        (tier-0 decode cache), superblock (tier-1
+//!                        fused blocks) or native (tier-2 lowered
+//!                        regions) — observationally identical, tiered
+//!                        runs print the block-cache counters
+//!   --backend B          runtime backend: mv64 (default) or native —
+//!                        identical committed images; the native backend
+//!                        additionally lowers live function bodies to
+//!                        pre-resolved regions after every commit and
+//!                        moves the machine to the native tier
 //! ```
 
 use multiverse::mvc::Options;
@@ -127,6 +133,7 @@ struct Args {
     smp: usize,
     strategy: mvrt::CommitStrategy,
     tier: multiverse::mvvm::ExecTier,
+    backend: Option<String>,
     smoke: bool,
     requests: u64,
     burst: u64,
@@ -159,6 +166,7 @@ fn parse_args() -> Result<Args, String> {
         smp: 0,
         strategy: mvrt::CommitStrategy::default(),
         tier: multiverse::mvvm::ExecTier::default(),
+        backend: None,
         smoke: false,
         requests: 96,
         burst: 24,
@@ -224,8 +232,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--tier" => {
                 let s = it.next().ok_or("--tier needs an engine name")?;
-                args.tier = multiverse::mvvm::ExecTier::parse(&s)
-                    .ok_or(format!("unknown tier `{s}` (tierless|block|superblock)"))?;
+                args.tier = multiverse::mvvm::ExecTier::parse(&s).ok_or(format!(
+                    "unknown tier `{s}` (tierless|block|superblock|native)"
+                ))?;
+            }
+            "--backend" => {
+                let s = it.next().ok_or("--backend needs a backend name")?;
+                if mvrt::backend::parse(&s).is_none() {
+                    return Err(format!("unknown backend `{s}` (mv64|native)"));
+                }
+                args.backend = Some(s);
             }
             "--timings" => args.timings = true,
             "--stats" => args.stats_flag = true,
@@ -433,6 +449,9 @@ fn print_quiesce(q: &mvrt::QuiesceReport) {
 fn boot_smp_workers(args: &Args, p: &Program, smp: usize) -> Result<multiverse::SmpWorld, String> {
     let mut w = p.boot_smp(smp);
     w.smp.set_tier(args.tier);
+    if let Some(b) = &args.backend {
+        w.set_backend(b).map_err(|e| e.to_string())?;
+    }
     for (k, v) in &args.sets {
         w.set(k, *v).map_err(|e| e.to_string())?;
         println!("set {k} = {v}");
@@ -484,12 +503,14 @@ fn cmd_run_smp(args: &Args, p: &Program) -> Result<(), String> {
         stats.instructions,
         w.smp.max_cycles()
     );
-    print_block_stats(args.tier, w.smp.block_stats());
+    print_block_stats(w.smp.machine.tier(), w.smp.block_stats());
+    print_native_stats(w.smp.machine.tier(), w.smp.machine.native_stats());
     Ok(())
 }
 
-/// Prints the block-cache counters after a tiered run (`--tier block` or
-/// `--tier superblock`); tierless runs have no block layer to report.
+/// Prints the block-cache counters after a tiered run (`--tier block`,
+/// `--tier superblock` or `--tier native`); tierless runs have no block
+/// layer to report.
 fn print_block_stats(tier: multiverse::mvvm::ExecTier, s: multiverse::mvvm::BlockCacheStats) {
     if tier == multiverse::mvvm::ExecTier::Tierless {
         return;
@@ -500,6 +521,18 @@ fn print_block_stats(tier: multiverse::mvvm::ExecTier, s: multiverse::mvvm::Bloc
     );
 }
 
+/// Prints the native-region counters after a native-tier run (`--tier
+/// native` or `--backend native`).
+fn print_native_stats(tier: multiverse::mvvm::ExecTier, n: multiverse::mvvm::NativeStats) {
+    if tier != multiverse::mvvm::ExecTier::Native {
+        return;
+    }
+    println!(
+        "native: {} regions ({} blocks) lowered, {} runs, {} insns, {} invalidated",
+        n.regions, n.blocks, n.runs, n.insns, n.invalidations
+    );
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let p = build(args)?;
     if args.smp > 0 {
@@ -507,6 +540,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     let mut world = p.boot();
     world.machine.set_tier(args.tier);
+    if let Some(b) = &args.backend {
+        world.set_backend(b).map_err(|e| e.to_string())?;
+    }
     for (k, v) in &args.sets {
         world.set(k, *v).map_err(|e| e.to_string())?;
         println!("set {k} = {v}");
@@ -531,7 +567,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         println!("{}", String::from_utf8_lossy(&out));
     }
     println!("result: {result} ({} cycles)", world.cycles());
-    print_block_stats(args.tier, world.machine.block_stats());
+    print_block_stats(world.machine.tier(), world.machine.block_stats());
+    print_native_stats(world.machine.tier(), world.machine.native_stats());
     if let Some(rt) = &world.rt {
         let s = rt.stats;
         if s.sites_patched > 0 {

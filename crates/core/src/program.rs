@@ -197,6 +197,24 @@ impl World {
         Ok(self.machine.call(addr, args)?)
     }
 
+    /// Installs a runtime backend by CLI name (`mv64`, `native`): moves
+    /// the machine to the backend's preferred execution tier and runs an
+    /// immediate reconcile so the tier is live before the next call, not
+    /// only after the next commit. Unknown names report an error; without
+    /// an attached runtime only the tier change applies.
+    pub fn set_backend(&mut self, name: &str) -> Result<(), BuildError> {
+        let backend = mvrt::backend::parse(name)
+            .ok_or_else(|| BuildError::NoSymbol(format!("backend `{name}`")))?;
+        if let Some(tier) = backend.preferred_tier() {
+            self.machine.set_tier(tier);
+        }
+        if let Some(rt) = self.rt.as_mut() {
+            rt.set_backend(backend);
+            rt.sync_backend(&mut self.machine);
+        }
+        Ok(())
+    }
+
     /// Reads a global (width/signedness per its type where described,
     /// else 8 bytes unsigned).
     pub fn get(&self, name: &str) -> Result<i64, BuildError> {
@@ -325,6 +343,23 @@ impl SmpWorld {
     /// Number of vCPUs.
     pub fn vcpus(&self) -> usize {
         self.smp.vcpus()
+    }
+
+    /// Installs a runtime backend by CLI name, like [`World::set_backend`].
+    /// Under SMP the native tier defers to the block engine whenever a
+    /// vCPU's sticky instruction cache is active, so this only changes
+    /// patch policy and post-commit bookkeeping, never SMP semantics.
+    pub fn set_backend(&mut self, name: &str) -> Result<(), BuildError> {
+        let backend = mvrt::backend::parse(name)
+            .ok_or_else(|| BuildError::NoSymbol(format!("backend `{name}`")))?;
+        if let Some(tier) = backend.preferred_tier() {
+            self.smp.machine.set_tier(tier);
+        }
+        if let Some(rt) = self.rt.as_mut() {
+            rt.set_backend(backend);
+            rt.sync_backend(&mut self.smp.machine);
+        }
+        Ok(())
     }
 
     /// Spawns function `name` on vCPU `i` with register arguments.

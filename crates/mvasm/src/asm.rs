@@ -317,7 +317,10 @@ impl Assembler {
                 PendingBranch::Jmp { .. } => 5,
                 PendingBranch::Jcc { .. } => 6,
             };
-            let rel = (target - (at as i64 + insn_len)) as i32;
+            // Blob offsets are bounded by the TooLarge check above, so
+            // the shared checked displacement cannot fail here.
+            let rel = crate::abi::checked_rel32((at as i64 + insn_len) as u64, target as u64)
+                .ok_or(AsmError::TooLarge)?;
             self.bytes[patch_at..patch_at + 4].copy_from_slice(&rel.to_le_bytes());
         }
         Ok(CodeBlob {

@@ -24,6 +24,7 @@
 //! ([`disasm()`](disasm())), and calling-convention descriptions ([`cc`]) including the
 //! custom all-callee-saved PV-Ops convention the paper discusses in §6.1.
 
+pub mod abi;
 pub mod asm;
 pub mod cc;
 pub mod decode;
@@ -32,6 +33,7 @@ pub mod encode;
 pub mod insn;
 pub mod reg;
 
+pub use abi::{AbiError, Backend, Mv64Backend, MV64};
 pub use asm::{Assembler, Fixup, FixupKind};
 pub use decode::{decode, DecodeError};
 pub use disasm::disasm;

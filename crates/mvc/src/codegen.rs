@@ -199,11 +199,8 @@ fn gen_once(
         g.a.finish()
             .map_err(|e| CompileError::Asm(format!("{}: {e}", f.name)))?;
     let mut blob = blob;
-    // Pad to ≥ 5 bytes so an entry jump always fits.
-    if blob.bytes.len() < mvasm::CALL_SITE_LEN {
-        blob.bytes
-            .extend(mvasm::nop_fill(mvasm::CALL_SITE_LEN - blob.bytes.len()));
-    }
+    // Pad to at least one call-site width so an entry jump always fits.
+    mvasm::MV64.pad_entry(&mut blob.bytes);
     let inline_len = compute_inline_len(&blob);
     Ok((
         GenFn {
@@ -728,7 +725,11 @@ impl<'a> Gen<'a> {
         // Spill every register-resident temp to its home slot (unless the
         // callee preserves registers). Constants in args need no spilling.
         if !callee_preserves {
-            let resident: Vec<(u32, Reg)> = self
+            // Sorted by temp id: `loc` is a HashMap, and both the store
+            // sequence and the free-list refill order below must not
+            // depend on its iteration order — identical sources must
+            // compile to identical bytes.
+            let mut resident: Vec<(u32, Reg)> = self
                 .loc
                 .iter()
                 .filter_map(|(&t, &l)| match l {
@@ -736,6 +737,7 @@ impl<'a> Gen<'a> {
                     Loc::Slot(_) => None,
                 })
                 .collect();
+            resident.sort_unstable_by_key(|&(t, _)| t);
             for (t, r) in resident {
                 let home = self.home_of(t);
                 self.a.emit(Insn::Store {

@@ -262,6 +262,19 @@ impl From<DescError> for RtError {
     }
 }
 
+impl From<mvasm::AbiError> for RtError {
+    fn from(e: mvasm::AbiError) -> RtError {
+        match e {
+            mvasm::AbiError::DisplacementOutOfRange { site, target } => {
+                RtError::DisplacementOutOfRange { site, target }
+            }
+            mvasm::AbiError::InlineTooLarge { body, site_len } => {
+                RtError::InlineTooLarge { body, site_len }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

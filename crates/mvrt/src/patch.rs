@@ -4,10 +4,16 @@
 //! write, restore the original protection, flush the instruction cache.
 //! The machine enforces both halves — unwritable text faults, and stale
 //! decoded instructions keep executing until the flush.
+//!
+//! Everything ISA-specific — call/jmp encodings, their widths, NOP fill,
+//! inline images, displacement reach — lives behind
+//! [`mvasm::abi::Backend`]; this module keeps only the memory-discipline
+//! primitives (transient protection windows, page math) and the
+//! byte-level site inspection helpers that need a machine to read from.
 
 use crate::error::RtError;
 use crate::stats::PatchStats;
-use mvasm::{Insn, CALL_SITE_LEN};
+use mvasm::{Backend, Insn};
 use mvobj::Prot;
 use mvvm::{Machine, PAGE_SIZE};
 
@@ -19,24 +25,50 @@ pub fn patch_bytes(
     bytes: &[u8],
     stats: &mut PatchStats,
 ) -> Result<(), RtError> {
+    patch_bytes_with(m, addr, bytes, stats, Prot::RW, Prot::RX)
+}
+
+/// [`patch_bytes`] with explicit window/restore protections — the knob a
+/// runtime backend turns when its patch discipline differs from the
+/// default transient-RW / restore-RX pair.
+pub fn patch_bytes_with(
+    m: &mut Machine,
+    addr: u64,
+    bytes: &[u8],
+    stats: &mut PatchStats,
+    window: Prot,
+    restore: Prot,
+) -> Result<(), RtError> {
     let len = bytes.len() as u64;
-    m.mem.mprotect(addr, len, Prot::RW)?;
+    m.mem.mprotect(addr, len, window)?;
     stats.mprotects += 1;
     m.mem.write(addr, bytes)?;
     stats.bytes_written += len;
-    m.mem.mprotect(addr, len, Prot::RX)?;
+    m.mem.mprotect(addr, len, restore)?;
     stats.mprotects += 1;
     m.mem.flush_icache(addr, len);
     stats.icache_flushes += 1;
     Ok(())
 }
 
-/// Decodes the instruction currently at `addr`.
-pub fn insn_at(m: &Machine, addr: u64) -> Result<Insn, RtError> {
-    let bytes = m.mem.read_vec(addr, 16).or_else(|_| {
-        // Near the end of a mapping fewer bytes may be readable.
-        m.mem.read_vec(addr, CALL_SITE_LEN)
-    })?;
+/// Decodes the instruction currently at `addr`, reading the longest
+/// available byte prefix up to the backend's maximum instruction length
+/// — near the end of a mapping fewer bytes may be readable, and an
+/// instruction is decodable from exactly its own encoding.
+pub fn insn_at(m: &Machine, abi: &dyn Backend, addr: u64) -> Result<Insn, RtError> {
+    let mut bytes = None;
+    for n in (1..=abi.max_insn_len()).rev() {
+        match m.mem.read_vec(addr, n) {
+            Ok(v) => {
+                bytes = Some(v);
+                break;
+            }
+            // Nothing readable at all: surface the memory error.
+            Err(e) if n == 1 => return Err(e.into()),
+            Err(_) => {}
+        }
+    }
+    let bytes = bytes.expect("loop either sets bytes or returns");
     let (insn, _) = mvasm::decode(&bytes).map_err(|e| RtError::SiteVerifyFailed {
         site: addr,
         what: format!("undecodable bytes: {e}"),
@@ -44,39 +76,16 @@ pub fn insn_at(m: &Machine, addr: u64) -> Result<Insn, RtError> {
     Ok(insn)
 }
 
-/// Resolved target of a `call rel32` at `site`.
-pub fn call_target(site: u64, rel: i32) -> u64 {
-    (site + CALL_SITE_LEN as u64).wrapping_add(rel as i64 as u64)
-}
-
-/// The `rel32` displacement from the end of the 5-byte instruction at
-/// `at` to `target`, checked against the ±2 GiB reach of the field
-/// instead of silently truncating.
-fn rel32(at: u64, target: u64) -> Result<i32, RtError> {
-    let rel = target as i128 - (at as i128 + CALL_SITE_LEN as i128);
-    i32::try_from(rel).map_err(|_| RtError::DisplacementOutOfRange { site: at, target })
-}
-
-/// Encodes a `call rel32` at `site` aimed at `target`.
-pub fn encode_call(site: u64, target: u64) -> Result<Vec<u8>, RtError> {
-    Ok(mvasm::encode(&Insn::CallRel {
-        rel: rel32(site, target)?,
-    }))
-}
-
-/// Encodes a `jmp rel32` at `at` aimed at `target` (the generic-entry
-/// completeness jump).
-pub fn encode_jmp(at: u64, target: u64) -> Result<Vec<u8>, RtError> {
-    Ok(mvasm::encode(&Insn::Jmp {
-        rel: rel32(at, target)?,
-    }))
-}
-
 /// Verifies that `site` currently holds a `call rel32` to `expected`.
-pub fn verify_call(m: &Machine, site: u64, expected: u64) -> Result<(), RtError> {
-    match insn_at(m, site)? {
+pub fn verify_call(
+    m: &Machine,
+    abi: &dyn Backend,
+    site: u64,
+    expected: u64,
+) -> Result<(), RtError> {
+    match insn_at(m, abi, site)? {
         Insn::CallRel { rel } => {
-            let t = call_target(site, rel);
+            let t = abi.call_target(site, rel);
             if t == expected {
                 Ok(())
             } else {
@@ -91,24 +100,6 @@ pub fn verify_call(m: &Machine, site: u64, expected: u64) -> Result<(), RtError>
             what: format!("found `{other}`, expected a call"),
         }),
     }
-}
-
-/// Builds the byte image for inlining `body` (already stripped of its
-/// final `ret`) into a site of `site_len` bytes, NOP-padding the rest.
-///
-/// An empty body yields a pure NOP sled — Fig. 3 c's "suitably large
-/// nop". A body longer than the site (a corrupt descriptor length) is an
-/// [`RtError::InlineTooLarge`] so the transaction can roll back.
-pub fn inline_image(body: &[u8], site_len: usize) -> Result<Vec<u8>, RtError> {
-    if body.len() > site_len {
-        return Err(RtError::InlineTooLarge {
-            body: body.len(),
-            site_len,
-        });
-    }
-    let mut v = body.to_vec();
-    v.extend(mvasm::nop_fill(site_len - body.len()));
-    Ok(v)
 }
 
 /// Page base addresses covered by the `len` bytes at `addr`.
@@ -132,7 +123,7 @@ pub struct PageBatch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvasm::Reg;
+    use mvasm::{Reg, MV64};
     use mvobj::{link, Layout, Object, SectionKind, Symbol};
     use mvvm::{CostModel, MachineConfig};
 
@@ -162,7 +153,7 @@ mod tests {
 
     #[test]
     fn verify_call_accepts_and_rejects() {
-        let mut code = encode_call(0, 100).unwrap(); // placeholder, rewritten below
+        let mut code = MV64.encode_call(0, 100).unwrap(); // placeholder, rewritten below
         code.extend(mvasm::encode(&Insn::Ret));
         let (mut m, text) = machine_with_text(&code);
         // Point the call at text+5 (the ret) so verification can succeed.
@@ -170,90 +161,34 @@ mod tests {
         patch_bytes(
             &mut m,
             text,
-            &encode_call(text, text + 5).unwrap(),
+            &MV64.encode_call(text, text + 5).unwrap(),
             &mut stats,
         )
         .unwrap();
-        verify_call(&m, text, text + 5).unwrap();
-        let err = verify_call(&m, text, text + 100).unwrap_err();
+        verify_call(&m, MV64, text, text + 5).unwrap();
+        let err = verify_call(&m, MV64, text, text + 100).unwrap_err();
         assert!(matches!(err, RtError::SiteVerifyFailed { .. }));
         // Not-a-call also fails verification.
-        patch_bytes(&mut m, text, &mvasm::nop_fill(5), &mut stats).unwrap();
-        assert!(verify_call(&m, text, text + 5).is_err());
+        patch_bytes(&mut m, text, &MV64.nop_fill(5), &mut stats).unwrap();
+        assert!(verify_call(&m, MV64, text, text + 5).is_err());
     }
 
     #[test]
-    fn call_encode_roundtrip() {
-        let site = 0x1_0000u64;
-        for target in [0x1_0005u64, 0x0_8000, 0x2_0000, site] {
-            let bytes = encode_call(site, target).unwrap();
-            let (insn, _) = mvasm::decode(&bytes).unwrap();
-            let Insn::CallRel { rel } = insn else {
-                panic!()
-            };
-            assert_eq!(call_target(site, rel), target);
-        }
-    }
-
-    #[test]
-    fn encoders_reject_out_of_range_displacements() {
-        // A site high enough that the most negative displacement still
-        // lands on a valid (non-wrapping) address.
+    fn abi_errors_convert_to_rt_errors() {
+        // The runtime's own error vocabulary survives the move of the
+        // encoders into mvasm::abi.
         let site = 4u64 << 30;
-        let next = site + CALL_SITE_LEN as u64;
-        // The extreme reachable targets still encode and round-trip…
-        for target in [
-            next + i32::MAX as u64,
-            next - i32::MIN.unsigned_abs() as u64,
-        ] {
-            let bytes = encode_call(site, target).unwrap();
-            let (Insn::CallRel { rel }, _) = mvasm::decode(&bytes).unwrap() else {
-                panic!()
-            };
-            assert_eq!(call_target(site, rel), target);
-        }
-        // …one byte past either end is rejected instead of wrapping into
-        // a wrong-but-valid rel32 (the old `as i32` truncation bug).
-        for target in [
-            next + i32::MAX as u64 + 1,
-            next - i32::MIN.unsigned_abs() as u64 - 1,
-            site + (4 << 30), // a clean 4 GiB away
-        ] {
-            let err = encode_call(site, target).unwrap_err();
-            assert!(
-                matches!(
-                    err,
-                    RtError::DisplacementOutOfRange { site: s, target: t }
-                        if s == site && t == target
-                ),
-                "{err:?}"
-            );
-            assert!(encode_jmp(site, target).is_err());
-        }
-    }
-
-    #[test]
-    fn inline_image_pads_with_nops() {
-        let body = mvasm::encode(&Insn::Cli);
-        let img = inline_image(&body, 5).unwrap();
-        assert_eq!(img.len(), 5);
-        let (first, n) = mvasm::decode(&img).unwrap();
-        assert_eq!(first, Insn::Cli);
-        let (second, _) = mvasm::decode(&img[n..]).unwrap();
-        assert!(second.is_nop());
-        // Empty body: a single wide NOP.
-        let img = inline_image(&[], 5).unwrap();
-        let (only, n) = mvasm::decode(&img).unwrap();
-        assert_eq!(only, Insn::Nop { len: 5 });
-        assert_eq!(n, 5);
-    }
-
-    #[test]
-    fn inline_image_rejects_oversized_bodies() {
-        // A corrupt descriptor body length must surface as an error, not
-        // abort the process via an assert.
-        let body = [0x90u8; 6];
-        let err = inline_image(&body, 5).unwrap_err();
+        let target = site + (4 << 30);
+        let err: RtError = MV64.encode_call(site, target).unwrap_err().into();
+        assert!(
+            matches!(
+                err,
+                RtError::DisplacementOutOfRange { site: s, target: t }
+                    if s == site && t == target
+            ),
+            "{err:?}"
+        );
+        let err: RtError = MV64.inline_image(&[0x90u8; 6], 5).unwrap_err().into();
         assert!(
             matches!(
                 err,
@@ -302,6 +237,16 @@ mod tests {
     }
 
     #[test]
+    fn patch_bytes_with_honors_custom_protections() {
+        let code = vec![0u8; 8];
+        let (mut m, text) = machine_with_text(&code);
+        let mut stats = PatchStats::default();
+        // Restore to RWX: the page stays writable after the patch.
+        patch_bytes_with(&mut m, text, &[0x90], &mut stats, Prot::RW, Prot::RWX).unwrap();
+        assert!(m.mem.write(text, &[0x90]).is_ok(), "restore prot ignored");
+    }
+
+    #[test]
     fn insn_at_reads_current_bytes() {
         let code = mvasm::encode(&Insn::MovRI {
             dst: Reg::R3,
@@ -309,11 +254,48 @@ mod tests {
         });
         let (m, text) = machine_with_text(&code);
         assert_eq!(
-            insn_at(&m, text).unwrap(),
+            insn_at(&m, MV64, text).unwrap(),
             Insn::MovRI {
                 dst: Reg::R3,
                 imm: 9
             }
         );
+    }
+
+    #[test]
+    fn insn_at_decodes_a_long_instruction_ending_at_the_mapping_boundary() {
+        // Regression: the old fallback jumped from a 16-byte read
+        // straight to a call-site-wide one, so a long instruction whose
+        // encoding ended exactly at the end of a mapping decoded from a
+        // truncated prefix and failed verification.
+        let insn = Insn::MovRI {
+            dst: Reg::R3,
+            imm: 0x1122_3344_5566_7788,
+        };
+        let code = mvasm::encode(&insn);
+        let len = code.len() as u64;
+        assert!(
+            code.len() > MV64.call_site_len(),
+            "need an encoding longer than a call site"
+        );
+        // Map exactly one page; the instruction's last byte is the last
+        // mapped byte, so every read longer than `len` fails.
+        let mut m = Machine::new(CostModel::default(), MachineConfig::default());
+        m.mem.map(0x1000, PAGE_SIZE, Prot::RX);
+        let addr = 0x1000 + PAGE_SIZE - len;
+        m.mem.write_unchecked(addr, &code);
+        m.mem.mprotect(0x1000, PAGE_SIZE, Prot::RX).unwrap();
+        assert!(
+            m.mem.read_vec(addr, MV64.max_insn_len()).is_err(),
+            "a max-length read must not fit, or the test proves nothing"
+        );
+        assert_eq!(insn_at(&m, MV64, addr).unwrap(), insn);
+    }
+
+    #[test]
+    fn insn_at_surfaces_the_memory_error_on_unmapped_addresses() {
+        let m = Machine::new(CostModel::default(), MachineConfig::default());
+        let err = insn_at(&m, MV64, 0xdead_0000).unwrap_err();
+        assert!(matches!(err, RtError::Mem(_)), "{err:?}");
     }
 }

@@ -52,9 +52,6 @@
 use crate::error::RtError;
 use crate::runtime::{CommitReport, PatchStrategy, Runtime};
 use crate::txn::TxnOp;
-use mvasm::encode::OP_TRAP;
-use mvasm::CALL_SITE_LEN;
-use mvobj::Prot;
 use mvtrace::EventKind;
 use mvvm::{FaultOp, Machine, MemError, SmpMachine, VcpuState};
 
@@ -187,9 +184,9 @@ fn danger_regions(rt: &Runtime, op: TxnOp) -> Result<Vec<(u64, u64)>, RtError> {
             continue;
         }
         let g = f.desc.generic;
-        // The completeness entry jump overwrites the first 5 generic
-        // bytes in every strategy.
-        regions.push((g, g + CALL_SITE_LEN as u64));
+        // The completeness entry jump overwrites the first call-site's
+        // worth of generic bytes in every strategy.
+        regions.push((g, g + rt.abi().call_site_len() as u64));
         if matches!(rt.strategy, PatchStrategy::CallSites) {
             if let Some(idxs) = rt.sites_of.get(&g) {
                 for &si in idxs {
@@ -237,13 +234,14 @@ fn vcpu_unsafe(smp: &SmpMachine, i: usize, regions: &[(u64, u64)]) -> bool {
 /// Writes `byte` over `addr` through the ordinary mprotect → write →
 /// mprotect → flush dance (fault-injectable like any other patch).
 fn poke_byte(rt: &mut Runtime, m: &mut Machine, addr: u64, byte: u8) -> Result<(), RtError> {
-    let r = crate::patch::patch_bytes(m, addr, &[byte], &mut rt.stats);
+    let (window, restore) = (rt.backend.window_prot(), rt.backend.restore_prot());
+    let r = crate::patch::patch_bytes_with(m, addr, &[byte], &mut rt.stats, window, restore);
     if r.is_err() {
         // A fault inside the dance can strand the page RW — W^X broken
         // under vCPUs that are still executing it. Relock best-effort,
         // outside the stats so probe-counted fault schedules of a clean
         // commit stay aligned with the failing run.
-        let _ = m.mem.mprotect(addr, 1, Prot::RX);
+        let _ = m.mem.mprotect(addr, 1, restore);
     }
     r
 }
@@ -441,6 +439,7 @@ impl Runtime {
 
         // Plant a trap byte over the first byte of every region,
         // journaled locally so a mid-plant fault can unwind.
+        let trap = self.abi().trap_byte();
         let mut planted: Vec<(u64, u8)> = Vec::new();
         for &(start, _) in &regions {
             let mut orig = [0u8; 1];
@@ -460,7 +459,7 @@ impl Runtime {
                     .mem
                     .read(start, &mut orig)
                     .map_err(RtError::from)
-                    .and_then(|()| poke_byte(self, &mut smp.machine, start, OP_TRAP))
+                    .and_then(|()| poke_byte(self, &mut smp.machine, start, trap))
             };
             if let Err(e) = r {
                 // The failed poke may already have landed the trap byte
@@ -468,7 +467,7 @@ impl Runtime {
                 // hand it to the unwind so the original byte comes back.
                 let mut cur = [0u8; 1];
                 if smp.machine.mem.read(start, &mut cur).is_ok()
-                    && cur[0] == OP_TRAP
+                    && cur[0] == trap
                     && cur[0] != orig[0]
                 {
                     planted.push((start, orig[0]));

@@ -7,12 +7,13 @@
 //! pass performs it; any apply failure rolls the journal back so the
 //! text segment is left byte-identical to its pre-call state.
 
+use crate::backend::{Mv64RtBackend, RtBackend};
 use crate::error::RtError;
 use crate::journal::Journal;
-use crate::patch::{encode_call, encode_jmp, inline_image, insn_at, verify_call, PageBatch};
+use crate::patch::{insn_at, verify_call, PageBatch};
 use crate::stats::{PatchStats, PatchTiming};
 use crate::txn::{RetryPolicy, TxnOp};
-use mvasm::{Insn, CALL_SITE_LEN};
+use mvasm::Insn;
 use mvobj::descriptor::{
     parse_callsites, parse_functions, parse_variables, CallsiteDesc, FnDesc, VarDesc, NOT_INLINABLE,
 };
@@ -20,6 +21,7 @@ use mvobj::{Executable, SEC_MV_CALLSITES, SEC_MV_FUNCTIONS, SEC_MV_VARIABLES};
 use mvtrace::{EventKind, TraceRing};
 use mvvm::Machine;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How commits install variants — the §7.1 design-space ablation.
@@ -152,6 +154,9 @@ pub struct Runtime {
     /// (default: off — commits then pay one branch per operation and
     /// nothing else).
     pub metrics: Option<crate::metrics::RtMetrics>,
+    /// The runtime backend: ABI encodings, patch protections and the
+    /// post-commit sync hook (default: [`Mv64RtBackend`]).
+    pub(crate) backend: Arc<dyn RtBackend>,
 }
 
 impl Runtime {
@@ -181,13 +186,15 @@ impl Runtime {
             .map(|(i, f)| (f.generic, i))
             .collect();
 
+        let backend: Arc<dyn RtBackend> = Arc::new(Mv64RtBackend);
+        let abi = backend.abi();
         let mut sites = Vec::with_capacity(site_descs.len());
         let mut sites_of: HashMap<u64, Vec<usize>> = HashMap::new();
         for desc in site_descs {
-            let insn = insn_at(m, desc.site)?;
+            let insn = insn_at(m, abi, desc.site)?;
             let (len, indirect) = match insn {
                 Insn::CallRel { rel } => {
-                    let t = crate::patch::call_target(desc.site, rel);
+                    let t = abi.call_target(desc.site, rel);
                     if t != desc.callee {
                         return Err(RtError::SiteVerifyFailed {
                             site: desc.site,
@@ -197,7 +204,7 @@ impl Runtime {
                             ),
                         });
                     }
-                    (CALL_SITE_LEN, false)
+                    (abi.call_site_len(), false)
                 }
                 Insn::CallMem { addr } => {
                     if addr != desc.callee {
@@ -256,7 +263,37 @@ impl Runtime {
             tracer: None,
             last_timing: PatchTiming::default(),
             metrics: None,
+            backend,
         })
+    }
+
+    /// The ISA contract of the installed backend — every encoding and
+    /// width decision in the runtime funnels through here.
+    #[inline]
+    pub(crate) fn abi(&self) -> &'static dyn mvasm::Backend {
+        self.backend.abi()
+    }
+
+    /// Installs a runtime backend (see [`crate::backend`]). Takes
+    /// effect on the next operation; for the native-tier backend the
+    /// first post-commit sync lowers the machine's live bodies. Call
+    /// [`Runtime::sync_backend`] to reconcile immediately.
+    pub fn set_backend(&mut self, backend: Arc<dyn RtBackend>) {
+        self.backend = backend;
+    }
+
+    /// Name of the installed backend (`"mv64"` unless changed).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Runs the backend's post-commit sync hook immediately — the same
+    /// reconciliation every successful commit performs. Useful right
+    /// after [`Runtime::set_backend`] so the machine does not wait for
+    /// the first commit to pick up the tier.
+    pub fn sync_backend(&mut self, m: &mut Machine) {
+        let b = Arc::clone(&self.backend);
+        b.sync(m, self);
     }
 
     /// Registers the `mv_rt_*` metric family in `registry` and starts
@@ -417,11 +454,12 @@ impl Runtime {
         // touching it. Inside a transaction the validate phase has
         // already byte-checked every site, so the apply pass skips the
         // re-decode.
+        let abi = self.abi();
         if self.txn.is_none() {
             match binding {
-                SiteBinding::Call(t) => verify_call(m, site, t)?,
+                SiteBinding::Call(t) => verify_call(m, abi, site, t)?,
                 SiteBinding::Original if !self.sites[si].indirect => {
-                    verify_call(m, site, self.sites[si].desc.callee)?
+                    verify_call(m, abi, site, self.sites[si].desc.callee)?
                 }
                 _ => {}
             }
@@ -430,11 +468,14 @@ impl Runtime {
             Some((body_addr, inline_len)) if (inline_len as usize) <= len => {
                 let body = m.mem.read_vec(body_addr, inline_len as usize)?;
                 self.stats.sites_inlined += 1;
-                (inline_image(&body, len)?, SiteBinding::Inlined(body_addr))
+                (
+                    abi.inline_image(&body, len)?,
+                    SiteBinding::Inlined(body_addr),
+                )
             }
             _ => {
-                let mut b = encode_call(site, target)?;
-                b.extend(mvasm::nop_fill(len - CALL_SITE_LEN));
+                let mut b = abi.encode_call(site, target)?;
+                b.extend(abi.nop_fill(len - abi.call_site_len()));
                 (b, SiteBinding::Call(target))
             }
         };
@@ -475,7 +516,7 @@ impl Runtime {
         // Completeness patching needs room for the entry jump; checked
         // up front so the error surfaces before any call site is touched
         // even on the unjournaled path.
-        if generic_size < CALL_SITE_LEN as u32 {
+        if generic_size < self.abi().call_site_len() as u32 {
             return Err(RtError::GenericTooSmall {
                 function: generic,
                 size: generic_size,
@@ -500,10 +541,10 @@ impl Runtime {
         // saving the prologue the first time. The jump is encoded before
         // the prologue save so an out-of-range variant cannot strand
         // bookkeeping on the unjournaled path.
-        let jmp = encode_jmp(generic, v_addr)?;
+        let jmp = self.abi().encode_jmp(generic, v_addr)?;
         let first_install = self.fns[fi].saved_prologue.is_none();
         if first_install {
-            let saved = m.mem.read_vec(generic, CALL_SITE_LEN)?;
+            let saved = m.mem.read_vec(generic, self.abi().call_site_len())?;
             self.fns[fi].saved_prologue = Some(saved);
         }
         if let Err(e) = self.write_text(m, generic, &jmp) {

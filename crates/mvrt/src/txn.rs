@@ -17,14 +17,13 @@
 
 use crate::error::{CommitPhase, RtError};
 use crate::journal::Span;
-use crate::patch::{encode_call, encode_jmp, pages_of, PageBatch};
+use crate::patch::{pages_of, PageBatch};
 use crate::runtime::{CommitReport, FnBinding, PatchStrategy, Runtime, SiteBinding};
 use crate::stats::PatchTiming;
-use mvasm::CALL_SITE_LEN;
 use mvobj::descriptor::NOT_INLINABLE;
-use mvobj::Prot;
 use mvtrace::{EventKind, Phase as TracePhase};
 use mvvm::{Machine, MemError, PAGE_SIZE};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Bounded retry for transient apply-phase faults.
@@ -305,8 +304,9 @@ impl Runtime {
         addr: u64,
         bytes: &[u8],
     ) -> Result<(), RtError> {
+        let (window, restore) = (self.backend.window_prot(), self.backend.restore_prot());
         if self.txn.is_none() {
-            crate::patch::patch_bytes(m, addr, bytes, &mut self.stats)?;
+            crate::patch::patch_bytes_with(m, addr, bytes, &mut self.stats, window, restore)?;
             return Ok(());
         }
         let mut old = [0u8; crate::journal::MAX_SPAN];
@@ -319,7 +319,7 @@ impl Runtime {
         if let Some(batch) = self.batch.as_mut() {
             for page in pages_of(addr, bytes.len()) {
                 if !batch.open.contains(&page) {
-                    m.mem.mprotect(page, PAGE_SIZE, Prot::RW)?;
+                    m.mem.mprotect(page, PAGE_SIZE, window)?;
                     self.stats.mprotects += 1;
                     batch.open.push(page);
                 }
@@ -330,7 +330,7 @@ impl Runtime {
             return Ok(());
         }
         let epoch_before = m.mem.flush_epoch();
-        crate::patch::patch_bytes(m, addr, bytes, &mut self.stats)?;
+        crate::patch::patch_bytes_with(m, addr, bytes, &mut self.stats, window, restore)?;
         if m.mem.flush_epoch() == epoch_before {
             return Err(RtError::IcacheStale { addr });
         }
@@ -348,9 +348,10 @@ impl Runtime {
         };
         let pages = batch.open.clone();
         let writes = batch.writes;
+        let restore = self.backend.restore_prot();
         for &page in &pages {
             let epoch_before = m.mem.flush_epoch();
-            m.mem.mprotect(page, PAGE_SIZE, Prot::RX)?;
+            m.mem.mprotect(page, PAGE_SIZE, restore)?;
             self.stats.mprotects += 1;
             m.mem.flush_icache(page, PAGE_SIZE);
             self.stats.icache_flushes += 1;
@@ -556,10 +557,10 @@ impl Runtime {
         if f.saved_prologue.is_none() {
             return false;
         }
-        let Ok(jmp) = encode_jmp(f.desc.generic, v.addr) else {
+        let Ok(jmp) = self.abi().encode_jmp(f.desc.generic, v.addr) else {
             return false;
         };
-        match m.mem.read_vec(f.desc.generic, CALL_SITE_LEN) {
+        match m.mem.read_vec(f.desc.generic, self.abi().call_site_len()) {
             Ok(cur) if cur == jmp => {}
             _ => return false,
         }
@@ -669,8 +670,9 @@ impl Runtime {
             SiteBinding::Original => current == &s.original[..],
             // Rewritten: must hold exactly the call we encoded.
             SiteBinding::Call(target) => {
-                let mut expected = encode_call(s.desc.site, target)?;
-                expected.extend(mvasm::nop_fill(s.len - CALL_SITE_LEN));
+                let abi = self.abi();
+                let mut expected = abi.encode_call(s.desc.site, target)?;
+                expected.extend(abi.nop_fill(s.len - abi.call_site_len()));
                 current == &expected[..]
             }
             // Inlined bodies are arbitrary bytes; readability (above) is
@@ -705,8 +707,9 @@ impl Runtime {
     fn validate_install(&self, m: &Machine, fi: usize, vi: usize) -> Result<(), RtError> {
         let f = &self.fns[fi];
         let v = &f.desc.variants[vi];
+        let abi = self.abi();
         // Completeness patching needs room for the entry jump.
-        if f.desc.generic_size < CALL_SITE_LEN as u32 {
+        if f.desc.generic_size < abi.call_site_len() as u32 {
             return Err(RtError::GenericTooSmall {
                 function: f.desc.generic,
                 size: f.desc.generic_size,
@@ -714,9 +717,9 @@ impl Runtime {
         }
         // Entry prologue must be readable, executable text, and the
         // variant must be within rel32 reach of the entry jump.
-        m.mem.read_vec(f.desc.generic, CALL_SITE_LEN)?;
+        m.mem.read_vec(f.desc.generic, abi.call_site_len())?;
         self.check_exec(m, f.desc.generic)?;
-        encode_jmp(f.desc.generic, v.addr)?;
+        abi.encode_jmp(f.desc.generic, v.addr)?;
         // The variant body must be readable if it may be inlined.
         let may_inline = self.inline_enabled && v.inline_len != NOT_INLINABLE;
         if may_inline {
@@ -729,7 +732,7 @@ impl Runtime {
                     // Sites that will be rewritten (not inlined) must be
                     // within rel32 reach of the variant.
                     if !(may_inline && (v.inline_len as usize) <= self.sites[si].len) {
-                        encode_call(self.sites[si].desc.site, v.addr)?;
+                        abi.encode_call(self.sites[si].desc.site, v.addr)?;
                     }
                 }
             }
@@ -749,7 +752,7 @@ impl Runtime {
             }
         }
         if f.saved_prologue.is_some() {
-            m.mem.read_vec(f.desc.generic, CALL_SITE_LEN)?;
+            m.mem.read_vec(f.desc.generic, self.abi().call_site_len())?;
             self.check_exec(m, f.desc.generic)?;
         }
         Ok(())
@@ -772,7 +775,7 @@ impl Runtime {
             for &si in idxs {
                 self.check_site_patchable(m, si)?;
                 if inline_len.is_none_or(|il| (il as usize) > self.sites[si].len) {
-                    encode_call(self.sites[si].desc.site, target)?;
+                    self.abi().encode_call(self.sites[si].desc.site, target)?;
                 }
             }
         }
@@ -962,6 +965,13 @@ impl Runtime {
                 other => break other,
             }
         };
+        // Backend post-commit hook: the image and bookkeeping are final
+        // for this operation, so the backend may reconcile tier state
+        // (e.g. re-lower native regions) against the new bindings.
+        if result.is_ok() {
+            let b = Arc::clone(&self.backend);
+            b.sync(m, self);
+        }
         self.emit(|| EventKind::CommitEnd { ok: result.is_ok() });
         let (stats, timing) = (self.stats, self.last_timing);
         if let Some(metrics) = self.metrics.as_mut() {

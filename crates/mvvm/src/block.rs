@@ -49,6 +49,11 @@ pub enum ExecTier {
     /// superblocks that fuse across direct `jmp`/`call` transfers into
     /// longer pre-decoded runs.
     Superblock,
+    /// Tier 2: superblock behavior plus pre-lowered whole-function
+    /// regions ([`crate::native`]) for explicitly registered entries —
+    /// the host-closure tier the `native` runtime backend drives through
+    /// the commit protocol.
+    Native,
 }
 
 impl ExecTier {
@@ -58,6 +63,7 @@ impl ExecTier {
             "tierless" | "off" => Some(ExecTier::Tierless),
             "block" | "tier0" => Some(ExecTier::Block),
             "superblock" | "tier1" => Some(ExecTier::Superblock),
+            "native" | "tier2" => Some(ExecTier::Native),
             _ => None,
         }
     }
@@ -69,6 +75,7 @@ impl std::fmt::Display for ExecTier {
             ExecTier::Tierless => "tierless",
             ExecTier::Block => "block",
             ExecTier::Superblock => "superblock",
+            ExecTier::Native => "native",
         })
     }
 }
@@ -221,8 +228,11 @@ mod tests {
         assert_eq!(ExecTier::parse("tier0"), Some(ExecTier::Block));
         assert_eq!(ExecTier::parse("superblock"), Some(ExecTier::Superblock));
         assert_eq!(ExecTier::parse("tier1"), Some(ExecTier::Superblock));
+        assert_eq!(ExecTier::parse("native"), Some(ExecTier::Native));
+        assert_eq!(ExecTier::parse("tier2"), Some(ExecTier::Native));
         assert_eq!(ExecTier::parse("bogus"), None);
         assert_eq!(ExecTier::Superblock.to_string(), "superblock");
+        assert_eq!(ExecTier::Native.to_string(), "native");
     }
 
     #[test]

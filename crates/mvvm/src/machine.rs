@@ -14,6 +14,7 @@ use crate::block::{
 use crate::cost::CostModel;
 use crate::cpu::Cpu;
 use crate::mem::{extend, MemError, Memory, PAGE_SIZE};
+use crate::native::{MicroOp, NativeFn, NativeRegistry, NativeStats, Seg};
 use crate::pred::Predictors;
 use crate::stats::Stats;
 use crate::tier0::{BlockCache, HOT_THRESHOLD};
@@ -175,6 +176,11 @@ pub struct Machine {
     /// The resident per-CPU block cache (tiered execution); swapped with
     /// [`CpuContext::blocks`] alongside the decode cache.
     blocks: BlockCache,
+    /// Lowered native-tier regions (see [`crate::native`]). Machine
+    /// state like the tier itself, not per-CPU state — the native tier
+    /// only runs in non-sticky (unicore) mode, where there is exactly
+    /// one CPU observing the shared text.
+    natives: NativeRegistry,
     /// `pc` at which a `jcc` would macro-fuse with the preceding `cmp`.
     fusable_at: Option<u64>,
     /// Sticky-icache mode: cached decodes are served *without* the
@@ -234,6 +240,7 @@ impl Machine {
             decode_cache: HashMap::new(),
             tier: ExecTier::Tierless,
             blocks: BlockCache::default(),
+            natives: NativeRegistry::default(),
             fusable_at: None,
             sticky_icache: false,
             trace: None,
@@ -253,15 +260,18 @@ impl Machine {
         self.mem.load(exe);
         self.decode_cache.clear();
         self.blocks.reset();
+        self.natives.clear();
     }
 
     /// Selects the execution engine (see [`ExecTier`]). Switching tiers
-    /// resets the resident block cache so every tier starts cold; the
-    /// per-instruction decode cache is untouched. The tier is machine
-    /// state shared by every vCPU of an SMP machine.
+    /// resets the resident block cache and the native-region registry so
+    /// every tier starts cold; the per-instruction decode cache is
+    /// untouched. The tier is machine state shared by every vCPU of an
+    /// SMP machine.
     pub fn set_tier(&mut self, tier: ExecTier) {
         if self.tier != tier {
             self.blocks.reset();
+            self.natives.clear();
         }
         self.tier = tier;
     }
@@ -356,12 +366,14 @@ impl Machine {
     pub fn invalidate_decode_range(&mut self, start: u64, end: u64) {
         self.decode_cache.retain(|&pc, _| pc < start || pc >= end);
         self.blocks.invalidate_range(start, end);
+        self.natives.invalidate_overlapping(start, end);
     }
 
     /// Drops every cached decoded instruction and block of this CPU.
     pub fn invalidate_decode_all(&mut self) {
         self.decode_cache.clear();
         self.blocks.invalidate_all();
+        self.natives.clear();
     }
 
     /// Exchanges the machine's resident per-CPU state (registers,
@@ -825,6 +837,7 @@ impl Machine {
                 Err(f) => (0, Err(f)),
             },
             ExecTier::Block | ExecTier::Superblock => self.step_blocks(budget),
+            ExecTier::Native => self.step_native(budget),
         }
     }
 
@@ -840,44 +853,258 @@ impl Machine {
             if retired > 0 && pc == RET_SENTINEL {
                 break;
             }
-            let cached = self
-                .blocks
-                .last(pc)
-                .cloned()
-                .map(|b| (b, true))
-                .or_else(|| self.blocks.get(pc).cloned().map(|b| (b, false)));
-            let (n, r) = match cached {
-                Some((b, _)) if !self.block_valid(&b) => {
-                    self.blocks.evict(pc);
-                    self.record_block(pc, budget - retired, false)
-                }
-                Some((b, from_last)) => {
-                    if !from_last
-                        && self.tier == ExecTier::Superblock
-                        && !b.superblock
-                        && self.blocks.bump_hot(pc) >= HOT_THRESHOLD
-                    {
-                        // Hot tier-0 entry: re-record as a fused
-                        // superblock (the recording replaces the map
-                        // entry at `pc`).
-                        self.blocks.stats.promotions += 1;
-                        self.record_block(pc, budget - retired, true)
-                    } else {
-                        self.blocks.stats.hits += 1;
-                        if !from_last {
-                            self.blocks.set_last(pc, b.clone());
-                        }
-                        self.replay_block(&b, budget - retired)
-                    }
-                }
-                None => self.record_block(pc, budget - retired, false),
-            };
+            let (n, r) = self.step_block_once(budget - retired);
             retired += n;
             if r.is_err() {
                 return (retired, r);
             }
         }
         (retired, Ok(()))
+    }
+
+    /// One iteration of the block-tier loop at the current `pc`: replay
+    /// the cached block if present and valid, record one otherwise.
+    fn step_block_once(&mut self, budget: u64) -> (u64, Result<(), Fault>) {
+        let pc = self.cpu.pc;
+        let cached = self
+            .blocks
+            .last(pc)
+            .cloned()
+            .map(|b| (b, true))
+            .or_else(|| self.blocks.get(pc).cloned().map(|b| (b, false)));
+        match cached {
+            Some((b, _)) if !self.block_valid(&b) => {
+                self.blocks.evict(pc);
+                self.record_block(pc, budget, false)
+            }
+            Some((b, from_last)) => {
+                if !from_last
+                    && matches!(self.tier, ExecTier::Superblock | ExecTier::Native)
+                    && !b.superblock
+                    && self.blocks.bump_hot(pc) >= HOT_THRESHOLD
+                {
+                    // Hot tier-0 entry: re-record as a fused
+                    // superblock (the recording replaces the map
+                    // entry at `pc`).
+                    self.blocks.stats.promotions += 1;
+                    self.record_block(pc, budget, true)
+                } else {
+                    self.blocks.stats.hits += 1;
+                    if !from_last {
+                        self.blocks.set_last(pc, b.clone());
+                    }
+                    self.replay_block(&b, budget)
+                }
+            }
+            None => self.record_block(pc, budget, false),
+        }
+    }
+
+    /// The native-tier loop (see [`crate::native`]): run lowered regions
+    /// where registered and valid, fall back to the block engine
+    /// everywhere else. With a tracer or profiler attached, or in
+    /// sticky-icache (SMP) mode, the native fast path is bypassed
+    /// entirely — per-op observation and shootdown-precise invalidation
+    /// belong to the block engine.
+    fn step_native(&mut self, budget: u64) -> (u64, Result<(), Fault>) {
+        let plain = self.trace.is_none() && self.profiler.is_none();
+        if !plain || self.sticky_icache || self.natives.is_empty() {
+            return self.step_blocks(budget);
+        }
+        let mut retired = 0u64;
+        while retired < budget && !self.cpu.halted {
+            let pc = self.cpu.pc;
+            if retired > 0 && pc == RET_SENTINEL {
+                break;
+            }
+            let mut ran_native = false;
+            if let Some(nf) = self.natives.get(pc).cloned() {
+                if self.native_valid(&nf) {
+                    let (n, r) = self.run_native(&nf, budget - retired);
+                    retired += n;
+                    if r.is_err() {
+                        return (retired, r);
+                    }
+                    ran_native = n > 0;
+                } else {
+                    self.natives.invalidate_region(nf.entry);
+                }
+            }
+            if ran_native {
+                continue;
+            }
+            // No region here (or not enough budget for a whole native
+            // block): one block-engine iteration, then try again.
+            let (n, r) = self.step_block_once(budget - retired);
+            retired += n;
+            if r.is_err() {
+                return (retired, r);
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        (retired, Ok(()))
+    }
+
+    /// Executes lowered blocks of `nf` while control stays inside the
+    /// region and the budget covers whole blocks. Returns instructions
+    /// retired plus the first fault, if any.
+    fn run_native(&mut self, nf: &NativeFn, budget: u64) -> (u64, Result<(), Fault>) {
+        let mut retired = 0u64;
+        let mut runs = 0u64;
+        let mut result = Ok(());
+        'outer: while !self.cpu.halted {
+            let pc = self.cpu.pc;
+            let Some(&bi) = nf.by_pc.get(&pc) else { break };
+            let b = &nf.blocks[bi];
+            if b.insns as u64 > budget - retired {
+                break;
+            }
+            if retired > 0 && !self.native_valid(nf) {
+                break;
+            }
+            runs += 1;
+            for seg in &b.segs {
+                match seg {
+                    Seg::Fast(fs) => {
+                        for op in fs.micro.iter() {
+                            self.exec_micro(op, &fs.chains);
+                        }
+                        self.cpu.tsc += fs.counts.cycles(&self.cost);
+                        self.stats.instructions += fs.insns as u64;
+                        self.fusable_at = fs.fuse_next;
+                        self.cpu.pc = fs.next_pc;
+                        retired += fs.insns as u64;
+                    }
+                    Seg::Slow { pc, insn } => {
+                        debug_assert_eq!(self.cpu.pc, *pc, "native run left the lowered trace");
+                        if let Err(f) = self.exec_insn(*pc, *insn) {
+                            result = Err(f);
+                            break 'outer;
+                        }
+                        retired += 1;
+                    }
+                }
+            }
+        }
+        self.natives.stats.runs += runs;
+        self.natives.stats.insns += retired;
+        (retired, result)
+    }
+
+    /// One micro-op of a native fast segment. Semantics mirror the
+    /// corresponding [`Machine::exec_fast`] arms exactly; cycle charges
+    /// are pre-classified in the segment's [`crate::native::CostCounts`].
+    /// `chains` is the owning segment's [`MicroOp::ChainRI`] step table.
+    #[inline]
+    fn exec_micro(&mut self, op: &MicroOp, chains: &[crate::native::AluChain]) {
+        #[inline]
+        fn ix(r: u8) -> usize {
+            r as usize & (Reg::COUNT - 1)
+        }
+        match *op {
+            MicroOp::MovRR { dst, src } => self.cpu.regs[ix(dst)] = self.cpu.regs[ix(src)],
+            MicroOp::MovRI { dst, imm } => self.cpu.regs[ix(dst)] = imm,
+            MicroOp::AluRR { op, dst, src } => {
+                let (v, _) = alu_fast(
+                    op,
+                    self.cpu.regs[ix(dst)],
+                    self.cpu.regs[ix(src)],
+                    &self.cost,
+                );
+                self.cpu.regs[ix(dst)] = v;
+            }
+            MicroOp::AluRI { op, dst, imm } => {
+                let (v, _) = alu_fast(op, self.cpu.regs[ix(dst)], imm, &self.cost);
+                self.cpu.regs[ix(dst)] = v;
+            }
+            MicroOp::Alu2RI {
+                op1,
+                dst1,
+                imm1,
+                op2,
+                dst2,
+                imm2,
+            } => {
+                let (v, _) = alu_fast(op1, self.cpu.regs[ix(dst1)], imm1, &self.cost);
+                self.cpu.regs[ix(dst1)] = v;
+                let (v, _) = alu_fast(op2, self.cpu.regs[ix(dst2)], imm2, &self.cost);
+                self.cpu.regs[ix(dst2)] = v;
+            }
+            MicroOp::CmpRR { a, b } => self.cpu.cmp = (self.cpu.regs[ix(a)], self.cpu.regs[ix(b)]),
+            MicroOp::CmpRI { a, imm } => self.cpu.cmp = (self.cpu.regs[ix(a)], imm),
+            MicroOp::Setcc { cc, dst } => {
+                let (a, b) = self.cpu.cmp;
+                self.cpu.regs[ix(dst)] = cc.eval(a, b) as u64;
+            }
+            MicroOp::ChainRI { dst, chain } => {
+                // The chained value lives in a host register for the
+                // whole run — no register-file round trip between steps.
+                let d = ix(dst);
+                let mut v = self.cpu.regs[d];
+                for &(op, imm) in chains[chain as usize].iter() {
+                    v = crate::native::alu_value(op, v, imm);
+                }
+                self.cpu.regs[d] = v;
+            }
+        }
+    }
+
+    /// `true` if the lowered region `nf` may still run: every page it
+    /// was lowered from keeps its `code_version`, with the same O(1)
+    /// flush-epoch fast path the block caches use.
+    fn native_valid(&self, nf: &NativeFn) -> bool {
+        let epoch = self.mem.flush_epoch();
+        if nf.epoch.get() == epoch {
+            return true;
+        }
+        if nf
+            .pages
+            .iter()
+            .all(|&(page, ver)| self.mem.code_version(page * PAGE_SIZE) == ver)
+        {
+            nf.epoch.set(epoch);
+            return true;
+        }
+        false
+    }
+
+    /// Lowers and registers the function region at `entry` for the
+    /// native tier, if it is not already covered by a valid region.
+    /// Returns `false` when nothing executable could be lowered there.
+    /// Idempotent; the `native` runtime backend calls this from its
+    /// post-commit sync for every installed variant.
+    pub fn ensure_native(&mut self, entry: u64) -> bool {
+        if let Some(nf) = self.natives.get(entry).cloned() {
+            if self.native_valid(&nf) {
+                return true;
+            }
+            self.natives.invalidate_region(nf.entry);
+        }
+        match crate::native::lower(&self.mem, entry) {
+            Some(nf) => {
+                self.natives.register(Rc::new(nf));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops lowered regions whose registered entry fails `keep` (the
+    /// reconciliation half of the `native` backend's post-commit sync).
+    pub fn retain_native(&mut self, keep: impl Fn(u64) -> bool) {
+        self.natives.retain_regions(keep);
+    }
+
+    /// `true` if a lowered region covers a block starting at `pc`.
+    pub fn has_native(&self, pc: u64) -> bool {
+        self.natives.get(pc).is_some()
+    }
+
+    /// Counters of the native tier (see [`NativeStats`]).
+    pub fn native_stats(&self) -> NativeStats {
+        self.natives.stats
     }
 
     /// Re-executes the memoized ops of `b`. Stops at the budget or at a
@@ -1767,6 +1994,45 @@ mod tests {
         let base = run(ExecTier::Tierless);
         assert_eq!(run(ExecTier::Block), base, "tier-0 diverged");
         assert_eq!(run(ExecTier::Superblock), base, "superblock diverged");
+        // With a tracer attached the native tier must bypass its fast
+        // path and still be observation-identical.
+        assert_eq!(run(ExecTier::Native), base, "native (traced) diverged");
+    }
+
+    #[test]
+    fn native_tier_is_observation_identical_and_actually_runs() {
+        let run = |native: bool| {
+            let exe = tier_workload();
+            let mut m = Machine::boot(&exe);
+            if native {
+                m.set_tier(ExecTier::Native);
+                assert!(m.ensure_native(exe.entry), "entry must lower");
+                assert!(m.has_native(exe.entry));
+            }
+            let r = m.run_entry(&exe).unwrap();
+            (r, m.cycles(), m.stats, m.native_stats())
+        };
+        let (r0, c0, s0, _) = run(false);
+        let (r1, c1, s1, n) = run(true);
+        assert_eq!((r1, c1, s1), (r0, c0, s0), "native diverged");
+        assert!(n.runs > 0, "native fast path never ran: {n:?}");
+        assert!(n.insns > 0);
+        assert!(n.regions >= 1 && n.blocks >= 2);
+    }
+
+    #[test]
+    fn native_region_survives_retain_and_reconciles() {
+        let exe = tier_workload();
+        let mut m = Machine::boot(&exe);
+        m.set_tier(ExecTier::Native);
+        assert!(m.ensure_native(exe.entry));
+        // ensure is idempotent: no second region for the same entry.
+        assert!(m.ensure_native(exe.entry));
+        assert_eq!(m.native_stats().regions, 1);
+        m.retain_native(|e| e != exe.entry);
+        assert!(!m.has_native(exe.entry), "retain must drop the region");
+        assert!(m.ensure_native(exe.entry));
+        assert_eq!(m.native_stats().regions, 2, "re-lowered after drop");
     }
 
     #[test]
@@ -1786,7 +2052,12 @@ mod tests {
         // The stale-icache discipline must survive the block tiers: a
         // patch without a flush stays stale, the flush makes exactly the
         // patched code fresh.
-        for tier in [ExecTier::Tierless, ExecTier::Block, ExecTier::Superblock] {
+        for tier in [
+            ExecTier::Tierless,
+            ExecTier::Block,
+            ExecTier::Superblock,
+            ExecTier::Native,
+        ] {
             let mut a = mvasm::Assembler::new();
             a.label("f");
             a.mov_ri(Reg::R0, 1);
@@ -1798,6 +2069,9 @@ mod tests {
             let mut m = Machine::boot(&exe);
             m.set_tier(tier);
             let f = exe.symbol("f").unwrap();
+            if tier == ExecTier::Native {
+                assert!(m.ensure_native(f), "lower the patch target");
+            }
             assert_eq!(m.call(f, &[]).unwrap(), 1, "{tier}");
 
             let patched = mvasm::encode(&Insn::MovRI {

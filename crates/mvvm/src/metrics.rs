@@ -26,6 +26,11 @@ pub struct VmMetrics {
     block_misses: Counter,
     block_evictions: Counter,
     block_promotions: Counter,
+    native_regions: Counter,
+    native_blocks: Counter,
+    native_runs: Counter,
+    native_insns: Counter,
+    native_invalidations: Counter,
     /// Per-vCPU cycle counters, registered lazily on first SMP sync.
     vcpu_cycles: Vec<Counter>,
 }
@@ -67,6 +72,26 @@ impl VmMetrics {
                 "mv_vm_block_superblock_promotions_total",
                 "Hot blocks re-recorded as fused superblocks",
             ),
+            native_regions: registry.counter(
+                "mv_vm_native_regions_total",
+                "Function regions lowered for the native tier",
+            ),
+            native_blocks: registry.counter(
+                "mv_vm_native_blocks_total",
+                "Blocks lowered across all native regions",
+            ),
+            native_runs: registry.counter(
+                "mv_vm_native_runs_total",
+                "Native block executions (one per block entered)",
+            ),
+            native_insns: registry.counter(
+                "mv_vm_native_insns_total",
+                "Guest instructions retired through native segments",
+            ),
+            native_invalidations: registry.counter(
+                "mv_vm_native_invalidations_total",
+                "Native regions dropped after a code page changed",
+            ),
             vcpu_cycles: Vec::new(),
         }
     }
@@ -78,11 +103,20 @@ impl VmMetrics {
         self.block_promotions.store_max(b.promotions);
     }
 
+    fn record_native(&mut self, n: crate::native::NativeStats) {
+        self.native_regions.store_max(n.regions);
+        self.native_blocks.store_max(n.blocks);
+        self.native_runs.store_max(n.runs);
+        self.native_insns.store_max(n.insns);
+        self.native_invalidations.store_max(n.invalidations);
+    }
+
     /// Syncs counters from a uniprocessor machine.
     pub fn record_machine(&mut self, m: &Machine) {
         self.instructions.store_max(m.stats.instructions);
         self.cycles.store_max(m.cycles());
         self.record_blocks(m.block_stats());
+        self.record_native(m.native_stats());
     }
 
     /// Syncs counters from an SMP machine: aggregate stats plus a
