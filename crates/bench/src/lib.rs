@@ -1212,6 +1212,141 @@ pub fn vm_throughput_json(rows: &[VmThroughputRow]) -> String {
     s
 }
 
+/// One row of [`vexec_data`]: the E14 grid configuration run through a
+/// single variational pass versus leaf-by-leaf enumeration.
+#[derive(Clone, Debug)]
+pub struct VexecRow {
+    /// Human label, e.g. `"4 fns × 3^4 assignments"`.
+    pub config: String,
+    /// Leaves in the switch cross product (always fully covered).
+    pub leaves: usize,
+    /// Instructions retired by the single variational pass.
+    pub shared_steps: u64,
+    /// Instructions retired replaying every leaf via enumerate-and-rerun.
+    pub enum_insns: u64,
+    /// `enum_insns / shared_steps` — the sharing win.
+    pub speedup: f64,
+    /// Context splits taken during the pass.
+    pub splits: u64,
+    /// Context re-joins during the pass.
+    pub joins: u64,
+    /// Peak simultaneously-live contexts.
+    pub max_live: usize,
+    /// `true` iff every leaf's full architectural state matched its
+    /// enumerated rerun (the leaf-equivalence check).
+    pub equivalent: bool,
+}
+
+/// E16: variational execution over the E14 compile-cost grid. Each
+/// configuration is booted uncommitted, `main` (which calls every
+/// multiversed function) runs once under [`multiverse::World::vexec_in`]
+/// across the whole recovered cross product, and then every leaf is
+/// replayed via [`multiverse::enumerate_check`] — both to certify
+/// equivalence and to price the enumeration baseline in the same
+/// deterministic instruction currency.
+pub fn vexec_data(configs: &[(usize, usize, usize)]) -> Vec<VexecRow> {
+    use multiverse::mvc::Options;
+    let mut rows = Vec::new();
+    for &(n_funcs, n_switches, domain) in configs {
+        let src = compile_cost_src(n_funcs, n_switches, domain);
+        let opts = Options {
+            variant_limit: domain.pow(n_switches as u32) * 2,
+            ..Options::default()
+        };
+        let program = Program::build_with(&[("grid.c", &src)], &opts).expect("build grid");
+        let w = program.boot();
+        let space = w.config_space().expect("recover space");
+        let report = w.vexec_in(&space, "main", &[]).expect("vexec");
+        assert_eq!(report.leaves.len(), space.leaf_count(), "full coverage");
+        let chk = multiverse::enumerate_check(&program, &space, "main", &[], &report);
+        let (equivalent, enum_insns) = match chk {
+            Ok(c) => (c.leaves_checked == space.leaf_count(), c.insns),
+            Err(_) => (false, 0),
+        };
+        let s = &report.stats;
+        rows.push(VexecRow {
+            config: format!("{n_funcs} fns × {domain}^{n_switches} assignments"),
+            leaves: space.leaf_count(),
+            shared_steps: s.steps,
+            enum_insns,
+            speedup: if s.steps > 0 {
+                enum_insns as f64 / s.steps as f64
+            } else {
+                0.0
+            },
+            splits: s.splits,
+            joins: s.joins,
+            max_live: s.max_live as usize,
+            equivalent,
+        });
+    }
+    rows
+}
+
+/// Renders [`vexec_data`] rows as an aligned table (E16).
+pub fn render_vexec_table(rows: &[VexecRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<28} {:>6} {:>12} {:>12} {:>8} {:>7} {:>7} {:>5} {:>6}",
+        "configuration",
+        "leaves",
+        "shared",
+        "enumerated",
+        "speedup",
+        "splits",
+        "joins",
+        "live",
+        "equiv"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<28} {:>6} {:>12} {:>12} {:>7.1}x {:>7} {:>7} {:>5} {:>6}",
+            r.config,
+            r.leaves,
+            r.shared_steps,
+            r.enum_insns,
+            r.speedup,
+            r.splits,
+            r.joins,
+            r.max_live,
+            if r.equivalent { "yes" } else { "NO" }
+        );
+    }
+    s
+}
+
+/// Serializes [`vexec_data`] rows as the `BENCH_vexec.json` document CI
+/// records for the perf trajectory.
+pub fn vexec_json(rows: &[VexecRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::from(
+        "{\n  \"bench\": \"vexec\",\n  \"unit\": \"guest instructions\",\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"config\": \"{}\", \"leaves\": {}, \"shared_steps\": {}, \
+             \"enum_insns\": {}, \"speedup\": {:.2}, \"splits\": {}, \"joins\": {}, \
+             \"max_live\": {}, \"equivalent\": {}}}{}",
+            r.config,
+            r.leaves,
+            r.shared_steps,
+            r.enum_insns,
+            r.speedup,
+            r.splits,
+            r.joins,
+            r.max_live,
+            r.equivalent,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1543,6 +1678,43 @@ mod tests {
                 "native {over_superblock:.2}x over superblock, below the 2x gate"
             );
         }
+    }
+
+    /// CI's variational-execution gate (see `.github/workflows/ci.yml`):
+    /// on the E14 compile-cost grid, the single vexec pass must cover
+    /// the whole cross product with full-state leaf equivalence against
+    /// enumerate-and-rerun, and on the widest-domain configuration the
+    /// shared pass must retire at least 3× fewer instructions than the
+    /// enumeration it replaces. The rows are serialized to
+    /// `BENCH_vexec.json` at the workspace root for the perf trajectory.
+    #[test]
+    fn vexec_quick() {
+        let configs = [
+            (4, 3, 2), // 4 fns × 2^3 =  8 leaves
+            (4, 5, 2), // 4 fns × 2^5 = 32 leaves
+            (4, 4, 3), // 4 fns × 3^4 = 81 leaves (widest domain)
+            (8, 6, 2), // 8 fns × 2^6 = 64 leaves
+        ];
+        let rows = vexec_data(&configs);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.equivalent, "{}: leaf-equivalence failed", r.config);
+            assert!(r.splits > 0 && r.joins > 0, "{}: {r:?}", r.config);
+        }
+        // Record the trajectory before gating, so a failed gate still
+        // leaves the measured rows behind for diagnosis.
+        let json = vexec_json(&rows);
+        assert!(json.contains("\"bench\": \"vexec\""));
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_vexec.json");
+        std::fs::write(path, &json).expect("write BENCH_vexec.json");
+        let widest = rows.iter().max_by_key(|r| r.leaves).unwrap();
+        assert_eq!(widest.leaves, 81, "3^4 is the widest E14 domain");
+        assert!(
+            widest.speedup >= 3.0,
+            "shared-prefix speedup {:.2}x below the 3x gate on {}",
+            widest.speedup,
+            widest.config
+        );
     }
 
     #[test]

@@ -69,6 +69,22 @@
 //!                                   or the versioned JSON snapshot with
 //!                                   --json; --smoke uses the built-in
 //!                                   storm kernel (no input files)
+//! mvcc vexec  [<file.c>…] [--smoke] [--call F] [--configs all|sampled]
+//!             [--oracle] [--set VAR=V]…
+//!                                   run F (default main) under *every*
+//!                                   switch assignment in one variational
+//!                                   pass and print the per-configuration
+//!                                   observations plus the sharing
+//!                                   statistics; --configs picks how many
+//!                                   leaves the enumerate-and-rerun
+//!                                   cross-check replays (all = every
+//!                                   leaf, sampled = a deterministic
+//!                                   subset); --oracle additionally
+//!                                   replays each leaf through set +
+//!                                   commit + call and asserts the
+//!                                   committed variants observe the same
+//!                                   exit/output; --smoke uses a built-in
+//!                                   three-switch kernel (no input files)
 //! mvcc serve  <file.c>… [--smp N] [--call F] [--strategy S]
 //!                                   boot an SMP world and drive the mvd
 //!                                   commit daemon from stdin, one command
@@ -133,7 +149,13 @@ struct Args {
     smp: usize,
     strategy: mvrt::CommitStrategy,
     tier: multiverse::mvvm::ExecTier,
+    /// `--tier` was given on the command line (as opposed to defaulted),
+    /// which makes a conflicting `--backend` an error instead of a
+    /// silent override.
+    tier_explicit: bool,
     backend: Option<String>,
+    configs: String,
+    oracle: bool,
     smoke: bool,
     requests: u64,
     burst: u64,
@@ -166,7 +188,10 @@ fn parse_args() -> Result<Args, String> {
         smp: 0,
         strategy: mvrt::CommitStrategy::default(),
         tier: multiverse::mvvm::ExecTier::default(),
+        tier_explicit: false,
         backend: None,
+        configs: "all".to_string(),
+        oracle: false,
         smoke: false,
         requests: 96,
         burst: 24,
@@ -235,6 +260,7 @@ fn parse_args() -> Result<Args, String> {
                 args.tier = multiverse::mvvm::ExecTier::parse(&s).ok_or(format!(
                     "unknown tier `{s}` (tierless|block|superblock|native)"
                 ))?;
+                args.tier_explicit = true;
             }
             "--backend" => {
                 let s = it.next().ok_or("--backend needs a backend name")?;
@@ -243,6 +269,14 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.backend = Some(s);
             }
+            "--configs" => {
+                let s = it.next().ok_or("--configs needs a mode (all|sampled)")?;
+                if s != "all" && s != "sampled" {
+                    return Err(format!("unknown --configs mode `{s}` (all|sampled)"));
+                }
+                args.configs = s;
+            }
+            "--oracle" => args.oracle = true,
             "--timings" => args.timings = true,
             "--stats" => args.stats_flag = true,
             "--smoke" => args.smoke = true,
@@ -274,7 +308,26 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.files.is_empty() && !(matches!(args.cmd.as_str(), "storm" | "metrics") && args.smoke) {
+    // A backend that forces an execution tier contradicts an explicit
+    // `--tier` asking for a different one. Historically the backend won
+    // silently (set_backend runs after set_tier); fail fast instead and
+    // name both flags.
+    if args.tier_explicit {
+        if let Some(b) = &args.backend {
+            if let Some(pt) = mvrt::backend::parse(b).and_then(|bk| bk.preferred_tier()) {
+                if pt != args.tier {
+                    return Err(format!(
+                        "conflicting flags: `--backend {b}` forces the `{pt}` execution \
+                         tier, but `--tier {}` was also given; drop one of the two flags",
+                        args.tier
+                    ));
+                }
+            }
+        }
+    }
+    if args.files.is_empty()
+        && !(matches!(args.cmd.as_str(), "storm" | "metrics" | "vexec") && args.smoke)
+    {
         return Err("no input files".into());
     }
     Ok(args)
@@ -1385,6 +1438,113 @@ fn cmd_storm(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The built-in `vexec --smoke` kernel: three switches (3 × 2 × 2 = 12
+/// leaves), config-dependent branching in a callee so the pass both
+/// splits and re-joins, and per-configuration output bytes.
+const VEXEC_SMOKE_SRC: &str = r#"
+    multiverse(0, 1, 2) i32 mode;
+    multiverse bool loud;
+    multiverse bool deep;
+    multiverse i64 step(i64 x) {
+        if (mode == 1) { return x + 10; }
+        if (mode == 2) { return x * 3; }
+        return x;
+    }
+    multiverse i64 kernel(i64 x) {
+        i64 acc = 0;
+        i64 i = 0;
+        while (i < 8) { acc = acc + step(x + i); i = i + 1; }
+        if (deep) { acc = acc + step(acc); }
+        if (loud) { __out(acc); }
+        return acc;
+    }
+    i64 main(void) { return kernel(7); }
+"#;
+
+fn cmd_vexec(args: &Args) -> Result<(), String> {
+    use multiverse::{enumerate_check, oracle_check};
+    let p = if args.smoke {
+        Program::build(&[("smoke.c", VEXEC_SMOKE_SRC)]).map_err(|e| e.to_string())?
+    } else {
+        build(args)?
+    };
+    let mut world = p.boot();
+    for (k, v) in &args.sets {
+        world.set(k, *v).map_err(|e| e.to_string())?;
+    }
+    let space = world.config_space().map_err(|e| e.to_string())?;
+    println!(
+        "config space: {} switches, {} leaf configurations",
+        space.switches().len(),
+        space.leaf_count()
+    );
+    for s in space.switches() {
+        println!("  {} @{:#x}: {:?}", s.name, s.addr, s.values);
+    }
+    let func = args.call.clone().unwrap_or_else(|| {
+        if args.smoke {
+            "kernel".into()
+        } else {
+            "main".into()
+        }
+    });
+    let report = world
+        .vexec_in(&space, &func, &[])
+        .map_err(|e| e.to_string())?;
+    let shown = report.leaves.len().min(24);
+    for leaf in &report.leaves[..shown] {
+        println!(
+            "  [{:>4}] {:40} -> {} ({} out bytes)",
+            leaf.leaf,
+            space.label(leaf.leaf),
+            leaf.exit as i64,
+            leaf.out.len()
+        );
+    }
+    if shown < report.leaves.len() {
+        println!("  … {} more leaves", report.leaves.len() - shown);
+    }
+    let st = &report.stats;
+    println!(
+        "vexec: {} shared steps for {} enumeration-equivalent insns \
+         (sharing ratio {:.1}), {} splits, {} joins, {} live contexts peak",
+        st.steps,
+        st.enum_equiv_insns,
+        st.shared_prefix_ratio(),
+        st.splits,
+        st.joins,
+        st.max_live
+    );
+    // The replay cross-checks work off a leaf list; `--configs sampled`
+    // thins it to a deterministic subset (first, last, every k-th).
+    let mut checked = report.clone();
+    if args.configs == "sampled" && checked.leaves.len() > 8 {
+        let k = checked.leaves.len().div_ceil(8);
+        let last = checked.leaves.len() - 1;
+        checked.leaves.retain(|l| l.leaf % k == 0 || l.leaf == last);
+    }
+    let chk =
+        enumerate_check(&p, &space, &func, &[], &checked).map_err(|e| format!("FAILED: {e}"))?;
+    println!(
+        "enumerate-and-rerun check: {} of {} leaves replayed, {} insns \
+         (vexec speedup {:.1}x over the replayed subset)",
+        chk.leaves_checked,
+        report.leaves.len(),
+        chk.insns,
+        chk.insns as f64 / st.steps.max(1) as f64 * report.leaves.len() as f64
+            / chk.leaves_checked.max(1) as f64
+    );
+    if args.oracle {
+        let och =
+            oracle_check(&p, &space, &func, &[], &checked).map_err(|e| format!("FAILED: {e}"))?;
+        println!(
+            "oracle check: {} leaves replayed through set + commit + call, all equal",
+            och.leaves_checked
+        );
+    }
+    Ok(())
+}
+
 fn cmd_compile(args: &Args) -> Result<(), String> {
     if args.files.len() != 1 {
         return Err("compile takes exactly one source file".into());
@@ -1439,7 +1599,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("mvcc: {e}");
             eprintln!(
-                "usage: mvcc build|dump|disasm|run|verify|trace|stats|metrics|serve|storm <file.c>… [flags]"
+                "usage: mvcc build|dump|disasm|run|vexec|verify|trace|stats|metrics|serve|storm <file.c>… [flags]"
             );
             return ExitCode::FAILURE;
         }
@@ -1451,6 +1611,7 @@ fn main() -> ExitCode {
         "dump" => cmd_dump(&args),
         "disasm" => cmd_disasm(&args),
         "run" => cmd_run(&args),
+        "vexec" => cmd_vexec(&args),
         "verify" => cmd_verify(&args),
         "trace" => cmd_trace(&args),
         "stats" => cmd_stats(&args),

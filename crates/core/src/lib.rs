@@ -63,8 +63,13 @@ pub mod bench;
 pub mod native;
 pub mod program;
 pub mod telemetry;
+pub mod vexec;
 
 pub use program::{BuildError, Program, SmpWorld, World};
+pub use vexec::{
+    config_space, enumerate_check, enumerate_check_with, oracle_check, oracle_check_with,
+    ReplayCheck, VxError,
+};
 
 // Re-export the full tool-chain for advanced use.
 pub use mvasm;
@@ -74,3 +79,4 @@ pub use mvobj;
 pub use mvrt;
 pub use mvtrace;
 pub use mvvm;
+pub use mvvx;

@@ -241,6 +241,35 @@ pub enum EventKind {
         /// Protocol substituted (`stop-machine`).
         to: &'static str,
     },
+    /// A variational-execution context split at a configuration-
+    /// dependent point.
+    VexecSplit {
+        /// Address of the splitting instruction.
+        pc: u64,
+        /// Address of the switch the context split on.
+        switch: u64,
+        /// Child contexts created.
+        arms: u32,
+    },
+    /// Sibling variational contexts re-merged into one.
+    VexecJoin {
+        /// Program counter both parties stood at.
+        pc: u64,
+        /// Address of the switch whose table absorbed the differences.
+        switch: u64,
+        /// Contexts folded together (always 2 per event today).
+        parties: u32,
+    },
+    /// One leaf configuration's observation was finalized at the end of
+    /// a variational pass.
+    VexecLeaf {
+        /// Leaf index in the configuration space.
+        leaf: u64,
+        /// Configurations the terminal context stood for.
+        configs: u64,
+        /// The leaf's return value.
+        exit: u64,
+    },
 }
 
 impl EventKind {
@@ -275,6 +304,9 @@ impl EventKind {
             EventKind::Shed { .. } => "shed",
             EventKind::Quarantined { .. } => "quarantined",
             EventKind::StrategyDegraded { .. } => "strategy_degraded",
+            EventKind::VexecSplit { .. } => "vexec_split",
+            EventKind::VexecJoin { .. } => "vexec_join",
+            EventKind::VexecLeaf { .. } => "vexec_leaf",
         }
     }
 

@@ -96,6 +96,23 @@ fn kind_fields(kind: &EventKind) -> String {
         EventKind::StrategyDegraded { from, to } => {
             format!(r#","from":"{from}","to":"{to}""#)
         }
+        EventKind::VexecSplit { pc, switch, arms } => {
+            format!(r#","pc":"{pc:#x}","switch":"{switch:#x}","arms":{arms}"#)
+        }
+        EventKind::VexecJoin {
+            pc,
+            switch,
+            parties,
+        } => {
+            format!(r#","pc":"{pc:#x}","switch":"{switch:#x}","parties":{parties}"#)
+        }
+        EventKind::VexecLeaf {
+            leaf,
+            configs,
+            exit,
+        } => {
+            format!(r#","leaf":{leaf},"configs":{configs},"exit":{exit}"#)
+        }
     }
 }
 

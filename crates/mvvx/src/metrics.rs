@@ -1,0 +1,91 @@
+//! The `mv_vexec_*` metric family.
+
+use crate::engine::VexecStats;
+use mvmetrics::{Counter, Gauge, Registry};
+
+/// Handles to the vexec counters in a [`Registry`]. Registration is
+/// idempotent (the registry deduplicates by name), so it is fine to
+/// build this per pass.
+pub struct VexecMetrics {
+    splits: Counter,
+    joins: Counter,
+    leaves: Counter,
+    steps: Counter,
+    enum_equiv: Counter,
+    max_live: Counter,
+    shared_prefix_ratio: Gauge,
+}
+
+impl VexecMetrics {
+    /// Registers (or retrieves) the family.
+    pub fn register(reg: &Registry) -> VexecMetrics {
+        VexecMetrics {
+            splits: reg.counter(
+                "mv_vexec_splits_total",
+                "Context splits during variational execution",
+            ),
+            joins: reg.counter(
+                "mv_vexec_joins_total",
+                "Context joins during variational execution",
+            ),
+            leaves: reg.counter(
+                "mv_vexec_leaves_total",
+                "Leaf configurations covered by vexec passes",
+            ),
+            steps: reg.counter(
+                "mv_vexec_shared_steps_total",
+                "Shared interpreter steps executed by vexec passes",
+            ),
+            enum_equiv: reg.counter(
+                "mv_vexec_enum_equiv_insns_total",
+                "Instructions enumerate-and-rerun would have executed",
+            ),
+            max_live: reg.counter(
+                "mv_vexec_max_live_deltas",
+                "High-water mark of simultaneously live per-config deltas",
+            ),
+            shared_prefix_ratio: reg.gauge(
+                "mv_vexec_shared_prefix_ratio",
+                "Enumeration-equivalent instructions per shared step (last pass)",
+            ),
+        }
+    }
+
+    /// Folds one pass's accounting into the registry.
+    pub fn record(&self, stats: &VexecStats) {
+        self.splits.add(stats.splits);
+        self.joins.add(stats.joins);
+        self.leaves.add(stats.leaf_count);
+        self.steps.add(stats.steps);
+        self.enum_equiv.add(stats.enum_equiv_insns);
+        self.max_live.store_max(stats.max_live);
+        self.shared_prefix_ratio.set(stats.shared_prefix_ratio());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_registry() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        let m = VexecMetrics::register(&reg);
+        let stats = VexecStats {
+            steps: 10,
+            enum_equiv_insns: 60,
+            splits: 2,
+            joins: 1,
+            leaf_count: 6,
+            max_live: 3,
+            contexts_spawned: 4,
+        };
+        m.record(&stats);
+        assert_eq!(m.splits.get(), 2);
+        assert_eq!(m.joins.get(), 1);
+        assert_eq!(m.leaves.get(), 6);
+        assert_eq!(m.max_live.get(), 3);
+        assert!((m.shared_prefix_ratio.get() - 6.0).abs() < 1e-9);
+    }
+}

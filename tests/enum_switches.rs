@@ -3,7 +3,7 @@
 //! values"), including the non-contiguous-domain case where merged
 //! variants need multiple point-guard descriptor entries.
 
-use multiverse::Program;
+use multiverse::{enumerate_check, oracle_check, Program};
 
 const SRC: &str = r#"
     // Non-contiguous enumerator values, as real kernels have.
@@ -39,15 +39,39 @@ fn all_enumerators_get_variants() {
 #[test]
 fn each_enumerator_commits_to_its_specialist() {
     let program = Program::build(&[("t.c", SRC)]).unwrap();
-    let mut w = program.boot();
-    for (value, expect) in [(0i64, 5u64), (3, 50), (7, 500)] {
-        w.set("sched", value).unwrap();
-        let r = w.commit().unwrap();
-        assert_eq!(r.generic_fallbacks, 0, "sched={value} is in domain");
-        assert_eq!(w.call("submit", &[5]).unwrap(), expect, "sched={value}");
+    let w = program.boot();
+
+    // One variational pass covers the whole enumerator domain {0, 3, 7}
+    // at once, replacing the per-value rerun loop this test used to be.
+    let space = w.config_space().unwrap();
+    assert_eq!(space.leaf_count(), 3);
+    let report = w.vexec_in(&space, "submit", &[5]).unwrap();
+    for leaf in &report.leaves {
+        let sched = leaf.assignment[0].1;
+        let expect = match sched {
+            3 => 50,
+            7 => 500,
+            _ => 5,
+        };
+        assert_eq!(leaf.exit, expect, "sched={sched}");
     }
+    // The commit oracle replays each leaf via set → commit → call,
+    // asserting the committed specialists observe the same results.
+    let chk = oracle_check(&program, &space, "submit", &[5], &report).unwrap();
+    assert_eq!(chk.leaves_checked, 3);
+    enumerate_check(&program, &space, "submit", &[5], &report).unwrap();
+
+    // Keep one direct in-domain commit as a plain-path sanity check.
+    let mut w = program.boot();
+    w.set("sched", 3).unwrap();
+    let r = w.commit().unwrap();
+    assert_eq!(r.generic_fallbacks, 0, "sched=3 is in domain");
+    assert_eq!(w.call("submit", &[5]).unwrap(), 50);
+
     // A value between enumerators is out of domain → generic fallback,
-    // still correct dynamically.
+    // still correct dynamically. (The vexec space cannot express this
+    // leaf — its domains come from the declared enumerators — which is
+    // exactly why the direct path stays.)
     w.set("sched", 4).unwrap();
     let r = w.commit().unwrap();
     assert_eq!(r.generic_fallbacks, 1);
@@ -81,6 +105,21 @@ fn non_contiguous_merge_uses_point_guards() {
         "{merged}: covers one extra assignment"
     );
 
+    // One vexec pass over {0, 3, 7} shows the merged-body leaves (0 and
+    // 7) and the specialist leaf (3) at once; the commit oracle then
+    // proves the point guards route each leaf to the right variant.
+    let w = program.boot();
+    let space = w.config_space().unwrap();
+    let report = w.vexec_in(&space, "needs_sort", &[]).unwrap();
+    assert_eq!(report.leaves.len(), 3);
+    for leaf in &report.leaves {
+        let sched = leaf.assignment[0].1;
+        assert_eq!(leaf.exit, u64::from(sched == 3), "sched={sched}");
+    }
+    oracle_check(&program, &space, "needs_sort", &[], &report).unwrap();
+
+    // The oracle compares observations but not binding decisions: also
+    // assert that 0 and 7 bind the merged body without generic fallback.
     let mut w = program.boot();
     for value in [0i64, 7] {
         w.set("sched", value).unwrap();
@@ -89,10 +128,12 @@ fn non_contiguous_merge_uses_point_guards() {
             r.generic_fallbacks, 0,
             "sched={value} selects the merged body"
         );
-        assert_eq!(w.call("needs_sort", &[]).unwrap(), 0);
     }
+
+    let mut w = program.boot();
     w.set("sched", 3).unwrap();
-    w.commit().unwrap();
+    let r = w.commit().unwrap();
+    assert_eq!(r.generic_fallbacks, 0, "sched=3 selects the specialist");
     assert_eq!(w.call("needs_sort", &[]).unwrap(), 1);
     // Value 5 sits inside [0, 7] but matches no point guard: the range
     // must NOT admit it (that is why non-box merges cannot use ranges).

@@ -4,7 +4,7 @@
 //! an abstract binding model predicts — and a final universal revert must
 //! restore the text segment byte-for-byte.
 
-use multiverse::{Program, World};
+use multiverse::{mvvx, Program, World};
 use proptest::prelude::*;
 
 const SRC: &str = r#"
@@ -236,6 +236,19 @@ fn fault_schedule_sweep_preserves_atomicity() {
     }
 }
 
+/// What the model predicts `FNS[i]` returns in the world-as-patched when
+/// the switch *cells* hold `(a, b)`: committed functions ignore the
+/// cells (their values are burned into the specialist), generics read
+/// them dynamically.
+fn expected_at(model: &Model, i: usize, a: i64, b: i64) -> i64 {
+    let (a, b) = model.bound[i].unwrap_or((a, b));
+    match i {
+        0 => a * 10 + 1,
+        1 => b * 100 + 2,
+        _ => a * 1000 + b * 10000,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -248,21 +261,56 @@ proptest! {
         let (taddr, tsize) = program.exe().section(multiverse::mvobj::SEC_TEXT);
         let pristine = world.machine.mem.read_vec(taddr, tsize as usize).unwrap();
 
+        // The declared cross product, built by hand: the sequence may
+        // park the *cells* out of domain (a_=3), which must not leak
+        // into the leaf enumeration.
+        let domain = |name: &str, hi: i64| mvvx::SwitchDomain {
+            name: name.into(),
+            addr: world.sym(name).unwrap(),
+            width: 4,
+            signed: true,
+            values: (0..=hi).collect(),
+        };
+        let space =
+            mvvx::ConfigSpace::new(vec![domain("a_", 2), domain("b_", 1)]).unwrap();
+        prop_assert_eq!(space.leaf_count(), 6);
+
         let mut model = Model::default();
-        for &op in &ops {
+        for (n, &op) in ops.iter().enumerate() {
             apply(&mut world, &mut model, op);
+
+            // Cross-check the patched image against the model over the
+            // WHOLE declared cross product in one variational pass per
+            // function: committed bindings must be leaf-invariant,
+            // generic bodies must track each leaf's cell values.
             #[allow(clippy::needless_range_loop)] // index is shared with the model
             for i in 0..3 {
-                let got = world.call(FNS[i], &[]).unwrap() as i64;
-                prop_assert_eq!(
-                    got,
-                    model.expected(i),
-                    "{} after {:?} (history {:?})",
-                    FNS[i],
-                    op,
-                    ops
-                );
+                let report = world.vexec_in(&space, FNS[i], &[]).unwrap();
+                prop_assert_eq!(report.leaves.len(), 6);
+                for leaf in &report.leaves {
+                    let (la, lb) = (leaf.assignment[0].1, leaf.assignment[1].1);
+                    prop_assert_eq!(
+                        leaf.exit as i64,
+                        expected_at(&model, i, la, lb),
+                        "{} at leaf (a_={}, b_={}) after {:?} (history {:?})",
+                        FNS[i], la, lb, op, ops
+                    );
+                }
             }
+
+            // Sampled direct rerun as the fallback oracle: one rotating
+            // function per op, run with the *actual* cell values — this
+            // is the only path that exercises out-of-domain cells.
+            let i = n % 3;
+            let got = world.call(FNS[i], &[]).unwrap() as i64;
+            prop_assert_eq!(
+                got,
+                model.expected(i),
+                "{} after {:?} (history {:?})",
+                FNS[i],
+                op,
+                ops
+            );
         }
 
         // A final universal revert restores the pristine text segment.
